@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation section at simulator scale: it runs the corresponding workload,
+prints the same series/rows the paper reports, writes them to
+``benchmarks/reports/<experiment>.txt``, and asserts the qualitative shape
+(who wins, what stays flat, where the crossover is).  Absolute numbers differ
+from the paper -- the substrate is a pure-Python simulator, not the authors'
+C prototype on 2010 server hardware -- but the shapes are comparable.
+
+Scale note: workload sizes are scaled down from the paper's (which used
+32 000 operations per consistency point and multi-day traces) so the whole
+suite completes in minutes.  Every module exposes its scale constants at the
+top so they can be turned up for a longer, closer-to-paper run.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import (
+    Backlog,
+    BacklogConfig,
+    FileSystem,
+    FileSystemConfig,
+    SnapshotManagerAuthority,
+)
+from repro.fsim.dedup import DedupConfig
+from repro.fsim.snapshots import SnapshotPolicy
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def build_instrumented_system(
+    backlog_config: BacklogConfig | None = None,
+    dedup: DedupConfig | None = DedupConfig(),
+    policy: SnapshotPolicy | None = None,
+    listeners_extra=(),
+):
+    """A (FileSystem, Backlog) pair wired the way the evaluation uses them."""
+    backlog = Backlog(config=backlog_config)
+    fs = FileSystem(
+        FileSystemConfig(
+            ops_per_cp=10**9,      # workloads take CPs explicitly
+            auto_cp=False,
+            dedup=dedup,
+            snapshot_policy=policy or SnapshotPolicy(),
+        ),
+        listeners=[backlog, *listeners_extra],
+    )
+    backlog.set_version_authority(SnapshotManagerAuthority(fs))
+    return fs, backlog
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report section and persist it under benchmarks/reports/."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)

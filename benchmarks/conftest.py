@@ -1,0 +1,13 @@
+"""Pytest fixtures for the benchmark harness (see bench_common.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import emit_report
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing emit_report to benchmark tests."""
+    return emit_report

@@ -1,0 +1,153 @@
+"""Ablations of Backlog's individual design choices.
+
+DESIGN.md calls out four mechanisms whose benefit the paper argues for but
+does not isolate; these benches isolate them on a fixed workload:
+
+* **Bloom filters** (§5.1): without them every query probes every Level-0
+  run; with them most runs are skipped.
+* **Proactive pruning** (§5.1): references added and removed within one CP
+  never reach disk; without pruning they inflate every run.
+* **Horizontal partitioning** (§5.3): smaller partitions mean more, smaller
+  run files for the same data.
+* **Maintenance frequency** (§5.2): more frequent compaction keeps the run
+  count and the database size down at the cost of extra merge work.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.config import BacklogConfig
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+from bench_common import build_instrumented_system
+
+NUM_CPS = 20
+OPS_PER_CP = 800
+
+
+def _run(config: BacklogConfig):
+    fs, backlog = build_instrumented_system(backlog_config=config)
+    workload = SyntheticWorkload(SyntheticWorkloadConfig(
+        num_cps=NUM_CPS, ops_per_cp=OPS_PER_CP, initial_files=100, seed=42,
+    ))
+    workload.run(fs)
+    return fs, backlog
+
+
+def _query_sample(fs, backlog, queries=200):
+    blocks = sorted({block for block, *_ in fs.iter_live_references()})
+    backlog.clear_caches()
+    backlog.query_stats.reset()
+    step = max(1, len(blocks) // queries)
+    for block in blocks[::step][:queries]:
+        backlog.query(block)
+    return backlog.query_stats
+
+
+def test_ablation_bloom_filters(benchmark, report):
+    outcomes = {}
+
+    def run_both():
+        for label, enabled in (("bloom on", True), ("bloom off", False)):
+            fs, backlog = _run(BacklogConfig(use_bloom_filters=enabled))
+            stats = _query_sample(fs, backlog)
+            outcomes[label] = {
+                "runs_probed_per_query": stats.runs_probed / stats.queries,
+                "runs_skipped_per_query": stats.runs_skipped_by_bloom / stats.queries,
+                "reads_per_query": stats.reads_per_query,
+            }
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    report("ablation_bloom", format_table(
+        "Ablation: Bloom filters on Level-0 runs",
+        ["configuration", "runs probed/query", "runs skipped/query", "reads/query"],
+        [[label,
+          round(o["runs_probed_per_query"], 2),
+          round(o["runs_skipped_per_query"], 2),
+          round(o["reads_per_query"], 3)] for label, o in outcomes.items()],
+        note="without Bloom filters every run in the partition is probed on every query",
+    ))
+    assert outcomes["bloom on"]["runs_probed_per_query"] < outcomes["bloom off"]["runs_probed_per_query"]
+    assert outcomes["bloom on"]["runs_skipped_per_query"] > 0
+    assert outcomes["bloom on"]["reads_per_query"] <= outcomes["bloom off"]["reads_per_query"] + 0.05
+
+
+def test_ablation_proactive_pruning(benchmark, report):
+    outcomes = {}
+
+    def run_both():
+        for label, enabled in (("pruning on", True), ("pruning off", False)):
+            _, backlog = _run(BacklogConfig(proactive_pruning=enabled))
+            outcomes[label] = {
+                "records_on_disk": backlog.run_manager.total_records(),
+                "db_bytes": backlog.database_size_bytes(),
+                "pruned_pairs": backlog.stats.pruned_pairs,
+                "writes_per_op": backlog.stats.writes_per_block_op,
+            }
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    report("ablation_pruning", format_table(
+        "Ablation: proactive pruning of same-CP add/remove pairs",
+        ["configuration", "records on disk", "db bytes", "pruned pairs", "io writes/op"],
+        [[label, o["records_on_disk"], o["db_bytes"], o["pruned_pairs"],
+          round(o["writes_per_op"], 4)] for label, o in outcomes.items()],
+        note="pruned pairs never reach disk, shrinking runs and write volume",
+    ))
+    assert outcomes["pruning on"]["pruned_pairs"] > 0
+    assert outcomes["pruning on"]["records_on_disk"] <= outcomes["pruning off"]["records_on_disk"]
+    assert outcomes["pruning on"]["db_bytes"] <= outcomes["pruning off"]["db_bytes"]
+
+
+def test_ablation_partitioning(benchmark, report):
+    outcomes = {}
+
+    def run_all():
+        for label, size in (("1 partition (huge)", 1 << 30),
+                            ("4 GB partitions (default)", 1 << 20),
+                            ("16 MB partitions", 1 << 12)):
+            _, backlog = _run(BacklogConfig(partition_size_blocks=size))
+            backlog.maintain()
+            outcomes[label] = {
+                "partitions": len(backlog.run_manager.partitions()),
+                "runs_after_maintenance": backlog.run_manager.run_count(),
+                "db_bytes": backlog.database_size_bytes(),
+            }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("ablation_partitioning", format_table(
+        "Ablation: horizontal partitioning by block range",
+        ["configuration", "partitions", "runs after maintenance", "db bytes"],
+        [[label, o["partitions"], o["runs_after_maintenance"], o["db_bytes"]]
+         for label, o in outcomes.items()],
+        note="smaller partitions -> more, smaller files; compaction can process them selectively",
+    ))
+    assert outcomes["1 partition (huge)"]["partitions"] == 1
+    assert outcomes["16 MB partitions"]["partitions"] > outcomes["4 GB partitions (default)"]["partitions"] >= 1
+
+
+def test_ablation_maintenance_frequency(benchmark, report):
+    outcomes = {}
+
+    def run_all():
+        for label, interval in (("never", None), ("every 10 CPs", 10), ("every 5 CPs", 5)):
+            _, backlog = _run(BacklogConfig(maintenance_interval_cps=interval))
+            outcomes[label] = {
+                "runs": backlog.run_manager.run_count(),
+                "db_bytes": backlog.database_size_bytes(),
+                "maintenance_passes": len(backlog.stats.maintenance_runs),
+            }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("ablation_maintenance_frequency", format_table(
+        "Ablation: maintenance frequency",
+        ["configuration", "runs on disk", "db bytes", "maintenance passes"],
+        [[label, o["runs"], o["db_bytes"], o["maintenance_passes"]] for label, o in outcomes.items()],
+        note="frequent maintenance keeps run count and database size down",
+    ))
+    assert outcomes["never"]["maintenance_passes"] == 0
+    assert outcomes["every 5 CPs"]["runs"] < outcomes["never"]["runs"]
+    assert outcomes["every 5 CPs"]["db_bytes"] <= outcomes["never"]["db_bytes"]

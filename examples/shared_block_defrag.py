@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Sharing-aware defragmentation of cloned virtual-machine images.
+
+The paper's second use case (§3) is reorganising on-disk data when blocks are
+shared: if two files share blocks (because of deduplication or because they
+live in a master image and its writable clones), defragmenting them one at a
+time makes the shared blocks ping-pong between the files.  Back references
+let a defragmenter see the sharing relationship *before* deciding what to do:
+prioritise one file, duplicate the shared blocks, or keep the sharing and
+co-locate both files.
+
+This example builds the scenario from the paper's motivation -- several VM
+images cloned from one master -- fragments one of the clones, and then uses
+back-reference queries to:
+
+1. measure each image's fragmentation,
+2. classify every block of the fragmented image as private or shared (and
+   with whom), and
+3. apply a sharing-aware policy: move private blocks freely, but leave shared
+   blocks in place (reporting what a sharing-oblivious defragmenter would
+   have broken).
+
+Run with:  python examples/shared_block_defrag.py
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro import Backlog, FileSystem, FileSystemConfig, SnapshotManagerAuthority
+
+
+def fragmentation_score(fs: FileSystem, inode: int, line: int) -> float:
+    """Fraction of adjacent logical block pairs that are NOT physically adjacent."""
+    node = fs.volumes[line].inodes[inode]
+    blocks = [block for _, block in node.iter_blocks()]
+    if len(blocks) < 2:
+        return 0.0
+    breaks = sum(1 for a, b in zip(blocks, blocks[1:]) if b != a + 1)
+    return breaks / (len(blocks) - 1)
+
+
+def main() -> None:
+    backlog = Backlog()
+    fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False), listeners=[backlog])
+    backlog.set_version_authority(SnapshotManagerAuthority(fs))
+    rng = random.Random(7)
+
+    # A master VM image: one large file, laid out sequentially.
+    master_image = fs.create_file(num_blocks=256)
+    base_cp = fs.take_consistency_point()
+
+    # Three developer VMs cloned from the master (writable clones share every
+    # block with the master until they diverge).
+    clones = [fs.create_clone(0, base_cp) for _ in range(3)]
+    print(f"master image is inode {master_image}; clones are lines {clones}")
+
+    # Each clone writes to a different part of its image; clone 0 gets heavy,
+    # scattered writes, which both fragments it and breaks sharing there.
+    for index, line in enumerate(clones):
+        writes = 120 if index == 0 else 20
+        for _ in range(writes):
+            fs.write(master_image, rng.randrange(256), 1, line=line)
+    fs.take_consistency_point()
+
+    for line in (0, *clones):
+        score = fragmentation_score(fs, master_image, line)
+        print(f"  line {line}: fragmentation {score:.2%}")
+
+    # ---- Sharing analysis via back references. ------------------------------
+    victim = clones[0]
+    node = fs.volumes[victim].inodes[master_image]
+    sharing = defaultdict(list)   # block -> list of other lines referencing it
+    for offset, block in node.iter_blocks():
+        owners = backlog.query(block)
+        other_lines = sorted({ref.line for ref in owners if ref.is_live} - {victim})
+        sharing[(offset, block)] = other_lines
+
+    private = [(off, blk) for (off, blk), others in sharing.items() if not others]
+    shared = [(off, blk, others) for (off, blk), others in sharing.items() if others]
+    print(f"\nclone line {victim}: {len(private)} private blocks, {len(shared)} shared blocks")
+    sharers = defaultdict(int)
+    for _, _, others in shared:
+        for line in others:
+            sharers[line] += 1
+    for line, count in sorted(sharers.items()):
+        print(f"  shares {count} blocks with line {line}")
+
+    # ---- Sharing-aware defragmentation. -------------------------------------
+    # Policy: relocate only private blocks (rewriting them gives the allocator
+    # a chance to lay them out contiguously); leave shared blocks alone so the
+    # master and the other clones keep their (sequential) layout and their
+    # space savings.
+    before = fragmentation_score(fs, master_image, victim)
+    for offset, block in sorted(private):
+        fs.write(master_image, offset, 1, line=victim)
+        backlog.relocate_block(block)
+    fs.take_consistency_point()
+    after = fragmentation_score(fs, master_image, victim)
+
+    print(f"\nsharing-aware defrag of line {victim}:")
+    print(f"  fragmentation {before:.2%} -> {after:.2%}")
+    print(f"  blocks moved: {len(private)}; shared blocks preserved: {len(shared)}")
+    print(
+        "  a sharing-oblivious defragmenter would have rewritten "
+        f"{len(shared)} shared blocks, breaking deduplication with "
+        f"{len(sharers)} other images (costing "
+        f"{len(shared) * fs.config.block_size // 1024} KB of extra space) or "
+        "fragmenting them instead"
+    )
+
+
+if __name__ == "__main__":
+    main()

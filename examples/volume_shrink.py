@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bulk data migration: shrinking a volume with back-reference queries.
+
+The paper's first use case (§3) is moving all data off part of a device --
+for example to shrink a volume or retire hardware.  Without back references
+a file system must walk its entire tree looking for pointers into the target
+region (what ext3's resize does); with Backlog it can ask directly "who
+references blocks [N, N + k)?" and update exactly those pointers.
+
+This example:
+
+1. builds a file system with a few hundred files and some snapshots,
+2. picks the upper quarter of the allocated physical space to evacuate,
+3. finds every owner of those blocks with a single range query,
+4. "moves" the blocks (copy-on-write rewrite of each owning pointer plus a
+   deletion-vector entry for the stale records), and
+5. shows the same discovery done by brute-force tree traversal, with the
+   operation counts side by side.
+
+Run with:  python examples/volume_shrink.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import Backlog, FileSystem, FileSystemConfig, SnapshotManagerAuthority
+from repro.baselines.brute_force import BruteForceQuerier
+from repro.core.verify import verify_backlog
+
+
+def build_filesystem(seed: int = 11):
+    backlog = Backlog()
+    # Deduplication is disabled so that the rewrites performed by the shrink
+    # cannot be redirected back into the range being evacuated.
+    fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False, dedup=None),
+                    listeners=[backlog])
+    backlog.set_version_authority(SnapshotManagerAuthority(fs))
+    rng = random.Random(seed)
+    for _ in range(200):
+        fs.create_file(num_blocks=rng.randint(1, 24))
+    fs.take_consistency_point()
+    # Some churn so snapshots and the live tree diverge a little.
+    for inode in list(fs.list_files())[:80]:
+        fs.write(inode, 0, rng.randint(1, 3))
+    fs.take_consistency_point()
+    return fs, backlog
+
+
+def main() -> None:
+    fs, backlog = build_filesystem()
+
+    allocated = sorted({block for block, *_ in fs.iter_live_references()})
+    highest = allocated[-1]
+    shrink_start = int(highest * 0.75)
+    shrink_span = highest - shrink_start + 1
+    print(f"file system uses physical blocks 0..{highest}; "
+          f"evacuating the range [{shrink_start}, {highest}]")
+
+    # --- Backlog: one range query finds every owner. ------------------------
+    started = time.perf_counter()
+    owners = backlog.query_range(shrink_start, shrink_span)
+    query_seconds = time.perf_counter() - started
+    live_owners = [ref for ref in owners if ref.is_live]
+    print(f"\nBacklog range query: {len(owners)} back references "
+          f"({len(live_owners)} live) in {query_seconds * 1e3:.2f} ms, "
+          f"{backlog.query_stats.pages_read} page reads")
+
+    # Move every live owner's block: the file system rewrites the pointer, so
+    # the live trees stop using the evacuated range immediately.
+    moved_blocks = set()
+    for reference in live_owners:
+        fs.write(reference.inode, reference.offset, 1, line=reference.line)
+        moved_blocks.add(reference.block)
+    fs.take_consistency_point()
+    print(f"moved {len(moved_blocks)} distinct physical blocks "
+          f"({len(live_owners)} pointer updates)")
+
+    remaining_live = [ref for ref in backlog.query_range(shrink_start, shrink_span) if ref.is_live]
+    remaining_any = backlog.query_range(shrink_start, shrink_span)
+    print(f"live references remaining in the evacuated range: {len(remaining_live)}")
+    print(f"snapshot-only references remaining: {len(remaining_any) - len(remaining_live)} "
+          "(retained snapshots are immutable; they pin the old blocks until they rotate out)")
+
+    # Retire the snapshots that still pin the evacuated blocks (an
+    # administrator shrinking a volume does exactly this), after which the
+    # blocks are truly free and maintenance purges their dead records.
+    for version in list(fs.snapshots.versions(0)):
+        fs.delete_snapshot(0, version)
+    fs.take_consistency_point()
+    purged = backlog.maintain().records_purged
+    still_pinned = [ref for ref in backlog.query_range(shrink_start, shrink_span)]
+    print(f"after rotating snapshots: {len(still_pinned)} references remain in the range, "
+          f"maintenance purged {purged} dead records")
+
+    # --- Brute force: the same discovery without back references. ------------
+    brute = BruteForceQuerier(fs)
+    started = time.perf_counter()
+    brute_owners = brute.query_range(shrink_start, shrink_span)
+    brute_seconds = time.perf_counter() - started
+    print(f"\nbrute-force tree walk: {len(brute_owners)} references found in "
+          f"{brute_seconds * 1e3:.2f} ms, examining {brute.stats.pointers_examined} pointers "
+          f"(~{brute.stats.meta_pages_read} metadata page reads on a real disk)")
+
+    verification = verify_backlog(fs, backlog)
+    print(f"\nverification after the move: {verification.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Backlog: log-structured back references for write-anywhere file systems.
+
+A reproduction of *"Tracking Back References in a Write-Anywhere File
+System"* (Macko, Seltzer, Smith -- FAST 2010).  The package contains:
+
+* :mod:`repro.core` -- the Backlog back-reference database (write stores,
+  LSM/stepped-merge read stores, Bloom filters, compaction, structural
+  inheritance, query engine),
+* :mod:`repro.fsim` -- a write-anywhere file system simulator with snapshots,
+  writable clones and deduplication,
+* :mod:`repro.baselines` -- the comparison points used in the paper's
+  evaluation (the naive conceptual table, btrfs-style native back
+  references, brute-force tree traversal),
+* :mod:`repro.workloads` -- synthetic, NFS-trace-like, microbenchmark and
+  application-mix workload generators, and
+* :mod:`repro.analysis` -- metric collection and table/figure formatting for
+  the benchmark harness.
+
+Quickstart
+----------
+>>> from repro import Backlog, FileSystem, SnapshotManagerAuthority
+>>> backlog = Backlog()
+>>> fs = FileSystem(listeners=[backlog])
+>>> backlog.set_version_authority(SnapshotManagerAuthority(fs))
+>>> inode = fs.create_file(num_blocks=4)
+>>> fs.take_consistency_point()
+1
+>>> block = fs.volume().inodes[inode].physical_block(0)
+>>> [(ref.inode, ref.offset) for ref in backlog.query(block)]
+[(2, 0)]
+"""
+
+from repro.core import (
+    Backlog,
+    BacklogConfig,
+    BacklogStats,
+    BackReference,
+    BloomFilter,
+    CloneGraph,
+    CombinedRecord,
+    DeletionVector,
+    ExplicitVersionAuthority,
+    AllVersionsAuthority,
+    FromRecord,
+    INFINITY,
+    Partitioner,
+    SnapshotManagerAuthority,
+    ToRecord,
+    VersionAuthority,
+    WriteStore,
+    recover_backlog,
+    verify_backlog,
+)
+from repro.fsim import (
+    DedupConfig,
+    DiskBackend,
+    FileSystem,
+    FileSystemConfig,
+    MemoryBackend,
+    ReferenceListener,
+    SnapshotPolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllVersionsAuthority",
+    "Backlog",
+    "BacklogConfig",
+    "BacklogStats",
+    "BackReference",
+    "BloomFilter",
+    "CloneGraph",
+    "CombinedRecord",
+    "DedupConfig",
+    "DeletionVector",
+    "DiskBackend",
+    "ExplicitVersionAuthority",
+    "FileSystem",
+    "FileSystemConfig",
+    "FromRecord",
+    "INFINITY",
+    "MemoryBackend",
+    "Partitioner",
+    "ReferenceListener",
+    "SnapshotManagerAuthority",
+    "SnapshotPolicy",
+    "ToRecord",
+    "VersionAuthority",
+    "WriteStore",
+    "recover_backlog",
+    "verify_backlog",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Metric collection and report formatting for the benchmark harness."""
+
+from repro.analysis.metrics import (
+    OverheadSample,
+    QueryPerformancePoint,
+    SpaceSample,
+    collect_overhead_series,
+    measure_query_performance,
+    sample_space_overhead,
+)
+from repro.analysis.reporting import format_series, format_table, write_report
+
+__all__ = [
+    "OverheadSample",
+    "QueryPerformancePoint",
+    "SpaceSample",
+    "collect_overhead_series",
+    "measure_query_performance",
+    "sample_space_overhead",
+    "format_series",
+    "format_table",
+    "write_report",
+]

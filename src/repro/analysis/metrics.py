@@ -1,0 +1,169 @@
+"""Derived metrics matching the paper's evaluation figures.
+
+Three metric families are produced here:
+
+* **Overhead during normal operation** (Figures 5 and 7): I/O page writes
+  per block operation and CPU microseconds per block operation, per
+  consistency point (or per trace hour).
+* **Space overhead** (Figures 6 and 8): back-reference database size as a
+  percentage of the physical data size, sampled over time.
+* **Query performance** (Figures 9 and 10): queries per second and I/O page
+  reads per query as a function of run length and database age.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.backlog import Backlog
+from repro.fsim.filesystem import FileSystem
+
+__all__ = [
+    "OverheadSample",
+    "SpaceSample",
+    "QueryPerformancePoint",
+    "collect_overhead_series",
+    "sample_space_overhead",
+    "measure_query_performance",
+]
+
+
+@dataclass(frozen=True)
+class OverheadSample:
+    """One point of the maintenance-overhead series."""
+
+    cp: int
+    block_ops: int
+    writes_per_block_op: float
+    microseconds_per_block_op: float
+
+
+@dataclass(frozen=True)
+class SpaceSample:
+    """One point of the space-overhead series."""
+
+    cp: int
+    database_bytes: int
+    physical_data_bytes: int
+
+    @property
+    def overhead_percent(self) -> float:
+        if self.physical_data_bytes <= 0:
+            return 0.0
+        return 100.0 * self.database_bytes / self.physical_data_bytes
+
+
+@dataclass(frozen=True)
+class QueryPerformancePoint:
+    """One point of the query-performance surface."""
+
+    run_length: int
+    cps_since_maintenance: Optional[int]
+    queries: int
+    queries_per_second: float
+    reads_per_query: float
+    back_references_per_query: float
+
+
+def collect_overhead_series(backlog: Backlog, bucket_cps: int = 1) -> List[OverheadSample]:
+    """Per-CP (or per-``bucket_cps``) overhead series from a Backlog's stats.
+
+    This is the series plotted in Figures 5 and 7: I/O writes per block
+    operation and CPU time per block operation, as they evolve over the life
+    of the file system.
+    """
+    if bucket_cps <= 0:
+        raise ValueError("bucket_cps must be positive")
+    samples: List[OverheadSample] = []
+    checkpoints = backlog.stats.checkpoints
+    previous_cumulative = 0.0
+    bucket_ops = 0
+    bucket_writes = 0
+    bucket_micros = 0.0
+    for index, cp_stats in enumerate(checkpoints):
+        micros = cp_stats.microseconds_per_block_op(previous_cumulative) * cp_stats.block_ops
+        previous_cumulative = cp_stats.cumulative_update_seconds
+        bucket_ops += cp_stats.block_ops
+        bucket_writes += cp_stats.pages_written
+        bucket_micros += micros
+        if (index + 1) % bucket_cps == 0:
+            samples.append(
+                OverheadSample(
+                    cp=cp_stats.cp,
+                    block_ops=bucket_ops,
+                    writes_per_block_op=bucket_writes / bucket_ops if bucket_ops else 0.0,
+                    microseconds_per_block_op=bucket_micros / bucket_ops if bucket_ops else 0.0,
+                )
+            )
+            bucket_ops = 0
+            bucket_writes = 0
+            bucket_micros = 0.0
+    return samples
+
+
+def sample_space_overhead(backlog: Backlog, fs: FileSystem, cp: int) -> SpaceSample:
+    """Capture one space-overhead sample (database size vs physical data)."""
+    return SpaceSample(
+        cp=cp,
+        database_bytes=backlog.database_size_bytes(),
+        physical_data_bytes=fs.physical_data_bytes,
+    )
+
+
+def measure_query_performance(
+    backlog: Backlog,
+    allocated_blocks: Sequence[int],
+    run_length: int,
+    num_queries: int,
+    cps_since_maintenance: Optional[int] = None,
+    seed: int = 97,
+    clear_caches: bool = True,
+) -> QueryPerformancePoint:
+    """Run a batch of range queries and report throughput (Figures 9/10).
+
+    A "run" of length ``n`` starts at a randomly selected allocated block and
+    returns back references for that block and the next ``n - 1`` allocated
+    blocks, holding work constant regardless of allocation density -- the
+    same methodology as the paper.  Caches are cleared first so the numbers
+    are worst-case.
+    """
+    if run_length <= 0 or num_queries <= 0:
+        raise ValueError("run_length and num_queries must be positive")
+    if not allocated_blocks:
+        raise ValueError("allocated_blocks must not be empty")
+    rng = random.Random(seed)
+    if clear_caches:
+        backlog.clear_caches()
+    stats = backlog.query_stats
+    stats.reset()
+
+    blocks = sorted(allocated_blocks)
+    queries_issued = 0
+    remaining = num_queries
+    while remaining > 0:
+        start_index = rng.randrange(len(blocks))
+        run = blocks[start_index:start_index + run_length]
+        if not run:
+            continue
+        # One range query per run of physically adjacent allocated blocks:
+        # issue it as a single range covering the run's span, as a
+        # maintenance utility (volume shrinker, defragmenter) would.
+        span = run[-1] - run[0] + 1
+        backlog.query_range(run[0], span)
+        queries_issued += len(run)
+        remaining -= len(run)
+
+    return QueryPerformancePoint(
+        run_length=run_length,
+        cps_since_maintenance=cps_since_maintenance,
+        queries=queries_issued,
+        queries_per_second=(
+            queries_issued / stats.seconds if stats.seconds > 0 else 0.0
+        ),
+        reads_per_query=stats.pages_read / queries_issued if queries_issued else 0.0,
+        back_references_per_query=(
+            stats.back_references_returned / queries_issued if queries_issued else 0.0
+        ),
+    )

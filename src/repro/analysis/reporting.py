@@ -1,0 +1,83 @@
+"""Plain-text formatting of benchmark results.
+
+The benchmark harness prints, for every paper table and figure, the rows or
+series that the original plots -- so a run of ``pytest benchmarks/`` produces
+a textual version of the evaluation section that can be compared against the
+paper (and is captured verbatim in ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "write_report"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned, monospaced table with a title line."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines = [f"== {title} =="]
+    lines.append(render_line(list(headers)))
+    lines.append(render_line(["-" * width for width in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render one or more y-series against a shared x axis as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: List[object] = [x_value]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return format_table(title, headers, rows, note=note)
+
+
+def write_report(path: str, sections: Iterable[str]) -> str:
+    """Write report sections to ``path`` (creating directories) and return the text."""
+    text = "\n\n".join(sections) + "\n"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000:
+            return f"{cell:,.0f}"
+        if magnitude >= 1:
+            return f"{cell:.2f}"
+        if magnitude >= 0.01:
+            return f"{cell:.3f}"
+        return f"{cell:.5f}"
+    return str(cell)

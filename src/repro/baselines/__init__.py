@@ -1,0 +1,26 @@
+"""Baseline back-reference implementations used as comparison points.
+
+The paper's evaluation compares Backlog against three alternatives, all of
+which are implemented here over the same simulator substrate:
+
+* :mod:`repro.baselines.naive` -- the conceptual single-table design of
+  §4.1, which performs a read-modify-write of the on-disk table on every
+  deallocation and "slows to a crawl after a few hundred consistency
+  points";
+* :mod:`repro.baselines.btrfs_refs` -- btrfs-style native back references
+  embedded in a global, copy-on-write metadata B-tree (the "Original"
+  configuration of Table 1); and
+* :mod:`repro.baselines.brute_force` -- the ext3-style answer to a
+  block-ownership query: walk the entire file system tree looking for
+  pointers into the target range (§3).
+"""
+
+from repro.baselines.naive import NaiveBackReferences
+from repro.baselines.btrfs_refs import BtrfsStyleBackReferences
+from repro.baselines.brute_force import BruteForceQuerier
+
+__all__ = [
+    "NaiveBackReferences",
+    "BtrfsStyleBackReferences",
+    "BruteForceQuerier",
+]

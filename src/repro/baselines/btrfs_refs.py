@@ -1,0 +1,203 @@
+"""btrfs-style native back references (the "Original" configuration).
+
+btrfs stores back references inline with the extent allocation records in its
+single, global, copy-on-write metadata B-tree (§7).  Updates accumulate in an
+in-memory tree and are applied to the on-disk tree at transaction commit.
+Compared with Backlog the important structural differences are:
+
+* back references live next to the extent records, so committing them dirties
+  the extent-tree leaves that hold the affected extents (read-modify-write of
+  those leaves, amortised per transaction), rather than being appended as
+  fresh sorted runs;
+* back-reference records omit transaction ids, which makes inode
+  copy-on-write (cloning) free but means a query must consult the file-system
+  trees to recover version information (charged here as extra reads per
+  query); and
+* the design is tightly integrated with the btrfs metadata store, whereas
+  Backlog only assumes a write-anywhere host.
+
+This module models that design over the simulator's storage accounting so
+that Table 1's three-way comparison (Base / Original / Backlog) can be
+reproduced: per-operation CPU cost of maintaining the in-memory tree, plus
+per-commit I/O proportional to the number of dirtied extent-tree leaves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE, StorageBackend
+from repro.fsim.filesystem import ReferenceListener
+from repro.util.rbtree import RedBlackTree
+
+__all__ = ["BtrfsStats", "BtrfsStyleBackReferences"]
+
+#: Extent-tree items per leaf: a btrfs extent item with one inline back
+#: reference is roughly 70-80 bytes including the item header; a 4 KB leaf
+#: with a ~100-byte header holds about 50 of them.
+_ITEMS_PER_LEAF = 50
+
+
+@dataclass
+class BtrfsStats:
+    """Counters for the btrfs-style baseline."""
+
+    references_added: int = 0
+    references_removed: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    update_seconds: float = 0.0
+    commit_seconds: float = 0.0
+    query_extra_reads: int = 0
+
+    @property
+    def block_ops(self) -> int:
+        return self.references_added + self.references_removed
+
+    @property
+    def writes_per_block_op(self) -> float:
+        if self.block_ops == 0:
+            return 0.0
+        return self.pages_written / self.block_ops
+
+    @property
+    def microseconds_per_block_op(self) -> float:
+        if self.block_ops == 0:
+            return 0.0
+        return (self.update_seconds + self.commit_seconds) * 1e6 / self.block_ops
+
+
+class BtrfsStyleBackReferences(ReferenceListener):
+    """Reference-counted, extent-tree-resident back references.
+
+    Each physical block's entry carries the set of ``(inode, offset, line)``
+    owners and a reference count, mirroring a btrfs ``EXTENT_ITEM`` with
+    inline ``EXTENT_DATA_REF`` items (without transaction ids).
+    """
+
+    def __init__(self, backend: Optional[StorageBackend] = None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._file = self.backend.create("btrfs/extent_tree")
+        #: The on-disk extent tree: block -> {(inode, offset, line): refcount}.
+        self._extent_tree = RedBlackTree()
+        #: Blocks whose extent items were modified in the current transaction.
+        self._dirty_blocks: Set[int] = set()
+        #: Leaf pages currently materialised on disk (block range -> page).
+        self._leaf_count = 1
+        self.stats = BtrfsStats()
+
+    # ---------------------------------------------------- listener interface
+
+    def on_reference_added(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Add (or bump) an inline back reference for ``block``."""
+        start = time.perf_counter()
+        self.stats.references_added += 1
+        owners: Dict[Tuple[int, int, int], int] = self._extent_tree.get(block)
+        if owners is None:
+            owners = {}
+            self._extent_tree.insert(block, owners)
+        owner_key = (inode, offset, line)
+        owners[owner_key] = owners.get(owner_key, 0) + 1
+        self._dirty_blocks.add(block)
+        self.stats.update_seconds += time.perf_counter() - start
+
+    def on_reference_removed(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Drop (or decrement) an inline back reference for ``block``."""
+        start = time.perf_counter()
+        self.stats.references_removed += 1
+        owners = self._extent_tree.get(block)
+        if owners is not None:
+            owner_key = (inode, offset, line)
+            count = owners.get(owner_key, 0)
+            if count <= 1:
+                owners.pop(owner_key, None)
+            else:
+                owners[owner_key] = count - 1
+            if not owners:
+                self._extent_tree.pop(block, None)
+        self._dirty_blocks.add(block)
+        self.stats.update_seconds += time.perf_counter() - start
+
+    def on_consistency_point(self, cp: int) -> None:
+        """Transaction commit: rewrite every dirtied extent-tree leaf.
+
+        The number of dirtied leaves is estimated from the number of distinct
+        dirty blocks and the extent-tree fan-out; each dirty leaf costs one
+        read (to COW it) and one write, plus a small charge for the interior
+        nodes along the way (one extra write per 200 dirty leaves, reflecting
+        the high fan-out of interior nodes).
+        """
+        start = time.perf_counter()
+        if self._dirty_blocks:
+            dirty_leaves = self._estimate_dirty_leaves()
+            for _ in range(dirty_leaves):
+                self.stats.pages_read += 1
+                self._file.append_page(b"")
+                self.stats.pages_written += 1
+            interior = max(1, dirty_leaves // 200)
+            for _ in range(interior):
+                self._file.append_page(b"")
+                self.stats.pages_written += 1
+            self._dirty_blocks.clear()
+        self.stats.commit_seconds += time.perf_counter() - start
+
+    def on_clone_created(self, new_line: int, parent_line: int, parent_version: int, cp: int) -> None:
+        """Free in btrfs: back references omit transaction ids (§7)."""
+
+    def on_snapshot_deleted(self, line: int, version: int, is_zombie: bool, cp: int) -> None:
+        """Handled by btrfs's own snapshot machinery; nothing to do here."""
+
+    # --------------------------------------------------------------- queries
+
+    def query(self, block: int) -> List[Tuple[int, int, int]]:
+        """Owners of ``block``; charges the extent-tree leaf read plus the
+        extra file-tree reads needed to recover version information."""
+        owners = self._extent_tree.get(block, {})
+        self.stats.pages_read += 1
+        # Without transaction ids, establishing which snapshots a reference
+        # belongs to requires walking the owning file trees (one additional
+        # read per distinct owner, a deliberately charitable estimate).
+        self.stats.query_extra_reads += max(0, len(owners) - 1)
+        self.stats.pages_read += max(0, len(owners) - 1)
+        return sorted(owners)
+
+    def refcount(self, block: int) -> int:
+        owners = self._extent_tree.get(block, {})
+        return sum(owners.values())
+
+    def record_count(self) -> int:
+        return sum(len(owners) for _, owners in self._extent_tree.items())
+
+    def table_size_bytes(self) -> int:
+        """On-disk footprint of the extent tree including superseded pages."""
+        return self._file.size_bytes
+
+    # ------------------------------------------------------------ internals
+
+    def _estimate_dirty_leaves(self) -> int:
+        """How many extent-tree leaves the dirty blocks span.
+
+        Dirty blocks are grouped by their position in the (sorted) extent
+        tree; blocks that fall into the same leaf share its rewrite cost,
+        which is what makes large sequential writes cheap in btrfs.
+        """
+        if not self._dirty_blocks:
+            return 0
+        total_extents = max(len(self._extent_tree), 1)
+        self._leaf_count = max(1, (total_extents + _ITEMS_PER_LEAF - 1) // _ITEMS_PER_LEAF)
+        dirty_sorted = sorted(self._dirty_blocks)
+        # Approximate each leaf as a contiguous range of _ITEMS_PER_LEAF
+        # extents; count distinct leaves touched.
+        leaves_touched = set()
+        position = 0
+        tree_blocks = None
+        for block in dirty_sorted:
+            # Rank of the block within the extent tree approximated by its
+            # relative position among dirty + existing extents; exact ranking
+            # would require order statistics, which the size-augmented
+            # red-black tree could provide, but this estimate only has to be
+            # monotone in locality.
+            leaves_touched.add(block // (_ITEMS_PER_LEAF))
+        return min(len(leaves_touched), self._leaf_count + len(leaves_touched) // 4)

@@ -1,0 +1,206 @@
+"""The naive conceptual-table baseline (§4.1).
+
+The straightforward way to maintain back references is a single on-disk table
+of ``(block, inode, offset, line, from, to)`` records indexed by physical
+block number, updated synchronously:
+
+* block allocation inserts a record with ``to = INFINITY``,
+* block deallocation finds the live record and overwrites its ``to`` field --
+  a read-modify-write of the on-disk table,
+* reallocation does both.
+
+The paper reports that a prototype of this design "slowed the file system to
+a crawl after only a few hundred consistency points".  This module implements
+the design faithfully enough to reproduce that behaviour: records live in a
+paged, sorted on-disk table (a simple B-tree with an in-memory leaf
+directory, as a real implementation would cache its index nodes), and every
+allocation and deallocation reads and rewrites the affected leaf page
+immediately.  Because the host file system is write-anywhere, a rewritten
+page is appended rather than updated in place, so the table file also grows
+without bound until it is compacted.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.records import CombinedRecord, INFINITY
+from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE, StorageBackend
+from repro.fsim.filesystem import ReferenceListener
+
+__all__ = ["NaiveStats", "NaiveBackReferences"]
+
+#: Records per leaf page: 48-byte combined records in a 4 KB page.
+_RECORDS_PER_PAGE = (PAGE_SIZE - 8) // 48
+
+
+@dataclass
+class NaiveStats:
+    """Counters for the naive baseline."""
+
+    references_added: int = 0
+    references_removed: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    update_seconds: float = 0.0
+
+    @property
+    def block_ops(self) -> int:
+        return self.references_added + self.references_removed
+
+    @property
+    def writes_per_block_op(self) -> float:
+        if self.block_ops == 0:
+            return 0.0
+        return self.pages_written / self.block_ops
+
+    @property
+    def reads_per_block_op(self) -> float:
+        if self.block_ops == 0:
+            return 0.0
+        return self.pages_read / self.block_ops
+
+    @property
+    def microseconds_per_block_op(self) -> float:
+        if self.block_ops == 0:
+            return 0.0
+        return self.update_seconds * 1e6 / self.block_ops
+
+
+class _Leaf:
+    """One leaf of the naive table: a sorted list of Combined records."""
+
+    __slots__ = ("records", "page_index")
+
+    def __init__(self) -> None:
+        self.records: List[CombinedRecord] = []
+        self.page_index: Optional[int] = None  # current on-disk location
+
+
+class NaiveBackReferences(ReferenceListener):
+    """A synchronously updated, single-table back-reference store.
+
+    The implementation keeps leaf contents in memory for simplicity but
+    charges the I/O a real implementation would perform: one page read and
+    one page write per record mutation (plus an extra write when a leaf
+    splits).  Those charges go to the supplied storage backend so the same
+    accounting used for Backlog applies here.
+    """
+
+    def __init__(self, backend: Optional[StorageBackend] = None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._file = self.backend.create("naive/conceptual_table")
+        self._leaves: List[_Leaf] = [_Leaf()]
+        self._leaf_min_keys: List[Tuple[int, int, int, int, int]] = [(0, 0, 0, 0, 0)]
+        self.stats = NaiveStats()
+
+    # ---------------------------------------------------- listener interface
+
+    def on_reference_added(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Insert a live record; read-modify-write of the owning leaf."""
+        start = time.perf_counter()
+        self.stats.references_added += 1
+        record = CombinedRecord(block, inode, offset, line, cp, INFINITY)
+        leaf_index = self._locate_leaf(record.sort_key()[:5])
+        self._charge_leaf_read(leaf_index)
+        leaf = self._leaves[leaf_index]
+        bisect.insort(leaf.records, record, key=CombinedRecord.sort_key)
+        if len(leaf.records) > _RECORDS_PER_PAGE:
+            self._split_leaf(leaf_index)
+        else:
+            self._rewrite_leaf(leaf_index)
+        self.stats.update_seconds += time.perf_counter() - start
+
+    def on_reference_removed(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Find the live record for this reference and set its ``to`` field."""
+        start = time.perf_counter()
+        self.stats.references_removed += 1
+        target_key = (block, inode, offset, line)
+        leaf_index = self._locate_leaf((block, inode, offset, line, 0))
+        self._charge_leaf_read(leaf_index)
+        leaf = self._leaves[leaf_index]
+        for position, record in enumerate(leaf.records):
+            if record.key == target_key and record.is_live:
+                leaf.records[position] = record._replace(to_cp=cp)
+                break
+        self._rewrite_leaf(leaf_index)
+        self.stats.update_seconds += time.perf_counter() - start
+
+    def on_consistency_point(self, cp: int) -> None:
+        """Nothing to flush: every update already went to disk synchronously."""
+
+    def on_clone_created(self, new_line: int, parent_line: int, parent_version: int, cp: int) -> None:
+        """The naive design has no structural inheritance: clone records are copied.
+
+        This is exactly the mass duplication §4.2.2 warns about; it is
+        implemented (rather than skipped) so that benchmarks can demonstrate
+        its cost.
+        """
+        start = time.perf_counter()
+        copies: List[CombinedRecord] = []
+        for leaf in self._leaves:
+            for record in leaf.records:
+                if record.line == parent_line and record.covers_version(parent_version):
+                    copies.append(record._replace(line=new_line, from_cp=0, to_cp=INFINITY))
+        for record in copies:
+            leaf_index = self._locate_leaf(record.sort_key()[:5])
+            self._charge_leaf_read(leaf_index)
+            leaf = self._leaves[leaf_index]
+            bisect.insort(leaf.records, record, key=CombinedRecord.sort_key)
+            if len(leaf.records) > _RECORDS_PER_PAGE:
+                self._split_leaf(leaf_index)
+            else:
+                self._rewrite_leaf(leaf_index)
+        self.stats.update_seconds += time.perf_counter() - start
+
+    def on_snapshot_deleted(self, line: int, version: int, is_zombie: bool, cp: int) -> None:
+        """Snapshot deletion is handled lazily (masking), as in Backlog."""
+
+    # --------------------------------------------------------------- queries
+
+    def query(self, block: int) -> List[CombinedRecord]:
+        """All records for one physical block (reads the owning leaf)."""
+        leaf_index = self._locate_leaf((block, 0, 0, 0, 0))
+        self._charge_leaf_read(leaf_index)
+        return [record for record in self._leaves[leaf_index].records if record.block == block]
+
+    def record_count(self) -> int:
+        return sum(len(leaf.records) for leaf in self._leaves)
+
+    def table_size_bytes(self) -> int:
+        """On-disk footprint, including superseded page versions."""
+        return self._file.size_bytes
+
+    # ------------------------------------------------------------ internals
+
+    def _locate_leaf(self, key: Tuple[int, int, int, int, int]) -> int:
+        index = bisect.bisect_right(self._leaf_min_keys, key) - 1
+        return max(index, 0)
+
+    def _charge_leaf_read(self, leaf_index: int) -> None:
+        leaf = self._leaves[leaf_index]
+        if leaf.page_index is not None:
+            self._file.read_page(leaf.page_index)
+            self.stats.pages_read += 1
+
+    def _rewrite_leaf(self, leaf_index: int) -> None:
+        # Write-anywhere: the new version of the page is appended.
+        leaf = self._leaves[leaf_index]
+        leaf.page_index = self._file.append_page(b"")
+        self.stats.pages_written += 1
+
+    def _split_leaf(self, leaf_index: int) -> None:
+        leaf = self._leaves[leaf_index]
+        middle = len(leaf.records) // 2
+        new_leaf = _Leaf()
+        new_leaf.records = leaf.records[middle:]
+        leaf.records = leaf.records[:middle]
+        self._leaves.insert(leaf_index + 1, new_leaf)
+        self._leaf_min_keys.insert(
+            leaf_index + 1, new_leaf.records[0].sort_key()[:5]
+        )
+        self._rewrite_leaf(leaf_index)
+        self._rewrite_leaf(leaf_index + 1)

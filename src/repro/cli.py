@@ -1,0 +1,215 @@
+"""Command-line interface for running Backlog experiments.
+
+The benchmark harness under ``benchmarks/`` regenerates the paper's tables
+and figures through pytest; this module offers the same machinery as a plain
+command line tool for quick, ad-hoc runs::
+
+    python -m repro synthetic --cps 50 --ops-per-cp 2000
+    python -m repro nfs --hours 24
+    python -m repro query-bench --cps 30 --run-length 64
+    python -m repro verify --cps 10
+
+Each subcommand builds a fresh simulated file system with Backlog attached,
+drives the requested workload, and prints a short plain-text report (the same
+formatting used by the benchmark reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import (
+    Backlog,
+    BacklogConfig,
+    FileSystem,
+    FileSystemConfig,
+    SnapshotManagerAuthority,
+)
+from repro.analysis.metrics import (
+    collect_overhead_series,
+    measure_query_performance,
+    sample_space_overhead,
+)
+from repro.analysis.reporting import format_series, format_table
+from repro.core.verify import verify_backlog
+from repro.workloads.nfs_trace import NFSTraceConfig, NFSTracePlayer, generate_eecs03_like_trace
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_system(maintenance_interval: Optional[int] = None):
+    backlog = Backlog(config=BacklogConfig(maintenance_interval_cps=maintenance_interval))
+    fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False), listeners=[backlog])
+    backlog.set_version_authority(SnapshotManagerAuthority(fs))
+    return fs, backlog
+
+
+def _summary_table(fs, backlog) -> str:
+    stats = backlog.stats
+    rows = [
+        ["block operations", stats.block_ops],
+        ["consistency points", stats.consistency_points],
+        ["I/O page writes per block op", round(stats.writes_per_block_op, 4)],
+        ["CPU microseconds per block op", round(stats.microseconds_per_block_op, 2)],
+        ["pruned same-CP pairs", stats.pruned_pairs],
+        ["database size (bytes)", backlog.database_size_bytes()],
+        ["physical data size (bytes)", fs.physical_data_bytes],
+        ["space overhead", f"{100 * backlog.space_overhead(fs.physical_data_bytes):.2f}%"],
+        ["read-store runs on disk", backlog.run_manager.run_count()],
+        ["maintenance passes", len(stats.maintenance_runs)],
+    ]
+    return format_table("Backlog summary", ["metric", "value"], rows)
+
+
+def _cmd_synthetic(args: argparse.Namespace) -> int:
+    fs, backlog = _build_system(args.maintain_every)
+    workload = SyntheticWorkload(SyntheticWorkloadConfig(
+        num_cps=args.cps, ops_per_cp=args.ops_per_cp,
+        initial_files=args.initial_files, seed=args.seed,
+    ))
+    samples = []
+    workload.run(fs, on_cp=lambda cp, f: samples.append(sample_space_overhead(backlog, f, cp)))
+    series = collect_overhead_series(backlog, bucket_cps=max(1, args.cps // 20))
+    print(format_series(
+        "Synthetic workload overhead (cf. Figure 5)",
+        "cp",
+        [s.cp for s in series],
+        {
+            "io_writes_per_block_op": [round(s.writes_per_block_op, 4) for s in series],
+            "us_per_block_op": [round(s.microseconds_per_block_op, 2) for s in series],
+        },
+    ))
+    print()
+    print(format_series(
+        "Space overhead (cf. Figure 6)",
+        "cp",
+        [s.cp for s in samples[:: max(1, len(samples) // 20)]],
+        {"overhead_pct": [round(s.overhead_percent, 3)
+                          for s in samples[:: max(1, len(samples) // 20)]]},
+    ))
+    print()
+    print(_summary_table(fs, backlog))
+    return 0
+
+
+def _cmd_nfs(args: argparse.Namespace) -> int:
+    fs, backlog = _build_system(args.maintain_every)
+    player = NFSTracePlayer(fs, ops_per_cp=args.ops_per_cp)
+    hourly = []
+
+    def on_hour(summary, _fs):
+        hourly.append((summary.hour, summary.block_ops,
+                       sample_space_overhead(backlog, fs, fs.global_cp - 1).overhead_percent))
+
+    player.play(
+        generate_eecs03_like_trace(NFSTraceConfig(
+            hours=args.hours, base_ops_per_hour=args.ops_per_hour, seed=args.seed,
+        )),
+        on_hour=on_hour,
+    )
+    print(format_table(
+        "NFS-like trace replay (cf. Figures 7 and 8)",
+        ["hour", "block ops", "space overhead %"],
+        [[hour, ops, round(pct, 3)] for hour, ops, pct in hourly],
+    ))
+    print()
+    print(_summary_table(fs, backlog))
+    return 0
+
+
+def _cmd_query_bench(args: argparse.Namespace) -> int:
+    fs, backlog = _build_system()
+    workload = SyntheticWorkload(SyntheticWorkloadConfig(
+        num_cps=args.cps, ops_per_cp=args.ops_per_cp, seed=args.seed,
+    ))
+    workload.run(fs)
+    blocks = sorted({block for block, *_ in fs.iter_live_references()})
+    rows = []
+    for label, action in (("before maintenance", None), ("after maintenance", backlog.maintain)):
+        if action is not None:
+            action()
+        point = measure_query_performance(
+            backlog, blocks, run_length=args.run_length, num_queries=args.queries,
+        )
+        rows.append([label, args.run_length, round(point.queries_per_second, 1),
+                     round(point.reads_per_query, 4)])
+    print(format_table(
+        "Query performance (cf. Figures 9 and 10)",
+        ["database state", "run length", "queries/s", "reads/query"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    fs, backlog = _build_system()
+    workload = SyntheticWorkload(SyntheticWorkloadConfig(
+        num_cps=args.cps, ops_per_cp=args.ops_per_cp, seed=args.seed,
+    ))
+    workload.run(fs)
+    if args.maintain:
+        backlog.maintain()
+    report = verify_backlog(fs, backlog)
+    print(report.summary())
+    for mismatch in report.mismatches[:20]:
+        print(f"  {mismatch}")
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Backlog: log-structured back references (FAST 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub, cps_default=30, ops_default=1000):
+        sub.add_argument("--cps", type=int, default=cps_default,
+                         help="number of consistency points to run")
+        sub.add_argument("--ops-per-cp", type=int, default=ops_default,
+                         help="block operations per consistency point")
+        sub.add_argument("--seed", type=int, default=42, help="workload RNG seed")
+
+    synthetic = subparsers.add_parser("synthetic", help="run the synthetic workload")
+    common(synthetic)
+    synthetic.add_argument("--initial-files", type=int, default=150)
+    synthetic.add_argument("--maintain-every", type=int, default=None,
+                           help="run database maintenance every N CPs")
+    synthetic.set_defaults(func=_cmd_synthetic)
+
+    nfs = subparsers.add_parser("nfs", help="replay an EECS03-like NFS trace")
+    nfs.add_argument("--hours", type=int, default=24)
+    nfs.add_argument("--ops-per-hour", type=int, default=1500)
+    nfs.add_argument("--ops-per-cp", type=int, default=400)
+    nfs.add_argument("--seed", type=int, default=2003)
+    nfs.add_argument("--maintain-every", type=int, default=None)
+    nfs.set_defaults(func=_cmd_nfs)
+
+    query_bench = subparsers.add_parser("query-bench", help="measure query performance")
+    common(query_bench)
+    query_bench.add_argument("--run-length", type=int, default=64)
+    query_bench.add_argument("--queries", type=int, default=512)
+    query_bench.set_defaults(func=_cmd_query_bench)
+
+    verify = subparsers.add_parser("verify", help="run a workload and verify the database")
+    common(verify, cps_default=10, ops_default=500)
+    verify.add_argument("--maintain", action="store_true",
+                        help="run maintenance before verifying")
+    verify.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Backlog: log-structured back references (the paper's core contribution)."""
+
+from repro.core.backlog import Backlog
+from repro.core.bloom import BloomFilter
+from repro.core.compaction import Compactor, PartitionCompactionResult
+from repro.core.config import BacklogConfig
+from repro.core.deletion_vector import DeletionVector
+from repro.core.inheritance import CloneGraph, expand_clones
+from repro.core.join import combine_for_query, join_tables
+from repro.core.lsm import RunManager, merge_sorted_runs, run_name
+from repro.core.masking import (
+    AllVersionsAuthority,
+    ExplicitVersionAuthority,
+    SnapshotManagerAuthority,
+    VersionAuthority,
+    mask_records,
+)
+from repro.core.partitioning import Partitioner
+from repro.core.query import QueryEngine
+from repro.core.read_store import ReadStoreReader, ReadStoreWriter
+from repro.core.records import (
+    BackReference,
+    CombinedRecord,
+    FromRecord,
+    INFINITY,
+    ReferenceKey,
+    ToRecord,
+)
+from repro.core.recovery import parse_run_name, rebuild_run_manager, recover_backlog
+from repro.core.stats import BacklogStats, CheckpointStats, MaintenanceStats, QueryStats
+from repro.core.verify import Mismatch, VerificationReport, verify_backlog
+from repro.core.write_store import WriteStore
+
+__all__ = [
+    "Backlog",
+    "BacklogConfig",
+    "BacklogStats",
+    "BackReference",
+    "BloomFilter",
+    "CheckpointStats",
+    "CloneGraph",
+    "CombinedRecord",
+    "Compactor",
+    "DeletionVector",
+    "ExplicitVersionAuthority",
+    "AllVersionsAuthority",
+    "FromRecord",
+    "INFINITY",
+    "MaintenanceStats",
+    "Mismatch",
+    "PartitionCompactionResult",
+    "Partitioner",
+    "QueryEngine",
+    "QueryStats",
+    "ReadStoreReader",
+    "ReadStoreWriter",
+    "ReferenceKey",
+    "RunManager",
+    "SnapshotManagerAuthority",
+    "ToRecord",
+    "VerificationReport",
+    "VersionAuthority",
+    "WriteStore",
+    "combine_for_query",
+    "expand_clones",
+    "join_tables",
+    "mask_records",
+    "merge_sorted_runs",
+    "parse_run_name",
+    "rebuild_run_manager",
+    "recover_backlog",
+    "run_name",
+    "verify_backlog",
+]

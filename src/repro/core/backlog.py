@@ -1,0 +1,286 @@
+"""The Backlog back-reference manager: the library's main entry point.
+
+:class:`Backlog` implements the paper's contribution end to end.  It can be
+used in two ways:
+
+* **Attached to the simulator** -- pass a :class:`Backlog` instance to
+  :class:`repro.fsim.FileSystem` as a listener; the file system then drives
+  it through the :class:`~repro.fsim.filesystem.ReferenceListener` callbacks
+  on every block allocation, deallocation, consistency point, clone creation
+  and snapshot deletion.
+
+* **Standalone** -- call :meth:`add_reference`, :meth:`remove_reference` and
+  :meth:`checkpoint` directly; this is how a host file system other than the
+  simulator would integrate it.
+
+During normal operation Backlog never reads from disk: updates are buffered
+in the in-memory write stores and flushed at each consistency point as new
+Level-0 read-store runs.  Disk reads happen only during queries and during
+database maintenance (:meth:`maintain`).
+
+Example
+-------
+>>> from repro import Backlog
+>>> backlog = Backlog()
+>>> backlog.add_reference(block=100, inode=2, offset=0)
+>>> backlog.add_reference(block=101, inode=2, offset=1)
+>>> backlog.checkpoint()
+1
+>>> backlog.remove_reference(block=101, inode=2, offset=1)
+>>> backlog.checkpoint()
+2
+>>> [ref.inode for ref in backlog.query(100)]
+[2]
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.compaction import Compactor
+from repro.core.config import BacklogConfig
+from repro.core.deletion_vector import DeletionVector
+from repro.core.inheritance import CloneGraph
+from repro.core.lsm import RunManager
+from repro.core.masking import AllVersionsAuthority, VersionAuthority
+from repro.core.partitioning import Partitioner
+from repro.core.query import QueryEngine
+from repro.core.records import BackReference, FromRecord, ToRecord
+from repro.core.stats import BacklogStats, CheckpointStats, MaintenanceStats
+from repro.core.write_store import WriteStore
+from repro.fsim.blockdev import MemoryBackend, StorageBackend
+from repro.fsim.cache import PageCache
+from repro.fsim.filesystem import ReferenceListener
+
+__all__ = ["Backlog"]
+
+
+class Backlog(ReferenceListener):
+    """Log-structured back references for write-anywhere file systems."""
+
+    def __init__(
+        self,
+        backend: Optional[StorageBackend] = None,
+        config: Optional[BacklogConfig] = None,
+        version_authority: Optional[VersionAuthority] = None,
+    ) -> None:
+        self.config = config or BacklogConfig()
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.cache = PageCache(self.config.cache_bytes)
+        self.partitioner = Partitioner(self.config.partition_size_blocks)
+        self.run_manager = RunManager(self.backend, cache=self.cache)
+        self.ws_from = WriteStore("from")
+        self.ws_to = WriteStore("to")
+        self.clone_graph = CloneGraph()
+        self.deletion_vector = DeletionVector()
+        self.version_authority = version_authority or AllVersionsAuthority()
+        self.stats = BacklogStats()
+        self.zombies: Set[Tuple[int, int]] = set()
+        self.current_cp = 1
+        self._ops_this_cp = 0
+        self._pruned_this_cp = 0
+        self._compactor = Compactor(
+            self.run_manager, self.config, self.version_authority,
+            self.clone_graph, self.deletion_vector,
+        )
+        self._query_engine = QueryEngine(
+            self.backend, self.run_manager, self.partitioner,
+            self.ws_from, self.ws_to, self.clone_graph,
+            self.version_authority, self.deletion_vector,
+            self.config, self.stats.query,
+        )
+
+    # ------------------------------------------------------- authority setup
+
+    def set_version_authority(self, authority: VersionAuthority) -> None:
+        """Install the source of truth for which snapshot versions exist."""
+        self.version_authority = authority
+        self._compactor.authority = authority
+        self._query_engine.authority = authority
+
+    # ------------------------------------------------- ReferenceListener API
+
+    def on_reference_added(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Record a new reference; prunes a same-CP removal if one is buffered.
+
+        If the same reference was removed earlier within the same consistency
+        point, the two events cancel: removing the buffered To entry restores
+        the reference's original lifetime as a single record (§5.1).
+        """
+        start = time.perf_counter() if self.config.track_timing else 0.0
+        self.stats.references_added += 1
+        self._ops_this_cp += 1
+        if self.config.proactive_pruning and self.ws_to.contains(block, inode, offset, line, cp):
+            self.ws_to.remove(ToRecord(block, inode, offset, line, cp))
+            self.stats.pruned_pairs += 1
+            self._pruned_this_cp += 1
+        else:
+            self.ws_from.insert(FromRecord(block, inode, offset, line, cp))
+        if self.config.track_timing:
+            self.stats.update_seconds += time.perf_counter() - start
+
+    def on_reference_removed(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Record a removed reference; prunes a same-CP allocation if buffered.
+
+        A reference that was both created and removed between two consistency
+        points never survives to disk: the buffered From entry is deleted
+        instead of a To entry being added.
+        """
+        start = time.perf_counter() if self.config.track_timing else 0.0
+        self.stats.references_removed += 1
+        self._ops_this_cp += 1
+        if self.config.proactive_pruning and self.ws_from.contains(block, inode, offset, line, cp):
+            self.ws_from.remove(FromRecord(block, inode, offset, line, cp))
+            self.stats.pruned_pairs += 1
+            self._pruned_this_cp += 1
+        else:
+            self.ws_to.insert(ToRecord(block, inode, offset, line, cp))
+        if self.config.track_timing:
+            self.stats.update_seconds += time.perf_counter() - start
+
+    def on_consistency_point(self, cp: int) -> None:
+        """Flush both write stores to new Level-0 read-store runs."""
+        start = time.perf_counter() if self.config.track_timing else 0.0
+        pages_before = self.backend.stats.pages_written
+        flushed = len(self.ws_from) + len(self.ws_to)
+
+        for table, store in (("from", self.ws_from), ("to", self.ws_to)):
+            if not store:
+                continue
+            for partition, records in self.partitioner.split_sorted_records(iter(store)):
+                self.run_manager.write_run(
+                    partition, table, "L0", records, self.config.run_bloom_bits
+                )
+            store.clear()
+
+        elapsed = (time.perf_counter() - start) if self.config.track_timing else 0.0
+        self.stats.flush_seconds += elapsed
+        self.stats.consistency_points += 1
+        self.stats.checkpoints.append(
+            CheckpointStats(
+                cp=cp,
+                block_ops=self._ops_this_cp,
+                persistent_ops=flushed,
+                pages_written=self.backend.stats.pages_written - pages_before,
+                flush_seconds=elapsed,
+                ws_records_flushed=flushed,
+                pruned_pairs=self._pruned_this_cp,
+                cumulative_update_seconds=self.stats.update_seconds,
+            )
+        )
+        self._ops_this_cp = 0
+        self._pruned_this_cp = 0
+        self.current_cp = cp + 1
+
+        interval = self.config.maintenance_interval_cps
+        if interval is not None and cp % interval == 0:
+            self.maintain()
+
+    def on_clone_created(self, new_line: int, parent_line: int, parent_version: int, cp: int) -> None:
+        """Track a writable clone.  No back-reference records are written."""
+        self.clone_graph.add_clone(new_line, parent_line, parent_version)
+
+    def on_snapshot_deleted(self, line: int, version: int, is_zombie: bool, cp: int) -> None:
+        """Track snapshot deletion; zombies keep their back references alive."""
+        if is_zombie:
+            self.zombies.add((line, version))
+        else:
+            self.zombies.discard((line, version))
+
+    # ---------------------------------------------------------- standalone API
+
+    def add_reference(self, block: int, inode: int, offset: int, line: int = 0,
+                      cp: Optional[int] = None) -> None:
+        """Record that ``(inode, offset)`` in ``line`` now references ``block``."""
+        self.on_reference_added(block, inode, offset, line, cp if cp is not None else self.current_cp)
+
+    def remove_reference(self, block: int, inode: int, offset: int, line: int = 0,
+                         cp: Optional[int] = None) -> None:
+        """Record that ``(inode, offset)`` in ``line`` no longer references ``block``."""
+        self.on_reference_removed(block, inode, offset, line, cp if cp is not None else self.current_cp)
+
+    def checkpoint(self) -> int:
+        """Take a consistency point (standalone use) and return its CP number."""
+        cp = self.current_cp
+        self.on_consistency_point(cp)
+        return cp
+
+    def register_clone(self, new_line: int, parent_line: int, parent_version: int) -> None:
+        """Standalone equivalent of the clone-created callback."""
+        self.on_clone_created(new_line, parent_line, parent_version, self.current_cp)
+
+    # ------------------------------------------------------------- queries
+
+    def query(self, block: int) -> List[BackReference]:
+        """All owners of one physical block (across snapshots and clones)."""
+        return self._query_engine.query_block(block)
+
+    def query_range(self, first_block: int, num_blocks: int) -> List[BackReference]:
+        """All owners of a contiguous range of physical blocks."""
+        return self._query_engine.query_range(first_block, num_blocks)
+
+    def owners_at_version(self, block: int, version: int) -> List[BackReference]:
+        """Owners of ``block`` at a specific consistency point."""
+        return self._query_engine.owners_at_version(block, version)
+
+    def live_owners(self, block: int) -> List[BackReference]:
+        """Owners of ``block`` in the live file system."""
+        return self._query_engine.live_owners(block)
+
+    @property
+    def query_stats(self):
+        return self.stats.query
+
+    def clear_caches(self) -> None:
+        """Drop the page cache (the paper does this before query benchmarks)."""
+        self.cache.clear()
+
+    # -------------------------------------------------------- maintenance
+
+    def maintain(self) -> MaintenanceStats:
+        """Run database maintenance (merge runs, precompute Combined, purge)."""
+        result = self._compactor.compact_all()
+        self.stats.maintenance_runs.append(result)
+        return result
+
+    def relocate_block(self, old_block: int, new_block: Optional[int] = None) -> int:
+        """Suppress stale back references of a block that has been moved.
+
+        Returns the number of reference identities suppressed.  The caller is
+        responsible for issuing the corresponding ``remove_reference`` /
+        ``add_reference`` updates for the new location (a file system does
+        this naturally when it rewrites the pointers); ``new_block`` is
+        accepted for symmetry and documentation purposes only.
+        """
+        suppressed = 0
+        for ref in self.query(old_block):
+            self.deletion_vector.suppress(ref.block, ref.inode, ref.offset, ref.line)
+            suppressed += 1
+        return suppressed
+
+    # ------------------------------------------------------------ accounting
+
+    def database_size_bytes(self) -> int:
+        """On-disk size of the back-reference database (all runs)."""
+        return self.run_manager.total_size_bytes()
+
+    def memory_footprint_bytes(self) -> int:
+        """Approximate memory held by write stores, Bloom filters and caches."""
+        return (
+            self.ws_from.memory_estimate_bytes()
+            + self.ws_to.memory_estimate_bytes()
+            + self.run_manager.bloom_memory_bytes()
+            + self.cache.used_bytes
+            + self.deletion_vector.memory_estimate_bytes()
+        )
+
+    def space_overhead(self, physical_data_bytes: int) -> float:
+        """Database size as a fraction of the physical data size (Figures 6/8)."""
+        if physical_data_bytes <= 0:
+            return 0.0
+        return self.database_size_bytes() / physical_data_bytes
+
+    def pending_updates(self) -> int:
+        """Number of records currently buffered in the write stores."""
+        return len(self.ws_from) + len(self.ws_to)

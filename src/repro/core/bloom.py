@@ -1,0 +1,154 @@
+"""Bloom filters over physical block numbers.
+
+Queries specify a block or a range of blocks, and those blocks may be present
+in only some of the Level-0 read-store runs that accumulate between
+compactions.  To avoid opening every run, the query engine keeps one Bloom
+filter per run, built over the physical block numbers the run contains
+(§5.1).  The paper's configuration uses four hash functions and a default
+filter size of 32 KB for runs of up to 32 000 operations (expected false
+positive rate about 2.4 %), expandable to 1 MB for the Combined read store.
+
+Filters built for small runs are shrunk by repeated halving -- a Bloom filter
+whose size is a power of two can be halved by OR-ing its two halves together
+without rehashing the underlying keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, Optional
+
+__all__ = ["BloomFilter", "DEFAULT_FILTER_BITS", "COMBINED_FILTER_BITS"]
+
+#: Default filter size for a From/To run covering one CP (32 KB of bits).
+DEFAULT_FILTER_BITS = 32 * 1024 * 8
+#: Maximum filter size used for the Combined read store (1 MB of bits).
+COMBINED_FILTER_BITS = 1024 * 1024 * 8
+
+_HEADER = struct.Struct("<QQQ")  # num_bits, num_hashes, num_items
+
+
+class BloomFilter:
+    """A standard Bloom filter with ``k`` independent hash functions.
+
+    The filter hashes 64-bit block numbers.  Membership tests never produce
+    false negatives; the false-positive rate depends on the bit size and the
+    number of inserted items.
+    """
+
+    def __init__(self, num_bits: int = DEFAULT_FILTER_BITS, num_hashes: int = 4) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        # Round the size up to a power of two so the filter can be halved.
+        self.num_bits = 1 << (num_bits - 1).bit_length()
+        self.num_hashes = num_hashes
+        self._bits = bytearray(self.num_bits // 8)
+        self.num_items = 0
+
+    # ------------------------------------------------------------- hashing
+
+    def _positions(self, block: int) -> Iterable[int]:
+        """Bit positions for ``block`` (double hashing from one MD5 digest)."""
+        digest = hashlib.md5(block.to_bytes(8, "little", signed=False)).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1
+        mask = self.num_bits - 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) & mask
+
+    # ------------------------------------------------------------ interface
+
+    def add(self, block: int) -> None:
+        """Insert a block number."""
+        for position in self._positions(block):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.num_items += 1
+
+    def add_all(self, blocks: Iterable[int]) -> None:
+        for block in blocks:
+            self.add(block)
+
+    def might_contain(self, block: int) -> bool:
+        """True if ``block`` may have been inserted (no false negatives)."""
+        for position in self._positions(block):
+            if not self._bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def might_contain_range(self, first_block: int, num_blocks: int) -> bool:
+        """True if any block in ``[first_block, first_block + num_blocks)`` may be present.
+
+        For wide ranges the per-block test cost would exceed the cost of just
+        reading the run, so ranges wider than 256 blocks short-circuit to
+        ``True``.
+        """
+        if num_blocks <= 0:
+            return False
+        if num_blocks > 256:
+            return True
+        return any(self.might_contain(first_block + i) for i in range(num_blocks))
+
+    # ------------------------------------------------------------- resizing
+
+    def shrink_to(self, target_bits: int) -> None:
+        """Halve the filter repeatedly until it is no larger than ``target_bits``.
+
+        Halving ORs the upper half of the bit array onto the lower half; all
+        previously inserted keys remain members because the position masks
+        are consistent power-of-two moduli.
+        """
+        if target_bits <= 0:
+            raise ValueError("target_bits must be positive")
+        while self.num_bits > target_bits and self.num_bits > 8:
+            half_bytes = len(self._bits) // 2
+            lower = self._bits[:half_bytes]
+            upper = self._bits[half_bytes:]
+            self._bits = bytearray(a | b for a, b in zip(lower, upper))
+            self.num_bits //= 2
+
+    def shrink_to_fit(self, bits_per_item: int = 10, min_bits: int = 1024) -> None:
+        """Shrink the filter to roughly ``bits_per_item`` bits per inserted item.
+
+        Runs flushed during quiet periods contain far fewer than 32 000
+        records; shrinking their filters saves memory without a meaningful
+        increase in false positives.
+        """
+        target = max(min_bits, self.num_items * bits_per_item)
+        self.shrink_to(1 << (max(target, 8) - 1).bit_length())
+
+    # -------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize the filter (stored alongside its read-store run)."""
+        return _HEADER.pack(self.num_bits, self.num_hashes, self.num_items) + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        num_bits, num_hashes, num_items = _HEADER.unpack_from(data, 0)
+        instance = cls.__new__(cls)
+        instance.num_bits = num_bits
+        instance.num_hashes = num_hashes
+        instance.num_items = num_items
+        instance._bits = bytearray(data[_HEADER.size:_HEADER.size + num_bits // 8])
+        return instance
+
+    # ----------------------------------------------------------- statistics
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (a rough proxy for false-positive pressure)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits if self.num_bits else 0.0
+
+    def expected_false_positive_rate(self) -> float:
+        """Theoretical false-positive probability for the current load."""
+        if self.num_items == 0:
+            return 0.0
+        fraction_set = 1.0 - (1.0 - 1.0 / self.num_bits) ** (self.num_hashes * self.num_items)
+        return fraction_set ** self.num_hashes

@@ -1,0 +1,192 @@
+"""Database maintenance: merging runs, precomputing Combined, purging.
+
+Maintenance (§5.2) is the only time Backlog reads its own database outside of
+queries.  For each partition it:
+
+1. merges every existing run (Level-0 From/To runs plus any previously
+   compacted Combined/From run) -- cheap, because all runs are sorted
+   identically;
+2. joins From and To into the precomputed Combined table;
+3. purges complete records that refer only to deleted consistency points,
+   respecting zombies and clone points (back references of a cloned snapshot
+   are never purged while descendants remain); and
+4. writes one compacted Combined run and one compacted From run (holding the
+   still-incomplete, live records), replacing all previous runs.
+
+Entries suppressed by the deletion vector are dropped during the rewrite, so
+a successful full compaction clears the vector.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import BacklogConfig
+from repro.core.deletion_vector import DeletionVector
+from repro.core.inheritance import CloneGraph
+from repro.core.join import join_tables
+from repro.core.lsm import RunManager, run_name
+from repro.core.masking import VersionAuthority
+from repro.core.read_store import ReadStoreReader, ReadStoreWriter
+from repro.core.records import CombinedRecord, FromRecord, ToRecord
+from repro.core.stats import MaintenanceStats
+from repro.util.intervals import intersect_ranges
+
+__all__ = ["PartitionCompactionResult", "Compactor"]
+
+
+@dataclass
+class PartitionCompactionResult:
+    """Outcome of compacting one partition."""
+
+    partition: int
+    records_in: int
+    records_out: int
+    records_purged: int
+    bytes_before: int
+    bytes_after: int
+
+
+class Compactor:
+    """Runs database maintenance over the read-store runs."""
+
+    def __init__(
+        self,
+        run_manager: RunManager,
+        config: BacklogConfig,
+        authority: VersionAuthority,
+        clone_graph: CloneGraph,
+        deletion_vector: DeletionVector,
+    ) -> None:
+        self.run_manager = run_manager
+        self.config = config
+        self.authority = authority
+        self.clone_graph = clone_graph
+        self.deletion_vector = deletion_vector
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ API
+
+    def compact_all(self) -> MaintenanceStats:
+        """Compact every partition and return aggregate statistics."""
+        self._sequence += 1
+        start = time.perf_counter()
+        results = [self.compact_partition(p) for p in self.run_manager.partitions()]
+        # Every run has been rewritten without the suppressed tuples, so the
+        # deletion vector can start from scratch.
+        self.deletion_vector.clear()
+        elapsed = time.perf_counter() - start
+        return MaintenanceStats(
+            sequence=self._sequence,
+            partitions_processed=len(results),
+            records_in=sum(r.records_in for r in results),
+            records_out=sum(r.records_out for r in results),
+            records_purged=sum(r.records_purged for r in results),
+            bytes_before=sum(r.bytes_before for r in results),
+            bytes_after=sum(r.bytes_after for r in results),
+            seconds=elapsed,
+        )
+
+    def compact_partition(self, partition: int) -> PartitionCompactionResult:
+        """Merge, join and purge the runs of one partition."""
+        bytes_before = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
+
+        froms: List[FromRecord] = []
+        tos: List[ToRecord] = []
+        combined: List[CombinedRecord] = []
+        records_in = 0
+        for record in self.run_manager.iter_table(partition, "from"):
+            records_in += 1
+            if not self.deletion_vector.is_suppressed(record):
+                froms.append(record)
+        for record in self.run_manager.iter_table(partition, "to"):
+            records_in += 1
+            if not self.deletion_vector.is_suppressed(record):
+                tos.append(record)
+        for record in self.run_manager.iter_table(partition, "combined"):
+            records_in += 1
+            if not self.deletion_vector.is_suppressed(record):
+                combined.append(record)
+
+        complete, incomplete = join_tables(froms, tos, combined)
+        kept, purged = self._purge(complete)
+
+        new_runs: Dict[str, List[ReadStoreReader]] = {"combined": [], "from": [], "to": []}
+        combined_reader = self._write_compacted(partition, "combined", kept,
+                                                self.config.combined_bloom_bits)
+        if combined_reader is not None:
+            new_runs["combined"].append(combined_reader)
+        from_reader = self._write_compacted(partition, "from", incomplete,
+                                            self.config.run_bloom_bits)
+        if from_reader is not None:
+            new_runs["from"].append(from_reader)
+        self.run_manager.replace_partition(partition, new_runs)
+
+        bytes_after = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
+        return PartitionCompactionResult(
+            partition=partition,
+            records_in=records_in,
+            records_out=len(kept) + len(incomplete),
+            records_purged=purged,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _purge(self, records: Sequence[CombinedRecord]) -> tuple[List[CombinedRecord], int]:
+        """Drop complete records that no surviving version can ever need."""
+        kept: List[CombinedRecord] = []
+        purged = 0
+        pinned_cache: Dict[int, Optional[Sequence[int]]] = {}
+        for record in records:
+            line = record.line
+            # Override records (from == 0) of a clone line are tombstones
+            # that suppress structural inheritance from the parent snapshot.
+            # Purging one would silently resurrect the inherited reference,
+            # so they are kept for as long as the clone line exists.
+            if record.is_override and self.clone_graph.parent_of(line) is not None:
+                kept.append(record)
+                continue
+            if line not in pinned_cache:
+                pinned_cache[line] = self._pinned_versions(line)
+            pinned = pinned_cache[line]
+            if pinned is None:
+                kept.append(record)
+                continue
+            if intersect_ranges([(record.from_cp, record.to_cp)], pinned):
+                kept.append(record)
+            else:
+                purged += 1
+        return kept, purged
+
+    def _pinned_versions(self, line: int) -> Optional[Sequence[int]]:
+        """Versions that pin records of ``line`` against purging.
+
+        These are the line's valid versions (retained snapshots, zombies and
+        the live CP, as reported by the version authority) plus the versions
+        at which clones were taken -- a cloned snapshot's back references may
+        be inherited by its descendants and must survive even if the
+        snapshot itself is gone.
+        """
+        valid = self.authority.valid_versions(line)
+        if valid is None:
+            return None
+        pinned = set(valid)
+        pinned.update(self.clone_graph.clone_versions(line))
+        return sorted(pinned)
+
+    def _write_compacted(self, partition: int, table: str, records: Sequence,
+                         bloom_bits: int) -> Optional[ReadStoreReader]:
+        """Write a compacted run without registering it in the catalogue yet."""
+        if not records:
+            return None
+        name = run_name(partition, table, "compact", self.run_manager.next_sequence())
+        writer = ReadStoreWriter(self.run_manager.backend, name, table, bloom_bits=bloom_bits)
+        built = writer.build(iter(records))
+        if built is None:
+            return None
+        return ReadStoreReader(self.run_manager.backend, name,
+                               cache=self.run_manager.cache, bloom=built.bloom)

@@ -1,0 +1,61 @@
+"""Configuration of the Backlog back-reference manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bloom import COMBINED_FILTER_BITS, DEFAULT_FILTER_BITS
+
+__all__ = ["BacklogConfig"]
+
+
+@dataclass(frozen=True)
+class BacklogConfig:
+    """Tunable parameters of :class:`repro.core.backlog.Backlog`.
+
+    The defaults correspond to the configuration evaluated in the paper:
+    32 KB Bloom filters per Level-0 run (sized for up to 32 000 operations
+    per consistency point), a 1 MB filter cap for the Combined read store, a
+    32 MB page cache for queries, and proactive pruning enabled.
+
+    Attributes
+    ----------
+    partition_size_blocks:
+        Width of each horizontal partition in physical blocks.
+    run_bloom_bits / combined_bloom_bits:
+        Bloom filter sizes (in bits) for Level-0 and compacted Combined runs.
+    cache_bytes:
+        Page-cache capacity used by the query path.
+    proactive_pruning:
+        When True (the default and the paper's behaviour), a reference added
+        and removed within the same consistency point never reaches disk.
+    maintenance_interval_cps:
+        If set, :meth:`Backlog.on_consistency_point` automatically runs
+        database maintenance every N consistency points; if None (default),
+        maintenance runs only when the caller invokes :meth:`Backlog.maintain`.
+    use_bloom_filters:
+        Ablation switch: when False, queries probe every run.
+    track_timing:
+        When True, the manager records wall-clock time spent in reference
+        updates and flushes (used for the µs-per-operation figures).
+    """
+
+    partition_size_blocks: int = 1 << 20
+    run_bloom_bits: int = DEFAULT_FILTER_BITS
+    combined_bloom_bits: int = COMBINED_FILTER_BITS
+    cache_bytes: int = 32 * 1024 * 1024
+    proactive_pruning: bool = True
+    maintenance_interval_cps: Optional[int] = None
+    use_bloom_filters: bool = True
+    track_timing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.partition_size_blocks <= 0:
+            raise ValueError("partition_size_blocks must be positive")
+        if self.run_bloom_bits <= 0 or self.combined_bloom_bits <= 0:
+            raise ValueError("Bloom filter sizes must be positive")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
+        if self.maintenance_interval_cps is not None and self.maintenance_interval_cps <= 0:
+            raise ValueError("maintenance_interval_cps must be positive when set")

@@ -1,0 +1,85 @@
+"""Deletion vectors: hiding read-store tuples without rewriting runs.
+
+During normal operation nothing is ever deleted from a read store -- masking
+handles snapshot deletion.  Maintenance operations that *relocate* blocks
+(defragmentation, volume shrinking) are different: once a block has moved,
+its old back references are stale and must not be returned by queries, yet
+rewriting every run that mentions the block would be far too expensive.
+
+Following C-Store, Backlog keeps a *deletion vector*: an in-memory (and
+small) set of record identities that the query engine filters out of every
+read-store result, completely transparently to the query logic (§5.1).  When
+the vector grows large, compaction folds it into the rewritten runs and
+clears it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set, Tuple
+
+from repro.core.records import CombinedRecord, FromRecord, ReferenceKey, ToRecord
+
+__all__ = ["DeletionVector"]
+
+
+class DeletionVector:
+    """A set of suppressed back-reference identities.
+
+    Entries are :class:`ReferenceKey` tuples -- suppressing a key hides every
+    record (From, To, or Combined) with that ``(block, inode, offset, line)``
+    identity.  This matches the relocation use case: when a block moves, all
+    historical references to the old physical address become irrelevant at
+    once.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Set[ReferenceKey] = set()
+        self._blocks: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def suppress(self, block: int, inode: int, offset: int, line: int) -> None:
+        """Hide one reference identity."""
+        self._keys.add(ReferenceKey(block, inode, offset, line))
+        self._blocks.add(block)
+
+    def suppress_block(self, block: int, keys: Iterable[ReferenceKey]) -> None:
+        """Hide several identities of one relocated block at once."""
+        for key in keys:
+            if key.block != block:
+                raise ValueError(f"key {key} does not belong to block {block}")
+            self._keys.add(key)
+        self._blocks.add(block)
+
+    def is_suppressed(self, record) -> bool:
+        """True when a From/To/Combined record should be hidden."""
+        if record.block not in self._blocks:
+            return False
+        return ReferenceKey(record.block, record.inode, record.offset, record.line) in self._keys
+
+    def filter(self, records: Iterable) -> Iterator:
+        """Yield only records that are not suppressed."""
+        for record in records:
+            if not self.is_suppressed(record):
+                yield record
+
+    def touches_block(self, block: int) -> bool:
+        """Cheap test used to skip the key lookup for unaffected blocks."""
+        return block in self._blocks
+
+    def keys(self) -> Set[ReferenceKey]:
+        """The suppressed identities (compaction folds these into rewrites)."""
+        return set(self._keys)
+
+    def clear(self) -> None:
+        """Forget all suppressions (after compaction has rewritten the runs)."""
+        self._keys.clear()
+        self._blocks.clear()
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough footprint; the vector is expected to stay small."""
+        return len(self._keys) * 120 + len(self._blocks) * 60

@@ -1,0 +1,130 @@
+"""Structural inheritance: implicit back references of writable clones.
+
+Creating a writable clone of snapshot ``(l, v)`` does not copy any back
+references (that would be prohibitively expensive, §4.2.2).  Instead, every
+back reference of ``(l, v)`` is *implicitly* present in all versions of the
+clone line ``l'`` unless an overriding record exists for the clone -- an
+override is a Combined record with the same ``(block, inode, offset)``, the
+clone's line, and ``from = 0``.
+
+At query time the initial result extracted from the Combined view must be
+expanded: for every record that covers a cloned-from version, synthesize the
+inherited record for the clone line (full range ``[0, INFINITY)``) unless an
+override is present, and recurse, because clones can themselves be cloned.
+The expansion is guaranteed to see every relevant override because the
+initial extraction is per physical block: all records for the block,
+whatever their line, are already in the input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.records import CombinedRecord, INFINITY
+
+__all__ = ["CloneGraph", "expand_clones"]
+
+
+class CloneGraph:
+    """Tracks which lines were cloned from which snapshots.
+
+    Backlog maintains this graph from the file system's clone-created events;
+    it is tiny (one entry per clone) and lives entirely in memory.  It is
+    also consulted by compaction: back references of a cloned snapshot may
+    not be purged while descendant lines survive.
+    """
+
+    def __init__(self) -> None:
+        #: child line -> (parent line, parent version)
+        self._parents: Dict[int, Tuple[int, int]] = {}
+        #: parent line -> list of (child line, cloned version)
+        self._children: Dict[int, List[Tuple[int, int]]] = {}
+
+    def add_clone(self, child_line: int, parent_line: int, parent_version: int) -> None:
+        """Record that ``child_line`` was cloned from ``(parent_line, parent_version)``."""
+        if child_line in self._parents:
+            raise ValueError(f"line {child_line} already has a clone parent")
+        if child_line == parent_line:
+            raise ValueError("a line cannot be cloned from itself")
+        self._parents[child_line] = (parent_line, parent_version)
+        self._children.setdefault(parent_line, []).append((child_line, parent_version))
+
+    def remove_line(self, line: int) -> None:
+        """Forget a clone line that has been destroyed (volume and snapshots gone)."""
+        parent = self._parents.pop(line, None)
+        if parent is not None:
+            parent_line, parent_version = parent
+            children = self._children.get(parent_line, [])
+            self._children[parent_line] = [
+                (child, version) for child, version in children if child != line
+            ]
+
+    def parent_of(self, line: int) -> Tuple[int, int] | None:
+        return self._parents.get(line)
+
+    def children_of(self, line: int) -> List[Tuple[int, int]]:
+        """``(child_line, cloned_version)`` pairs cloned from ``line``."""
+        return list(self._children.get(line, ()))
+
+    def clone_versions(self, line: int) -> List[int]:
+        """Versions of ``line`` at which clones were taken (pins for purge)."""
+        return sorted({version for _, version in self._children.get(line, ())})
+
+    def all_lines(self) -> List[int]:
+        lines: Set[int] = set(self._parents)
+        lines.update(self._children)
+        return sorted(lines)
+
+    def descendants_of(self, line: int) -> List[int]:
+        """All transitive clone descendants of ``line``."""
+        result: List[int] = []
+        frontier = [child for child, _ in self._children.get(line, ())]
+        seen: Set[int] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            result.append(current)
+            frontier.extend(child for child, _ in self._children.get(current, ()))
+        return sorted(result)
+
+
+def expand_clones(
+    records: Sequence[CombinedRecord],
+    clone_graph: CloneGraph,
+) -> List[CombinedRecord]:
+    """Expand an initial per-block result with inherited clone records.
+
+    Implements the iterative algorithm of §4.2.2: for every result record
+    that covers a version from which a clone was taken, add an implicit
+    record for the clone line (range ``[0, INFINITY)``) unless the initial
+    result already contains an override record for that ``(block, inode,
+    offset, clone line)``; repeat until no new records are added.
+    """
+    # Deduplicate while preserving order: the same record can be gathered
+    # more than once (e.g. buffered and flushed copies seen within one CP).
+    result: List[CombinedRecord] = list(dict.fromkeys(records))
+    overrides: Set[Tuple[int, int, int, int]] = {
+        (r.block, r.inode, r.offset, r.line) for r in result if r.from_cp == 0
+    }
+    seen: Set[CombinedRecord] = set(result)
+    queue: List[CombinedRecord] = list(result)
+    while queue:
+        record = queue.pop()
+        for child_line, cloned_version in clone_graph.children_of(record.line):
+            if not record.covers_version(cloned_version):
+                continue
+            identity = (record.block, record.inode, record.offset, child_line)
+            if identity in overrides:
+                continue
+            inherited = CombinedRecord(
+                record.block, record.inode, record.offset, child_line, 0, INFINITY
+            )
+            if inherited in seen:
+                continue
+            seen.add(inherited)
+            result.append(inherited)
+            queue.append(inherited)
+    result.sort(key=CombinedRecord.sort_key)
+    return result

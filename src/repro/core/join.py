@@ -1,0 +1,114 @@
+"""Joining the From and To tables into the Combined view.
+
+The conceptual back-reference table is the outer join of From and To
+(§4.2.1): a From tuple joins with the To tuple that has the same identity
+``(block, inode, offset, line)`` and the smallest ``to`` such that
+``from < to``.  A From tuple with no matching To is still live and joins with
+an implicit ``to = INFINITY``; a To tuple with no matching From is a
+structural-inheritance override (§4.2.2) and joins with an implicit
+``from = 0``.
+
+Two entry points are provided:
+
+* :func:`combine_for_query` -- used by the query engine on the (small) set of
+  records gathered for the queried blocks; live references appear as
+  Combined records with ``to = INFINITY``.
+* :func:`join_tables` -- used by compaction on whole runs; live references
+  are returned separately as leftover From records so they can stay in the
+  on-disk From table, exactly as the paper's maintenance process does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.records import CombinedRecord, FromRecord, INFINITY, ReferenceKey, ToRecord
+
+__all__ = ["combine_for_query", "join_tables"]
+
+
+def _join_one_key(key: ReferenceKey, froms: List[int], tos: List[int]
+                  ) -> Tuple[List[CombinedRecord], List[int]]:
+    """Join the from/to CP lists of a single reference identity.
+
+    Returns ``(complete_records, unmatched_from_cps)``.  Unmatched To entries
+    become override records ``[0, to)``.
+    """
+    froms_sorted = sorted(froms)
+    tos_sorted = sorted(tos)
+    complete: List[CombinedRecord] = []
+    unmatched_from: List[int] = []
+    to_index = 0
+    for from_cp in froms_sorted:
+        # Find the smallest unconsumed to with from < to.
+        while to_index < len(tos_sorted) and tos_sorted[to_index] <= from_cp:
+            # This To entry precedes (or coincides with) the From entry; it
+            # can only be an override record inherited from a parent line.
+            complete.append(CombinedRecord(*key, 0, tos_sorted[to_index]))
+            to_index += 1
+        if to_index < len(tos_sorted):
+            complete.append(CombinedRecord(*key, from_cp, tos_sorted[to_index]))
+            to_index += 1
+        else:
+            unmatched_from.append(from_cp)
+    # Remaining To entries have no From at all: implicit from = 0 overrides.
+    for to_cp in tos_sorted[to_index:]:
+        complete.append(CombinedRecord(*key, 0, to_cp))
+    return complete, unmatched_from
+
+
+def _group_by_key(froms: Iterable[FromRecord], tos: Iterable[ToRecord]
+                  ) -> Dict[ReferenceKey, Tuple[List[int], List[int]]]:
+    grouped: Dict[ReferenceKey, Tuple[List[int], List[int]]] = defaultdict(lambda: ([], []))
+    for record in froms:
+        grouped[record.key][0].append(record.from_cp)
+    for record in tos:
+        grouped[record.key][1].append(record.to_cp)
+    return grouped
+
+
+def combine_for_query(
+    froms: Iterable[FromRecord],
+    tos: Iterable[ToRecord],
+    combined: Iterable[CombinedRecord] = (),
+) -> List[CombinedRecord]:
+    """Produce the Combined view of the given records for query processing.
+
+    ``combined`` records (from already-compacted runs) pass through untouched;
+    From/To records are joined, and unmatched From records appear with
+    ``to = INFINITY``.  The result is sorted by the Combined sort key.
+    """
+    results: List[CombinedRecord] = list(combined)
+    for key, (from_cps, to_cps) in _group_by_key(froms, tos).items():
+        complete, live = _join_one_key(key, from_cps, to_cps)
+        results.extend(complete)
+        for from_cp in live:
+            results.append(CombinedRecord(*key, from_cp, INFINITY))
+    results.sort(key=CombinedRecord.sort_key)
+    return results
+
+
+def join_tables(
+    froms: Iterable[FromRecord],
+    tos: Iterable[ToRecord],
+    combined: Iterable[CombinedRecord] = (),
+) -> Tuple[List[CombinedRecord], List[FromRecord]]:
+    """Join whole tables during compaction.
+
+    Returns ``(complete_records, incomplete_from_records)``.  Complete records
+    include any pre-existing Combined records passed in (compaction merges old
+    Combined runs with newly joined data); incomplete records are the live
+    references that remain in the on-disk From table after compaction.
+    Both lists are sorted by their table's sort key.
+    """
+    complete: List[CombinedRecord] = list(combined)
+    incomplete: List[FromRecord] = []
+    for key, (from_cps, to_cps) in _group_by_key(froms, tos).items():
+        joined, live = _join_one_key(key, from_cps, to_cps)
+        complete.extend(joined)
+        for from_cp in live:
+            incomplete.append(FromRecord(*key, from_cp))
+    complete.sort(key=CombinedRecord.sort_key)
+    incomplete.sort(key=FromRecord.sort_key)
+    return complete, incomplete

@@ -1,0 +1,187 @@
+"""Stepped-merge organisation of read-store runs.
+
+Backlog follows the Stepped-Merge variant of the LSM-tree (§5.1): each
+consistency point writes the whole write store as a new *Level-0 run* rather
+than merging it into an existing tree (a consistency point must make all
+accumulated updates durable, so partial merges are not an option).  Level-0
+runs accumulate until database maintenance merges them -- together with any
+existing Combined run -- into a single compacted run per partition.
+
+:class:`RunManager` is the catalogue of live runs.  It tracks, for every
+partition, the ordered list of runs per table, keeps their Bloom filters in
+memory, provides merged iteration for compaction, and answers the query
+engine's "which runs might contain this block range?" question.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.read_store import ReadStoreReader, ReadStoreWriter
+from repro.core.records import CombinedRecord, FromRecord, ToRecord
+from repro.fsim.blockdev import StorageBackend
+from repro.fsim.cache import PageCache
+
+__all__ = ["RunManager", "run_name", "merge_sorted_runs"]
+
+TABLES = ("from", "to", "combined")
+
+
+def run_name(partition: int, table: str, level: str, sequence: int) -> str:
+    """Canonical file name for a run: ``p<partition>/<table>/<level>_<sequence>``."""
+    return f"p{partition:06d}/{table}/{level}_{sequence:010d}"
+
+
+def merge_sorted_runs(iterators: Sequence[Iterator]) -> Iterator:
+    """Merge several already-sorted record iterators into one sorted stream.
+
+    Merging is cheap because every run is sorted identically (§5.2); this is
+    the merge used by compaction.
+    """
+    keyed = [((record.sort_key(), index), record, iterator)
+             for index, iterator in enumerate(iterators)
+             for record in _first(iterator)]
+    heap = [(key, record, iterator) for key, record, iterator in keyed]
+    heapq.heapify(heap)
+    while heap:
+        (sort_key, index), record, iterator = heap[0]
+        yield record
+        try:
+            nxt = next(iterator)
+        except StopIteration:
+            heapq.heappop(heap)
+        else:
+            heapq.heapreplace(heap, ((nxt.sort_key(), index), nxt, iterator))
+
+
+def _first(iterator: Iterator) -> List:
+    try:
+        return [next(iterator)]
+    except StopIteration:
+        return []
+
+
+@dataclass
+class _PartitionRuns:
+    """Run lists for one partition, per table, in creation order."""
+
+    runs: Dict[str, List[ReadStoreReader]] = field(default_factory=lambda: {t: [] for t in TABLES})
+
+    def all_runs(self) -> List[ReadStoreReader]:
+        return [run for table in TABLES for run in self.runs[table]]
+
+
+class RunManager:
+    """Catalogue of on-disk read-store runs, organised by partition and table."""
+
+    def __init__(self, backend: StorageBackend, cache: Optional[PageCache] = None) -> None:
+        self.backend = backend
+        self.cache = cache
+        self._partitions: Dict[int, _PartitionRuns] = {}
+        self._sequence = 0
+
+    # --------------------------------------------------------------- writing
+
+    def next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def write_run(self, partition: int, table: str, level: str,
+                  records: Iterable, bloom_bits: int) -> Optional[ReadStoreReader]:
+        """Write a new run and register it.  Returns None for empty inputs."""
+        name = run_name(partition, table, level, self.next_sequence())
+        writer = ReadStoreWriter(self.backend, name, table, bloom_bits=bloom_bits)
+        reader = writer.build(records)
+        if reader is None:
+            return None
+        # Re-open through the shared cache so queries benefit from it; keep
+        # the freshly built Bloom filter (no need to reload it from disk).
+        reader = ReadStoreReader(self.backend, name, cache=self.cache, bloom=reader.bloom)
+        self.add_run(partition, table, reader)
+        return reader
+
+    def add_run(self, partition: int, table: str, reader: ReadStoreReader) -> None:
+        if table not in TABLES:
+            raise ValueError(f"unknown table {table!r}")
+        self._partitions.setdefault(partition, _PartitionRuns()).runs[table].append(reader)
+
+    def replace_partition(self, partition: int,
+                          new_runs: Dict[str, List[ReadStoreReader]]) -> List[str]:
+        """Swap in compacted runs for ``partition`` and delete the old files.
+
+        Returns the names of the deleted run files.
+        """
+        old = self._partitions.get(partition, _PartitionRuns())
+        deleted = []
+        for run in old.all_runs():
+            if self.backend.exists(run.name):
+                self.backend.delete(run.name)
+            if self.cache is not None:
+                self.cache.invalidate_file(run.name)
+            deleted.append(run.name)
+        replacement = _PartitionRuns()
+        for table, runs in new_runs.items():
+            if table not in TABLES:
+                raise ValueError(f"unknown table {table!r}")
+            replacement.runs[table] = list(runs)
+        self._partitions[partition] = replacement
+        return deleted
+
+    # --------------------------------------------------------------- queries
+
+    def partitions(self) -> List[int]:
+        return sorted(self._partitions)
+
+    def runs_for(self, partition: int, table: Optional[str] = None) -> List[ReadStoreReader]:
+        entry = self._partitions.get(partition)
+        if entry is None:
+            return []
+        if table is None:
+            return entry.all_runs()
+        return list(entry.runs[table])
+
+    def runs_for_block_range(self, partitions: Sequence[int], first_block: int,
+                             num_blocks: int) -> List[ReadStoreReader]:
+        """Runs whose Bloom filter (and block bounds) admit the given range."""
+        candidates: List[ReadStoreReader] = []
+        for partition in partitions:
+            for run in self.runs_for(partition):
+                if run.might_contain_range(first_block, num_blocks):
+                    candidates.append(run)
+        return candidates
+
+    def run_count(self, table: Optional[str] = None) -> int:
+        return sum(len(self.runs_for(p, table)) for p in self.partitions())
+
+    def level0_run_count(self) -> int:
+        """Number of runs written since the last compaction of their partition."""
+        count = 0
+        for partition in self.partitions():
+            for table in ("from", "to"):
+                count += sum(1 for run in self.runs_for(partition, table)
+                             if "/L0_" in run.name or "L0_" in run.name)
+        return count
+
+    def total_size_bytes(self) -> int:
+        """Total on-disk size of all registered runs."""
+        return sum(run.size_bytes for p in self.partitions() for run in self.runs_for(p))
+
+    def total_records(self, table: Optional[str] = None) -> int:
+        return sum(run.num_records for p in self.partitions() for run in self.runs_for(p, table))
+
+    def bloom_memory_bytes(self) -> int:
+        """Memory consumed by the in-memory Bloom filters of all runs."""
+        return sum(run.bloom.size_bytes for p in self.partitions() for run in self.runs_for(p))
+
+    # ------------------------------------------------------------- iteration
+
+    def iter_table(self, partition: int, table: str) -> Iterator:
+        """Merged, sorted iteration over every run of a table in a partition."""
+        iterators = [run.iter_all() for run in self.runs_for(partition, table)]
+        if not iterators:
+            return iter(())
+        if len(iterators) == 1:
+            return iterators[0]
+        return merge_sorted_runs(iterators)

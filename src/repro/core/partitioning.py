@@ -1,0 +1,74 @@
+"""Horizontal partitioning of the back-reference database.
+
+Read-store runs are partitioned by physical block number (§5.3) so that each
+file stays a manageable size, compaction can process partitions selectively,
+and partitions could in principle be spread over devices or CPU cores.  The
+current scheme matches the paper's implementation: each partition covers a
+fixed, contiguous range of physical block numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+__all__ = ["Partitioner"]
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """Maps physical block numbers to partition ids.
+
+    Parameters
+    ----------
+    partition_size_blocks:
+        Number of consecutive physical blocks per partition.  With the 4 KB
+        block size used throughout, the default of 2^20 blocks corresponds to
+        4 GB of physical storage per partition.
+    """
+
+    partition_size_blocks: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.partition_size_blocks <= 0:
+            raise ValueError("partition_size_blocks must be positive")
+
+    def partition_of(self, block: int) -> int:
+        """Partition id that owns ``block``."""
+        if block < 0:
+            raise ValueError("block numbers are non-negative")
+        return block // self.partition_size_blocks
+
+    def block_range(self, partition: int) -> Tuple[int, int]:
+        """Half-open ``[first_block, last_block)`` range covered by ``partition``."""
+        first = partition * self.partition_size_blocks
+        return first, first + self.partition_size_blocks
+
+    def partitions_for_range(self, first_block: int, num_blocks: int) -> List[int]:
+        """Partition ids overlapping ``[first_block, first_block + num_blocks)``."""
+        if num_blocks <= 0:
+            return []
+        first = self.partition_of(first_block)
+        last = self.partition_of(first_block + num_blocks - 1)
+        return list(range(first, last + 1))
+
+    def split_sorted_records(self, records: Iterable) -> Iterator[Tuple[int, List]]:
+        """Group block-sorted records into per-partition lists.
+
+        The input must be sorted by block number (the write store guarantees
+        this); the generator yields ``(partition_id, records)`` pairs in
+        partition order without buffering more than one partition at a time.
+        """
+        current_partition = None
+        bucket: List = []
+        for record in records:
+            partition = self.partition_of(record.block)
+            if current_partition is None:
+                current_partition = partition
+            if partition != current_partition:
+                yield current_partition, bucket
+                bucket = []
+                current_partition = partition
+            bucket.append(record)
+        if bucket:
+            yield current_partition, bucket

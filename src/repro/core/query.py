@@ -1,0 +1,154 @@
+"""The back-reference query engine.
+
+Queries answer "which objects reference physical block(s) b .. b+n-1, and in
+which snapshot versions?".  The engine (§5.1, §4.2):
+
+1. identifies the partitions covering the requested block range and, within
+   them, the read-store runs whose Bloom filters admit the range;
+2. gathers matching records from those runs and from the in-memory write
+   stores;
+3. filters out tuples suppressed by the deletion vector;
+4. joins From/To/Combined records into the Combined view;
+5. expands structural inheritance for writable clones; and
+6. masks away versions that belong to deleted snapshots.
+
+Results are returned as :class:`~repro.core.records.BackReference` tuples,
+one per ``(block, inode, offset, line)`` owner, each carrying the merged list
+of version ranges in which the owner references the block.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import BacklogConfig
+from repro.core.deletion_vector import DeletionVector
+from repro.core.inheritance import CloneGraph, expand_clones
+from repro.core.join import combine_for_query
+from repro.core.lsm import RunManager
+from repro.core.masking import VersionAuthority, mask_records
+from repro.core.partitioning import Partitioner
+from repro.core.records import BackReference, CombinedRecord, FromRecord, ToRecord
+from repro.core.stats import QueryStats
+from repro.core.write_store import WriteStore
+from repro.fsim.blockdev import StorageBackend
+from repro.util.intervals import merge_adjacent_ranges
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Executes point and range queries over the back-reference database."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        run_manager: RunManager,
+        partitioner: Partitioner,
+        ws_from: WriteStore,
+        ws_to: WriteStore,
+        clone_graph: CloneGraph,
+        authority: VersionAuthority,
+        deletion_vector: DeletionVector,
+        config: BacklogConfig,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
+        self.backend = backend
+        self.run_manager = run_manager
+        self.partitioner = partitioner
+        self.ws_from = ws_from
+        self.ws_to = ws_to
+        self.clone_graph = clone_graph
+        self.authority = authority
+        self.deletion_vector = deletion_vector
+        self.config = config
+        self.stats = stats if stats is not None else QueryStats()
+
+    # ------------------------------------------------------------------ API
+
+    def query_block(self, block: int) -> List[BackReference]:
+        """All owners of a single physical block."""
+        return self.query_range(block, 1)
+
+    def query_range(self, first_block: int, num_blocks: int) -> List[BackReference]:
+        """All owners of blocks in ``[first_block, first_block + num_blocks)``."""
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        start_time = time.perf_counter()
+        reads_before = self.backend.stats.pages_read
+
+        raw = self._gather(first_block, num_blocks)
+        combined_view = combine_for_query(*raw)
+        expanded = expand_clones(combined_view, self.clone_graph)
+        masked = mask_records(expanded, self.authority)
+        results = self._group(masked)
+
+        self.stats.queries += 1
+        self.stats.back_references_returned += len(results)
+        self.stats.pages_read += self.backend.stats.pages_read - reads_before
+        self.stats.seconds += time.perf_counter() - start_time
+        return results
+
+    def owners_at_version(self, block: int, version: int) -> List[BackReference]:
+        """Owners of ``block`` whose reference existed at CP ``version``."""
+        return [ref for ref in self.query_block(block) if ref.covers_version(version)]
+
+    def live_owners(self, block: int) -> List[BackReference]:
+        """Owners of ``block`` in the live file system (any line)."""
+        return [ref for ref in self.query_block(block) if ref.is_live]
+
+    # ------------------------------------------------------------ internals
+
+    def _gather(
+        self, first_block: int, num_blocks: int
+    ) -> Tuple[List[FromRecord], List[ToRecord], List[CombinedRecord]]:
+        """Collect raw records for the block range from runs and write stores."""
+        froms: List[FromRecord] = []
+        tos: List[ToRecord] = []
+        combined: List[CombinedRecord] = []
+
+        partitions = self.partitioner.partitions_for_range(first_block, num_blocks)
+        if self.config.use_bloom_filters:
+            candidate_runs = self.run_manager.runs_for_block_range(
+                partitions, first_block, num_blocks
+            )
+            total_runs = sum(len(self.run_manager.runs_for(p)) for p in partitions)
+            self.stats.runs_skipped_by_bloom += total_runs - len(candidate_runs)
+        else:
+            candidate_runs = [run for p in partitions for run in self.run_manager.runs_for(p)]
+        self.stats.runs_probed += len(candidate_runs)
+
+        for run in candidate_runs:
+            records = run.records_for_block_range(first_block, num_blocks)
+            if self.deletion_vector:
+                records = list(self.deletion_vector.filter(records))
+            if run.table == "from":
+                froms.extend(records)
+            elif run.table == "to":
+                tos.extend(records)
+            else:
+                combined.extend(records)
+
+        ws_from_records = self.ws_from.records_for_block_range(first_block, num_blocks)
+        ws_to_records = self.ws_to.records_for_block_range(first_block, num_blocks)
+        if self.deletion_vector:
+            ws_from_records = list(self.deletion_vector.filter(ws_from_records))
+            ws_to_records = list(self.deletion_vector.filter(ws_to_records))
+        froms.extend(ws_from_records)
+        tos.extend(ws_to_records)
+        return froms, tos, combined
+
+    def _group(self, records: Sequence[CombinedRecord]) -> List[BackReference]:
+        """Fold Combined records into one BackReference per owner."""
+        grouped: Dict[Tuple[int, int, int, int], List[Tuple[int, int]]] = defaultdict(list)
+        for record in records:
+            grouped[(record.block, record.inode, record.offset, record.line)].append(
+                (record.from_cp, record.to_cp)
+            )
+        results = []
+        for (block, inode, offset, line), ranges in sorted(grouped.items()):
+            merged = tuple(merge_adjacent_ranges(ranges))
+            results.append(BackReference(block, inode, offset, line, merged))
+        return results

@@ -1,0 +1,342 @@
+"""On-disk read stores (RS): densely packed B-trees built bottom-up.
+
+At every consistency point the contents of a write store are written out as a
+new read-store *run*.  Because the write store is already sorted, the run can
+be constructed strictly sequentially (§5.1):
+
+1. records are packed densely into leaf pages in sort order;
+2. while the leaf pages stream out, the first key of each leaf page is
+   accumulated into the level-1 index, which is written next;
+3. index levels are stacked until a level fits in a single page (the root).
+
+No page is ever read while writing a run.  A Bloom filter over the run's
+physical block numbers is built during the leaf pass and stored in the file
+after the index levels; the last page of the file is a header describing the
+layout, so a reader needs exactly one page read to open a run.
+
+File layout (4 KB pages)::
+
+    [leaf pages][level-1 pages][level-2 pages]...[bloom pages][header page]
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.bloom import BloomFilter, DEFAULT_FILTER_BITS
+from repro.core.records import (
+    COMBINED_RECORD_SIZE,
+    CombinedRecord,
+    FROM_RECORD_SIZE,
+    FromRecord,
+    TO_RECORD_SIZE,
+    ToRecord,
+)
+from repro.fsim.blockdev import PAGE_SIZE, PageFile, StorageBackend
+from repro.fsim.cache import PageCache
+
+__all__ = ["ReadStoreWriter", "ReadStoreReader", "RECORD_KINDS"]
+
+_MAGIC = 0x4241434B4C4F4731  # "BACKLOG1"
+_PAGE_HEADER = struct.Struct("<II")  # number of entries, reserved
+_INDEX_ENTRY = struct.Struct("<5QQ")  # 5-field separator key + child page number
+_MAX_LEVELS = 8
+_HEADER = struct.Struct("<QQQQQQ" + "QQ" * _MAX_LEVELS + "QQQQ")
+# magic, record_kind, record_size, num_records, num_leaf_pages, num_levels,
+# (level_first_page, level_num_pages) * 8, bloom_first_page, bloom_num_pages,
+# min_block, max_block
+
+RECORD_KINDS = {"from": 1, "to": 2, "combined": 3}
+_KIND_TO_CLASS = {1: FromRecord, 2: ToRecord, 3: CombinedRecord}
+_KIND_TO_SIZE = {1: FROM_RECORD_SIZE, 2: TO_RECORD_SIZE, 3: COMBINED_RECORD_SIZE}
+
+AnyRecord = Union[FromRecord, ToRecord, CombinedRecord]
+
+
+def _separator_key(record: AnyRecord) -> Tuple[int, int, int, int, int]:
+    """First five sort-key components, used as index separators."""
+    key = record.sort_key()
+    return key[:5]
+
+
+class ReadStoreWriter:
+    """Builds one read-store run from an iterator of sorted records."""
+
+    def __init__(self, backend: StorageBackend, name: str, table: str,
+                 bloom_bits: int = DEFAULT_FILTER_BITS) -> None:
+        if table not in RECORD_KINDS:
+            raise ValueError(f"unknown table {table!r}")
+        self.backend = backend
+        self.name = name
+        self.table = table
+        self.record_kind = RECORD_KINDS[table]
+        self.record_size = _KIND_TO_SIZE[self.record_kind]
+        self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
+        self.entries_per_index_page = (PAGE_SIZE - _PAGE_HEADER.size) // _INDEX_ENTRY.size
+        self.bloom_bits = bloom_bits
+
+    def build(self, records: Iterable[AnyRecord]) -> Optional["ReadStoreReader"]:
+        """Write all ``records`` (which must be pre-sorted) and return a reader.
+
+        Returns ``None`` without creating a file when the iterator is empty --
+        quiet consistency points do not produce empty runs.
+        """
+        iterator = iter(records)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return None
+
+        page_file = self.backend.create(self.name)
+        bloom = BloomFilter(self.bloom_bits)
+        num_records = 0
+        min_block: Optional[int] = None
+        max_block: Optional[int] = None
+        leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]] = []
+
+        def record_stream() -> Iterator[AnyRecord]:
+            yield first
+            yield from iterator
+
+        buffer: List[AnyRecord] = []
+        previous_key = None
+        for record in record_stream():
+            key = record.sort_key()
+            if previous_key is not None and key < previous_key:
+                raise ValueError("records passed to ReadStoreWriter must be sorted")
+            previous_key = key
+            buffer.append(record)
+            bloom.add(record.block)
+            num_records += 1
+            if min_block is None or record.block < min_block:
+                min_block = record.block
+            if max_block is None or record.block > max_block:
+                max_block = record.block
+            if len(buffer) == self.records_per_page:
+                self._flush_leaf(page_file, buffer, leaf_keys)
+                buffer = []
+        if buffer:
+            self._flush_leaf(page_file, buffer, leaf_keys)
+
+        num_leaf_pages = len(leaf_keys)
+
+        # Build the index levels bottom-up.  Each level indexes the one below
+        # it; we stop once a level fits in a single page.
+        levels: List[Tuple[int, int]] = []  # (first_page, num_pages)
+        current = leaf_keys
+        while len(current) > 1:
+            first_page = page_file.num_pages
+            next_level: List[Tuple[Tuple[int, int, int, int, int], int]] = []
+            for start in range(0, len(current), self.entries_per_index_page):
+                chunk = current[start:start + self.entries_per_index_page]
+                page_index = self._flush_index_page(page_file, chunk)
+                next_level.append((chunk[0][0], page_index))
+            levels.append((first_page, page_file.num_pages - first_page))
+            current = next_level
+        if len(levels) > _MAX_LEVELS:
+            raise ValueError("read store exceeds the maximum number of index levels")
+
+        # Bloom filter pages.
+        bloom.shrink_to_fit()
+        bloom_bytes = bloom.to_bytes()
+        bloom_first_page = page_file.num_pages
+        for start in range(0, len(bloom_bytes), PAGE_SIZE):
+            page_file.append_page(bloom_bytes[start:start + PAGE_SIZE])
+        bloom_num_pages = page_file.num_pages - bloom_first_page
+
+        # Header page (always the last page of the file).
+        level_fields: List[int] = []
+        for index in range(_MAX_LEVELS):
+            if index < len(levels):
+                level_fields.extend(levels[index])
+            else:
+                level_fields.extend((0, 0))
+        header = _HEADER.pack(
+            _MAGIC,
+            self.record_kind,
+            self.record_size,
+            num_records,
+            num_leaf_pages,
+            len(levels),
+            *level_fields,
+            bloom_first_page,
+            bloom_num_pages,
+            min_block if min_block is not None else 0,
+            max_block if max_block is not None else 0,
+        )
+        page_file.append_page(header)
+        return ReadStoreReader(self.backend, self.name, bloom=bloom)
+
+    # ------------------------------------------------------------ internals
+
+    def _flush_leaf(self, page_file: PageFile, records: Sequence[AnyRecord],
+                    leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]]) -> None:
+        payload = bytearray(_PAGE_HEADER.pack(len(records), 0))
+        for record in records:
+            payload.extend(record.pack())
+        page_index = page_file.append_page(bytes(payload))
+        leaf_keys.append((_separator_key(records[0]), page_index))
+
+    def _flush_index_page(self, page_file: PageFile,
+                          entries: Sequence[Tuple[Tuple[int, int, int, int, int], int]]) -> int:
+        payload = bytearray(_PAGE_HEADER.pack(len(entries), 0))
+        for key, child in entries:
+            payload.extend(_INDEX_ENTRY.pack(*key, child))
+        return page_file.append_page(bytes(payload))
+
+
+class ReadStoreReader:
+    """Reads one read-store run.
+
+    The reader loads only the header page at construction time; leaf and index
+    pages are read on demand (optionally through a :class:`PageCache`).  The
+    Bloom filter can be provided by the run catalogue (it keeps filters in
+    memory between queries) or lazily loaded from the file.
+    """
+
+    def __init__(self, backend: StorageBackend, name: str,
+                 cache: Optional[PageCache] = None,
+                 bloom: Optional[BloomFilter] = None) -> None:
+        self.backend = backend
+        self.name = name
+        self.cache = cache
+        self._page_file = backend.open(name)
+        self._bloom = bloom
+        header_page = self._read_page(self._page_file.num_pages - 1)
+        fields = _HEADER.unpack_from(header_page, 0)
+        if fields[0] != _MAGIC:
+            raise ValueError(f"{name!r} is not a Backlog read store")
+        self.record_kind = fields[1]
+        self.record_size = fields[2]
+        self.num_records = fields[3]
+        self.num_leaf_pages = fields[4]
+        self.num_levels = fields[5]
+        self.levels: List[Tuple[int, int]] = []
+        for index in range(_MAX_LEVELS):
+            first_page, num_pages = fields[6 + 2 * index], fields[7 + 2 * index]
+            if index < self.num_levels:
+                self.levels.append((first_page, num_pages))
+        offset = 6 + 2 * _MAX_LEVELS
+        self.bloom_first_page = fields[offset]
+        self.bloom_num_pages = fields[offset + 1]
+        self.min_block = fields[offset + 2]
+        self.max_block = fields[offset + 3]
+        self._record_class = _KIND_TO_CLASS[self.record_kind]
+        self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
+
+    # ------------------------------------------------------------ bloom
+
+    @property
+    def table(self) -> str:
+        for name, kind in RECORD_KINDS.items():
+            if kind == self.record_kind:
+                return name
+        raise ValueError(f"unknown record kind {self.record_kind}")
+
+    @property
+    def bloom(self) -> BloomFilter:
+        """The run's Bloom filter (loaded from disk on first use)."""
+        if self._bloom is None:
+            data = bytearray()
+            for index in range(self.bloom_num_pages):
+                data.extend(self._read_page(self.bloom_first_page + index))
+            self._bloom = BloomFilter.from_bytes(bytes(data))
+        return self._bloom
+
+    def might_contain_block(self, block: int) -> bool:
+        """Bloom + min/max test for a single block."""
+        if block < self.min_block or block > self.max_block:
+            return False
+        return self.bloom.might_contain(block)
+
+    def might_contain_range(self, first_block: int, num_blocks: int) -> bool:
+        if num_blocks <= 0:
+            return False
+        if first_block + num_blocks <= self.min_block or first_block > self.max_block:
+            return False
+        return self.bloom.might_contain_range(first_block, num_blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._page_file.size_bytes
+
+    # ------------------------------------------------------------ iteration
+
+    def iter_all(self) -> Iterator[AnyRecord]:
+        """Yield every record in sort order."""
+        for page_index in range(self.num_leaf_pages):
+            yield from self._leaf_records(page_index)
+
+    def iter_from(self, block: int, inode: int = 0, offset: int = 0,
+                  line: int = 0, cp: int = 0) -> Iterator[AnyRecord]:
+        """Yield records with sort key >= the given key, in order."""
+        if self.num_leaf_pages == 0:
+            return
+        target = (block, inode, offset, line, cp)
+        leaf_index = self._find_leaf(target)
+        for page_index in range(leaf_index, self.num_leaf_pages):
+            for record in self._leaf_records(page_index):
+                if record.sort_key()[:5] >= target:
+                    yield record
+
+    def records_for_block_range(self, first_block: int, num_blocks: int) -> List[AnyRecord]:
+        """All records whose block falls in ``[first_block, first_block + num_blocks)``."""
+        results: List[AnyRecord] = []
+        stop = first_block + num_blocks
+        for record in self.iter_from(first_block):
+            if record.block >= stop:
+                break
+            results.append(record)
+        return results
+
+    def records_for_block(self, block: int) -> List[AnyRecord]:
+        return self.records_for_block_range(block, 1)
+
+    # ------------------------------------------------------------ internals
+
+    def _read_page(self, index: int) -> bytes:
+        if self.cache is not None:
+            return self.cache.read_page(self._page_file, index)
+        return self._page_file.read_page(index)
+
+    def _leaf_records(self, leaf_page_index: int) -> Iterator[AnyRecord]:
+        data = self._read_page(leaf_page_index)
+        count, _ = _PAGE_HEADER.unpack_from(data, 0)
+        position = _PAGE_HEADER.size
+        for _ in range(count):
+            yield self._record_class.unpack(data[position:position + self.record_size])
+            position += self.record_size
+
+    def _find_leaf(self, target: Tuple[int, int, int, int, int]) -> int:
+        """Descend the index to the leaf page that may contain ``target``."""
+        if self.num_levels == 0:
+            return 0
+        # Start at the root (the single page of the highest level).
+        level = self.num_levels - 1
+        first_page, num_pages = self.levels[level]
+        page_index = first_page + num_pages - 1 if num_pages == 1 else first_page
+        current_page = page_index
+        while True:
+            entries = self._index_entries(current_page)
+            child = entries[0][1]
+            for key, child_page in entries:
+                if key <= target:
+                    child = child_page
+                else:
+                    break
+            if level == 0:
+                return child
+            level -= 1
+            current_page = child
+
+    def _index_entries(self, page_index: int) -> List[Tuple[Tuple[int, int, int, int, int], int]]:
+        data = self._read_page(page_index)
+        count, _ = _PAGE_HEADER.unpack_from(data, 0)
+        entries = []
+        position = _PAGE_HEADER.size
+        for _ in range(count):
+            fields = _INDEX_ENTRY.unpack_from(data, position)
+            entries.append((tuple(fields[:5]), fields[5]))
+            position += _INDEX_ENTRY.size
+        return entries

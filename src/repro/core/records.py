@@ -1,0 +1,171 @@
+"""Back-reference record types and their on-disk encodings.
+
+Backlog keeps three logical tables (§4):
+
+* **From** -- one record per reference *allocation*: ``(block, inode, offset,
+  line, from)`` where ``from`` is the global CP number at which the reference
+  came into existence.
+* **To** -- one record per reference *removal*: ``(block, inode, offset,
+  line, to)`` where ``to`` is the CP number at which the reference was
+  dropped (exclusive).
+* **Combined** -- the outer join of the two: ``(block, inode, offset, line,
+  from, to)``, with ``to == INFINITY`` for references that are still live.
+
+All fields are 64-bit, so a From/To tuple is 40 bytes and a Combined tuple is
+48 bytes on disk, exactly as in the paper's btrfs port.  Records are ordered
+by ``(block, inode, offset, line, boundary)`` so that records describing the
+same physical block are adjacent in the read stores and range queries over
+physically adjacent blocks touch consecutive pages.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple, Tuple, Union
+
+from repro.util.intervals import INFINITY
+
+__all__ = [
+    "INFINITY",
+    "FROM_RECORD_SIZE",
+    "TO_RECORD_SIZE",
+    "COMBINED_RECORD_SIZE",
+    "ReferenceKey",
+    "FromRecord",
+    "ToRecord",
+    "CombinedRecord",
+    "BackReference",
+]
+
+_FROM_STRUCT = struct.Struct("<5Q")
+_TO_STRUCT = struct.Struct("<5Q")
+_COMBINED_STRUCT = struct.Struct("<6Q")
+
+FROM_RECORD_SIZE = _FROM_STRUCT.size       # 40 bytes
+TO_RECORD_SIZE = _TO_STRUCT.size           # 40 bytes
+COMBINED_RECORD_SIZE = _COMBINED_STRUCT.size  # 48 bytes
+
+
+class ReferenceKey(NamedTuple):
+    """The identity of a back reference, shared by all three tables."""
+
+    block: int
+    inode: int
+    offset: int
+    line: int
+
+
+class FromRecord(NamedTuple):
+    """A reference allocation event: valid from CP ``from_cp`` onwards."""
+
+    block: int
+    inode: int
+    offset: int
+    line: int
+    from_cp: int
+
+    @property
+    def key(self) -> ReferenceKey:
+        return ReferenceKey(self.block, self.inode, self.offset, self.line)
+
+    def sort_key(self) -> Tuple[int, int, int, int, int]:
+        return (self.block, self.inode, self.offset, self.line, self.from_cp)
+
+    def pack(self) -> bytes:
+        return _FROM_STRUCT.pack(self.block, self.inode, self.offset, self.line, self.from_cp)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "FromRecord":
+        return cls(*_FROM_STRUCT.unpack(data))
+
+
+class ToRecord(NamedTuple):
+    """A reference removal event: the reference is invalid from CP ``to_cp``."""
+
+    block: int
+    inode: int
+    offset: int
+    line: int
+    to_cp: int
+
+    @property
+    def key(self) -> ReferenceKey:
+        return ReferenceKey(self.block, self.inode, self.offset, self.line)
+
+    def sort_key(self) -> Tuple[int, int, int, int, int]:
+        return (self.block, self.inode, self.offset, self.line, self.to_cp)
+
+    def pack(self) -> bytes:
+        return _TO_STRUCT.pack(self.block, self.inode, self.offset, self.line, self.to_cp)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ToRecord":
+        return cls(*_TO_STRUCT.unpack(data))
+
+
+class CombinedRecord(NamedTuple):
+    """A joined record: the reference existed during ``[from_cp, to_cp)``."""
+
+    block: int
+    inode: int
+    offset: int
+    line: int
+    from_cp: int
+    to_cp: int
+
+    @property
+    def key(self) -> ReferenceKey:
+        return ReferenceKey(self.block, self.inode, self.offset, self.line)
+
+    @property
+    def is_live(self) -> bool:
+        """True when the reference is still part of the live file system."""
+        return self.to_cp == INFINITY
+
+    @property
+    def is_override(self) -> bool:
+        """True for structural-inheritance override records (``from == 0``)."""
+        return self.from_cp == 0
+
+    def sort_key(self) -> Tuple[int, int, int, int, int, int]:
+        return (self.block, self.inode, self.offset, self.line, self.from_cp, self.to_cp)
+
+    def pack(self) -> bytes:
+        return _COMBINED_STRUCT.pack(
+            self.block, self.inode, self.offset, self.line, self.from_cp, self.to_cp
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "CombinedRecord":
+        return cls(*_COMBINED_STRUCT.unpack(data))
+
+    def covers_version(self, version: int) -> bool:
+        """True when the reference exists at CP number ``version``."""
+        return self.from_cp <= version < self.to_cp
+
+
+#: Any record type stored in a read store.
+AnyRecord = Union[FromRecord, ToRecord, CombinedRecord]
+
+
+class BackReference(NamedTuple):
+    """A fully resolved query result: one owner of one physical block.
+
+    ``ranges`` is a tuple of half-open ``(from, to)`` CP ranges during which
+    the owner referenced the block, after clone expansion and masking of
+    deleted snapshots.
+    """
+
+    block: int
+    inode: int
+    offset: int
+    line: int
+    ranges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def is_live(self) -> bool:
+        """True when any range extends to the live file system."""
+        return any(stop == INFINITY for _, stop in self.ranges)
+
+    def covers_version(self, version: int) -> bool:
+        return any(start <= version < stop for start, stop in self.ranges)

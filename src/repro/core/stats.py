@@ -1,0 +1,155 @@
+"""Statistics collected by the Backlog manager.
+
+The paper's evaluation reports three families of numbers, all of which are
+derived from these counters:
+
+* *maintenance overhead during normal operation* -- I/O page writes and CPU
+  microseconds per block operation (Figures 5 and 7),
+* *space overhead* -- size of the back-reference database as a percentage of
+  the physical data size (Figures 6 and 8), and
+* *query performance* -- queries per second and I/O reads per query
+  (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["BacklogStats", "CheckpointStats", "QueryStats", "MaintenanceStats"]
+
+
+@dataclass
+class CheckpointStats:
+    """Per-consistency-point accounting, appended at every flush."""
+
+    cp: int
+    block_ops: int
+    persistent_ops: int
+    pages_written: int
+    flush_seconds: float
+    ws_records_flushed: int
+    pruned_pairs: int
+    #: Cumulative time spent in reference updates up to and including this CP
+    #: (differences between consecutive checkpoints give the per-CP figure).
+    cumulative_update_seconds: float = 0.0
+
+    @property
+    def writes_per_block_op(self) -> float:
+        """I/O page writes per block operation in this CP (Figure 5, left)."""
+        if self.block_ops == 0:
+            return 0.0
+        return self.pages_written / self.block_ops
+
+    @property
+    def writes_per_persistent_op(self) -> float:
+        """I/O writes per operation whose effects survived the CP."""
+        if self.persistent_ops == 0:
+            return 0.0
+        return self.pages_written / self.persistent_ops
+
+    def microseconds_per_block_op(self, previous_cumulative_update_seconds: float) -> float:
+        """CPU µs per block op in this CP, given the previous CP's cumulative time."""
+        if self.block_ops == 0:
+            return 0.0
+        update = self.cumulative_update_seconds - previous_cumulative_update_seconds
+        return (update + self.flush_seconds) * 1e6 / self.block_ops
+
+
+@dataclass
+class QueryStats:
+    """Aggregated over one query batch (reset explicitly by the caller)."""
+
+    queries: int = 0
+    back_references_returned: int = 0
+    pages_read: int = 0
+    runs_probed: int = 0
+    runs_skipped_by_bloom: int = 0
+    seconds: float = 0.0
+
+    @property
+    def reads_per_query(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return self.pages_read / self.queries
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.queries / self.seconds
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.back_references_returned = 0
+        self.pages_read = 0
+        self.runs_probed = 0
+        self.runs_skipped_by_bloom = 0
+        self.seconds = 0.0
+
+
+@dataclass
+class MaintenanceStats:
+    """One database-maintenance (compaction) pass."""
+
+    sequence: int
+    partitions_processed: int
+    records_in: int
+    records_out: int
+    records_purged: int
+    bytes_before: int
+    bytes_after: int
+    seconds: float
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fractional size reduction achieved by this maintenance pass."""
+        if self.bytes_before == 0:
+            return 0.0
+        return 1.0 - (self.bytes_after / self.bytes_before)
+
+
+@dataclass
+class BacklogStats:
+    """Top-level counters for one Backlog instance."""
+
+    references_added: int = 0
+    references_removed: int = 0
+    pruned_pairs: int = 0
+    consistency_points: int = 0
+    update_seconds: float = 0.0
+    flush_seconds: float = 0.0
+    checkpoints: List[CheckpointStats] = field(default_factory=list)
+    maintenance_runs: List[MaintenanceStats] = field(default_factory=list)
+    query: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def block_ops(self) -> int:
+        """Total reference additions + removals observed."""
+        return self.references_added + self.references_removed
+
+    @property
+    def total_pages_written(self) -> int:
+        return sum(cp.pages_written for cp in self.checkpoints)
+
+    @property
+    def writes_per_block_op(self) -> float:
+        """Average I/O writes per block operation over the whole run."""
+        if self.block_ops == 0:
+            return 0.0
+        return self.total_pages_written / self.block_ops
+
+    @property
+    def microseconds_per_block_op(self) -> float:
+        """Average CPU time (µs) per block operation, including flush time."""
+        if self.block_ops == 0:
+            return 0.0
+        return (self.update_seconds + self.flush_seconds) * 1e6 / self.block_ops
+
+    def overhead_series(self) -> Dict[str, List[float]]:
+        """Per-CP series used to plot Figures 5 and 7."""
+        return {
+            "cp": [cp.cp for cp in self.checkpoints],
+            "writes_per_block_op": [cp.writes_per_block_op for cp in self.checkpoints],
+            "writes_per_persistent_op": [cp.writes_per_persistent_op for cp in self.checkpoints],
+        }

@@ -1,0 +1,131 @@
+"""Verification: cross-checking Backlog against the file system tree.
+
+The paper validates its implementation with "a utility program that walks the
+entire file system tree, reconstructs the back references, and then compares
+them with the database produced by our algorithm" (§5).  This module is that
+utility for the simulator: it enumerates every reference reachable from the
+live volumes and every retained snapshot, asks Backlog who owns each of those
+blocks, and reports any disagreement in either direction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.backlog import Backlog
+from repro.fsim.filesystem import FileSystem
+
+__all__ = ["Mismatch", "VerificationReport", "verify_backlog"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between the file system and the database."""
+
+    kind: str  # "missing" (FS has it, Backlog does not) or "spurious"
+    block: int
+    inode: int
+    offset: int
+    line: int
+    version: int
+
+    def __str__(self) -> str:
+        owner = f"block {self.block} <- (inode {self.inode}, offset {self.offset}, line {self.line}, version {self.version})"
+        return f"{self.kind}: {owner}"
+
+
+@dataclass
+class VerificationReport:
+    """Result of a full verification pass."""
+
+    references_checked: int = 0
+    blocks_checked: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.mismatches)} mismatches"
+        return (
+            f"verified {self.references_checked} references over "
+            f"{self.blocks_checked} blocks: {status}"
+        )
+
+
+def _expected_references(fs: FileSystem) -> Dict[Tuple[int, int, int, int], Set[int]]:
+    """Ground truth: (block, inode, offset, line) -> set of versions present.
+
+    The live image of each volume is represented by the current global CP
+    number; retained snapshots contribute their version numbers.
+    """
+    expected: Dict[Tuple[int, int, int, int], Set[int]] = defaultdict(set)
+    current_cp = fs.global_cp
+    for block, inode, offset, line in fs.iter_live_references():
+        expected[(block, inode, offset, line)].add(current_cp)
+    for block, inode, offset, line, version in fs.iter_snapshot_references():
+        expected[(block, inode, offset, line)].add(version)
+    return expected
+
+
+def verify_backlog(fs: FileSystem, backlog: Backlog, check_spurious: bool = True) -> VerificationReport:
+    """Walk the file system and compare reconstructed back references.
+
+    Parameters
+    ----------
+    fs / backlog:
+        The simulated file system and the Backlog instance attached to it.
+        Updates still buffered in the write stores are visible to queries, so
+        verification does not require a checkpoint first.
+    check_spurious:
+        When True (default) the check is bidirectional: back references the
+        database reports for a retained version must exist in the
+        corresponding file system image.
+    """
+    report = VerificationReport()
+    expected = _expected_references(fs)
+    blocks = sorted({key[0] for key in expected})
+    report.blocks_checked = len(blocks)
+
+    # Group expectations by block so one query serves all owners of the block.
+    expected_by_block: Dict[int, List[Tuple[Tuple[int, int, int, int], Set[int]]]] = defaultdict(list)
+    for key, versions in expected.items():
+        expected_by_block[key[0]].append((key, versions))
+
+    for block in blocks:
+        results = backlog.query(block)
+        found: Dict[Tuple[int, int, int, int], List[Tuple[int, int]]] = {
+            (ref.block, ref.inode, ref.offset, ref.line): list(ref.ranges) for ref in results
+        }
+        for key, versions in expected_by_block[block]:
+            report.references_checked += 1
+            ranges = found.get(key)
+            for version in sorted(versions):
+                if ranges is None or not any(start <= version < stop for start, stop in ranges):
+                    report.mismatches.append(Mismatch("missing", *key, version))
+        if not check_spurious:
+            continue
+        valid_versions_cache: Dict[int, List[int]] = {}
+        for ref in results:
+            key = (ref.block, ref.inode, ref.offset, ref.line)
+            line = ref.line
+            if line not in valid_versions_cache:
+                current = fs.global_cp if line in fs.volumes else None
+                valid_versions_cache[line] = fs.snapshots.retained_versions(line, current)
+            claimed_versions = {
+                version
+                for version in valid_versions_cache[line]
+                if ref.covers_version(version)
+            }
+            truth = expected.get(key, set())
+            for version in sorted(claimed_versions - truth):
+                # Zombie versions are retained for inheritance purposes even
+                # though their images are gone; claims against them are not
+                # spurious.
+                if fs.snapshots.is_zombie((line, version)):
+                    continue
+                report.mismatches.append(Mismatch("spurious", *key, version))
+    return report

@@ -1,0 +1,141 @@
+"""The in-memory write store (WS).
+
+Between consistency points every back-reference update lands in a write
+store: a balanced tree sorted first by ``(block, inode, offset, line)`` and
+then by the boundary CP number (``from`` or ``to``).  Sorting this way makes
+two things cheap (§5.1):
+
+* flushing -- the read store is a densely packed B-tree built bottom-up from
+  an in-order traversal, so no sort is needed at consistency-point time, and
+* proactive pruning -- when a reference is removed, the manager can look up a
+  matching From entry with the same key and the current CP number in O(log n)
+  and delete the pair outright (the reference never survived a consistency
+  point, so it must never reach disk).
+
+There is one write store per table (From and To).  The store also remembers
+the set of distinct physical blocks it contains so that queries can consult
+it cheaply and the flush can size its Bloom filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.records import FromRecord, ToRecord
+from repro.util.rbtree import RedBlackTree
+
+__all__ = ["WriteStore"]
+
+_Record = Union[FromRecord, ToRecord]
+
+
+class WriteStore:
+    """A sorted in-memory buffer of From or To records.
+
+    Parameters
+    ----------
+    table:
+        ``"from"`` or ``"to"``; determines the record type accepted and is
+        reported in diagnostics.
+    """
+
+    def __init__(self, table: str) -> None:
+        if table not in ("from", "to"):
+            raise ValueError(f"unknown table {table!r}")
+        self.table = table
+        self._tree = RedBlackTree()
+        self._block_counts: Dict[int, int] = {}
+        self.inserts = 0
+        self.removals = 0
+
+    # ------------------------------------------------------------ mutation
+
+    def insert(self, record: _Record) -> None:
+        """Add a record.  Duplicate keys (same identity and CP) are idempotent."""
+        self._check_type(record)
+        key = record.sort_key()
+        if key not in self._tree:
+            self._tree.insert(key, record)
+            self._block_counts[record.block] = self._block_counts.get(record.block, 0) + 1
+        self.inserts += 1
+
+    def remove(self, record: _Record) -> bool:
+        """Remove a record if present; returns True when something was removed."""
+        self._check_type(record)
+        key = record.sort_key()
+        if key not in self._tree:
+            return False
+        self._tree.delete(key)
+        self.removals += 1
+        count = self._block_counts.get(record.block, 0) - 1
+        if count <= 0:
+            self._block_counts.pop(record.block, None)
+        else:
+            self._block_counts[record.block] = count
+        return True
+
+    def clear(self) -> None:
+        """Drop every buffered record (after a successful flush)."""
+        self._tree.clear()
+        self._block_counts.clear()
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __bool__(self) -> bool:
+        return bool(self._tree)
+
+    def contains(self, block: int, inode: int, offset: int, line: int, cp: int) -> bool:
+        """Exact-match test used by proactive pruning."""
+        return (block, inode, offset, line, cp) in self._tree
+
+    def find(self, block: int, inode: int, offset: int, line: int, cp: int) -> Optional[_Record]:
+        """Return the exact record if buffered, else ``None``."""
+        return self._tree.get((block, inode, offset, line, cp))
+
+    def records_for_key(self, block: int, inode: int, offset: int, line: int) -> List[_Record]:
+        """All buffered records with the given reference identity."""
+        start = (block, inode, offset, line, 0)
+        stop = (block, inode, offset, line + 1, 0)
+        return [record for _, record in self._tree.items_range(start, stop)]
+
+    def records_for_block(self, block: int) -> List[_Record]:
+        """All buffered records for one physical block."""
+        start = (block, 0, 0, 0, 0)
+        stop = (block + 1, 0, 0, 0, 0)
+        return [record for _, record in self._tree.items_range(start, stop)]
+
+    def records_for_block_range(self, first_block: int, num_blocks: int) -> List[_Record]:
+        """All buffered records for blocks in ``[first_block, first_block + num_blocks)``."""
+        start = (first_block, 0, 0, 0, 0)
+        stop = (first_block + num_blocks, 0, 0, 0, 0)
+        return [record for _, record in self._tree.items_range(start, stop)]
+
+    def may_contain_block(self, block: int) -> bool:
+        """Cheap membership check on the distinct-block index."""
+        return block in self._block_counts
+
+    def distinct_blocks(self) -> List[int]:
+        """Sorted distinct physical blocks present in the store."""
+        return sorted(self._block_counts)
+
+    def __iter__(self) -> Iterator[_Record]:
+        """Yield records in ``(block, inode, offset, line, cp)`` order."""
+        for _, record in self._tree.items():
+            yield record
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint, for the space-overhead accounting."""
+        # Each tree node holds a 5-tuple key and a record; ~200 bytes is a
+        # conservative per-entry figure for CPython.
+        return len(self._tree) * 200
+
+    # ------------------------------------------------------------ internals
+
+    def _check_type(self, record: _Record) -> None:
+        if self.table == "from" and not isinstance(record, FromRecord):
+            raise TypeError(f"From write store cannot hold {type(record).__name__}")
+        if self.table == "to" and not isinstance(record, ToRecord):
+            raise TypeError(f"To write store cannot hold {type(record).__name__}")

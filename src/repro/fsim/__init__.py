@@ -1,0 +1,57 @@
+"""``fsim`` -- a write-anywhere file system simulator.
+
+This package is a Python re-implementation of the custom simulator the paper
+used to evaluate Backlog in isolation from a production file system.  It
+models the *metadata* behaviour of a WAFL-style write-anywhere file system:
+
+* files are trees of block pointers (inode -> indirect blocks -> data blocks),
+* no block is ever updated in place -- every logical overwrite allocates a new
+  physical block (copy-on-write) and the old block is freed only when no
+  retained snapshot still references it,
+* updates accumulate in memory and are applied at *consistency points* (CPs),
+* snapshots are retained consistency points; writable clones fork a new
+  *snapshot line*,
+* block-level deduplication can make a newly written block share an existing
+  physical block.
+
+Data block contents are never stored (exactly as in the paper's ``fsim``);
+only the back-reference metadata produced by the workload is written to the
+simulated storage device.
+"""
+
+from repro.fsim.blockdev import IOStats, MemoryBackend, DiskBackend, PageFile, StorageBackend
+from repro.fsim.cache import PageCache
+from repro.fsim.allocator import BlockAllocator
+from repro.fsim.inode import Inode
+from repro.fsim.snapshots import SnapshotId, Snapshot, SnapshotManager, SnapshotPolicy
+from repro.fsim.dedup import DedupConfig, DedupEngine
+from repro.fsim.journal import Journal, JournalRecord
+from repro.fsim.filesystem import (
+    FileSystem,
+    FileSystemConfig,
+    ReferenceListener,
+    Volume,
+)
+
+__all__ = [
+    "IOStats",
+    "MemoryBackend",
+    "DiskBackend",
+    "PageFile",
+    "StorageBackend",
+    "PageCache",
+    "BlockAllocator",
+    "Inode",
+    "SnapshotId",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotPolicy",
+    "DedupConfig",
+    "DedupEngine",
+    "Journal",
+    "JournalRecord",
+    "FileSystem",
+    "FileSystemConfig",
+    "ReferenceListener",
+    "Volume",
+]

@@ -1,0 +1,110 @@
+"""An LRU page cache in front of the storage backend.
+
+The paper's query-performance experiments (Figures 9 and 10) use a 32 MB
+cache in addition to the memory consumed by the write stores and Bloom
+filters, and clear it before every query batch to report worst-case numbers.
+This module provides that cache: it sits between the query engine and the
+read-store page files, absorbing repeated reads of the same page during a
+sorted query run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fsim.blockdev import PAGE_SIZE, PageFile
+
+__all__ = ["CacheStats", "PageCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a :class:`PageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class PageCache:
+    """A least-recently-used cache of (file name, page index) -> page bytes.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum amount of page data retained; the paper's evaluation uses
+        32 MB.  A capacity of 0 disables caching entirely (every read goes to
+        the backend), which is occasionally useful in benchmarks.
+    """
+
+    def __init__(self, capacity_bytes: int = 32 * 1024 * 1024) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_pages = capacity_bytes // PAGE_SIZE
+        self._entries: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return len(self._entries) * PAGE_SIZE
+
+    def read_page(self, page_file: PageFile, index: int) -> bytes:
+        """Read a page through the cache."""
+        key = (page_file.name, index)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        data = page_file.read_page(index)
+        self._insert(key, data)
+        return data
+
+    def peek(self, name: str, index: int) -> Optional[bytes]:
+        """Return a cached page without touching LRU order (testing hook)."""
+        return self._entries.get((name, index))
+
+    def invalidate_file(self, name: str) -> None:
+        """Drop every cached page belonging to ``name``.
+
+        Called when compaction deletes a read-store run so stale pages cannot
+        be served for a recreated file of the same name.
+        """
+        stale = [key for key in self._entries if key[0] == name]
+        for key in stale:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        """Drop the entire cache contents (used before query benchmarks)."""
+        self._entries.clear()
+
+    def _insert(self, key: Tuple[str, int], data: bytes) -> None:
+        if self.capacity_pages == 0:
+            return
+        self._entries[key] = data
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity_pages:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1

@@ -1,0 +1,155 @@
+"""Block-level deduplication emulation.
+
+The paper's simulator exposes two knobs (§5): the percentage of newly written
+blocks that duplicate existing blocks, and the distribution of how those
+duplicates are shared.  With the configuration used in the evaluation (10 %
+duplicates, sharing skewed towards lightly shared blocks) the resulting file
+system has roughly 75-78 % of blocks with reference count 1, 18 % with count
+2, 5 % with count 3, and a rapidly decaying tail.
+
+The emulation never looks at data contents (the simulator stores none); it
+simply decides, for each newly written block, whether the write is served by
+adding a reference to some existing shared block instead of allocating a new
+one, and if so, which block.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["DedupConfig", "DedupEngine"]
+
+
+@dataclass(frozen=True)
+class DedupConfig:
+    """Parameters of the deduplication emulation.
+
+    Attributes
+    ----------
+    duplicate_fraction:
+        Probability that a newly written block is a duplicate of an existing
+        block (the paper uses 0.10).
+    sharing_decay:
+        Geometric decay of the sharing distribution: a duplicate reuses a
+        block that already has ``k`` extra references with probability
+        proportional to ``sharing_decay ** k``.  Smaller values concentrate
+        sharing on lightly shared blocks, which is what produces the paper's
+        75/18/5 refcount histogram.
+    pool_size:
+        Number of recently written shareable blocks the engine keeps as
+        dedup candidates.  Bounding the pool keeps candidate selection O(1)
+        and mimics a fingerprint index with finite reach.
+    """
+
+    duplicate_fraction: float = 0.10
+    sharing_decay: float = 0.28
+    pool_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_fraction <= 1.0:
+            raise ValueError("duplicate_fraction must be in [0, 1]")
+        if not 0.0 < self.sharing_decay < 1.0:
+            raise ValueError("sharing_decay must be in (0, 1)")
+        if self.pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+
+
+class DedupEngine:
+    """Decides whether a block write deduplicates against an existing block."""
+
+    def __init__(self, config: Optional[DedupConfig] = None, seed: int = 17) -> None:
+        self.config = config or DedupConfig()
+        self._rng = random.Random(seed)
+        # The candidate pool is a list of (physical block, extra reference
+        # count) pairs; index 0 in each bucket is unused -- we bucket by the
+        # number of duplicate references already taken against the block.
+        self._pool: List[List[int]] = [[] for _ in range(8)]
+        self._pool_population = 0
+        self.duplicates_served = 0
+        self.blocks_observed = 0
+
+    def observe_new_block(self, physical_block: int) -> None:
+        """Register a freshly allocated block as a future dedup candidate."""
+        self.blocks_observed += 1
+        bucket = self._pool[0]
+        bucket.append(physical_block)
+        self._pool_population += 1
+        if self._pool_population > self.config.pool_size:
+            self._evict_one()
+
+    def forget_block(self, physical_block: int) -> None:
+        """Remove a block from the candidate pool (it was freed).
+
+        The pool is bounded and approximate, so a block may simply not be
+        present; that is not an error.
+        """
+        for bucket in self._pool:
+            try:
+                bucket.remove(physical_block)
+            except ValueError:
+                continue
+            self._pool_population -= 1
+            return
+
+    def maybe_duplicate(self) -> Optional[int]:
+        """Return an existing block to share, or ``None`` to allocate fresh.
+
+        When a block is returned, the engine records that the block has one
+        more sharer, shifting it to a higher bucket so that the sharing
+        distribution decays geometrically.
+        """
+        if self._pool_population == 0:
+            return None
+        if self._rng.random() >= self.config.duplicate_fraction:
+            return None
+        bucket_index = self._choose_bucket()
+        if bucket_index is None:
+            return None
+        bucket = self._pool[bucket_index]
+        position = self._rng.randrange(len(bucket))
+        block = bucket.pop(position)
+        # Promote the block to the next sharing level (or drop it from the
+        # pool if it is already maximally shared for our purposes).
+        if bucket_index + 1 < len(self._pool):
+            self._pool[bucket_index + 1].append(block)
+        else:
+            self._pool_population -= 1
+        self.duplicates_served += 1
+        return block
+
+    # ------------------------------------------------------------------ misc
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Observed fraction of writes served by deduplication."""
+        total = self.blocks_observed + self.duplicates_served
+        if total == 0:
+            return 0.0
+        return self.duplicates_served / total
+
+    def _choose_bucket(self) -> Optional[int]:
+        decay = self.config.sharing_decay
+        weights = []
+        for level, bucket in enumerate(self._pool):
+            if bucket:
+                weights.append((level, len(bucket) * (decay ** level)))
+        if not weights:
+            return None
+        total = sum(w for _, w in weights)
+        pick = self._rng.random() * total
+        cumulative = 0.0
+        for level, weight in weights:
+            cumulative += weight
+            if pick <= cumulative:
+                return level
+        return weights[-1][0]
+
+    def _evict_one(self) -> None:
+        """Evict the oldest level-0 candidate (or any candidate if none)."""
+        for bucket in self._pool:
+            if bucket:
+                bucket.pop(0)
+                self._pool_population -= 1
+                return

@@ -1,0 +1,439 @@
+"""The write-anywhere file system simulator.
+
+:class:`FileSystem` ties the substrate together: volumes (one per snapshot
+line), inodes, copy-on-write block allocation, deduplication, consistency
+points, snapshots, writable clones, and the listener interface through which
+a back-reference implementation (Backlog or one of the baselines) observes
+every reference change.
+
+The simulator follows the paper's ``fsim`` in storing *only metadata*: data
+block contents are never materialised, and the only thing written to the
+simulated storage device is whatever the attached back-reference
+implementation chooses to persist.
+
+Consistency-point semantics
+---------------------------
+The global CP number starts at 1.  Every block operation performed after CP
+``n-1`` completes and before CP ``n`` completes is tagged with CP number
+``n``; completing a consistency point captures snapshot version ``n`` in each
+volume's line and advances the global CP number.  This matches the paper's
+convention that a snapshot's version is the global CP number at which it was
+created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.fsim.allocator import BlockAllocator
+from repro.fsim.blockdev import PAGE_SIZE
+from repro.fsim.dedup import DedupConfig, DedupEngine
+from repro.fsim.inode import Inode
+from repro.fsim.journal import Journal
+from repro.fsim.snapshots import SnapshotId, SnapshotManager, SnapshotPolicy
+
+__all__ = ["FileSystemConfig", "ReferenceListener", "Volume", "FileSystem"]
+
+
+class ReferenceListener:
+    """Interface through which back-reference implementations observe the FS.
+
+    Backlog (and each baseline) subclasses this and receives a callback for
+    every reference addition and removal, for every consistency point, and
+    for the snapshot events that affect back-reference bookkeeping.  All
+    callbacks are synchronous and must not mutate the file system.
+    """
+
+    def on_reference_added(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """A live pointer (inode, offset) -> block was created in ``line`` at CP ``cp``."""
+
+    def on_reference_removed(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """A live pointer (inode, offset) -> block was removed in ``line`` at CP ``cp``."""
+
+    def on_consistency_point(self, cp: int) -> None:
+        """Consistency point ``cp`` is completing; durable state must be flushed."""
+
+    def on_clone_created(self, new_line: int, parent_line: int, parent_version: int, cp: int) -> None:
+        """A writable clone ``new_line`` was created from ``(parent_line, parent_version)``."""
+
+    def on_snapshot_deleted(self, line: int, version: int, is_zombie: bool, cp: int) -> None:
+        """Snapshot ``(line, version)`` was deleted; ``is_zombie`` if clones remain."""
+
+
+@dataclass(frozen=True)
+class FileSystemConfig:
+    """Tunable parameters of the simulated file system.
+
+    The defaults mirror the paper's WAFL-like configuration: 4 KB blocks and
+    a consistency point after every 32 000 block operations.  (The wall-clock
+    10-second CP trigger is expressed by workloads explicitly calling
+    :meth:`FileSystem.take_consistency_point`, since the simulator has no
+    real-time clock.)
+    """
+
+    block_size: int = PAGE_SIZE
+    ops_per_cp: int = 32_000
+    auto_cp: bool = True
+    dedup: Optional[DedupConfig] = DedupConfig()
+    snapshot_policy: SnapshotPolicy = field(default_factory=SnapshotPolicy)
+    journal_enabled: bool = True
+    dedup_seed: int = 17
+
+
+@dataclass
+class Volume:
+    """A writable file-system image: the live head of one snapshot line."""
+
+    line: int
+    inodes: Dict[int, Inode] = field(default_factory=dict)
+    next_inode: int = 2  # inode 1 is reserved for the root directory, as usual
+    #: Inode numbers whose Inode object is shared with a retained snapshot and
+    #: must be copied before modification (inode-granularity copy-on-write).
+    frozen: Set[int] = field(default_factory=set)
+
+    def writable_inode(self, inode_number: int) -> Inode:
+        """Return the inode, copying it first if a snapshot shares it."""
+        inode = self.inodes[inode_number]
+        if inode_number in self.frozen:
+            inode = inode.copy()
+            self.inodes[inode_number] = inode
+            self.frozen.discard(inode_number)
+        return inode
+
+    def freeze_all(self) -> None:
+        """Mark every inode as shared with the snapshot just captured."""
+        self.frozen = set(self.inodes)
+
+    @property
+    def num_files(self) -> int:
+        return len(self.inodes)
+
+    def total_block_references(self) -> int:
+        return sum(inode.num_blocks for inode in self.inodes.values())
+
+
+@dataclass
+class FileSystemCounters:
+    """Aggregate activity counters used by the benchmark harness."""
+
+    block_ops: int = 0               # reference additions + removals
+    data_block_writes: int = 0       # COW data-block writes (new allocations + dedup refs)
+    meta_block_writes: int = 0       # inode/indirect/root writes charged at CPs
+    read_ops: int = 0
+    files_created: int = 0
+    files_deleted: int = 0
+    consistency_points: int = 0
+    clones_created: int = 0
+    snapshots_deleted: int = 0
+
+
+class FileSystem:
+    """A write-anywhere file system with snapshots, clones and deduplication."""
+
+    def __init__(
+        self,
+        config: Optional[FileSystemConfig] = None,
+        listeners: Optional[Iterable[ReferenceListener]] = None,
+    ) -> None:
+        self.config = config or FileSystemConfig()
+        self.listeners: List[ReferenceListener] = list(listeners or [])
+        self.allocator = BlockAllocator()
+        self.snapshots = SnapshotManager(self.config.snapshot_policy)
+        self.dedup = (
+            DedupEngine(self.config.dedup, seed=self.config.dedup_seed)
+            if self.config.dedup is not None
+            else None
+        )
+        self.journal = Journal() if self.config.journal_enabled else None
+        self.counters = FileSystemCounters()
+        self.global_cp = 1
+        self._ops_since_cp = 0
+        self._dirty_inodes: Set[Tuple[int, int]] = set()
+        self.volumes: Dict[int, Volume] = {0: Volume(line=0)}
+        self.snapshots.register_line(0, None)
+
+    # ------------------------------------------------------------- listeners
+
+    def add_listener(self, listener: ReferenceListener) -> None:
+        """Attach a back-reference implementation (or any observer)."""
+        self.listeners.append(listener)
+
+    def remove_listener(self, listener: ReferenceListener) -> None:
+        self.listeners.remove(listener)
+
+    # ------------------------------------------------------------ file API
+
+    def volume(self, line: int = 0) -> Volume:
+        """The writable volume at the head of ``line``."""
+        try:
+            return self.volumes[line]
+        except KeyError:
+            raise KeyError(f"no writable volume for line {line}") from None
+
+    def create_file(self, num_blocks: int = 0, line: int = 0) -> int:
+        """Create a new file with ``num_blocks`` freshly written blocks."""
+        volume = self.volume(line)
+        inode_number = volume.next_inode
+        volume.next_inode += 1
+        volume.inodes[inode_number] = Inode(number=inode_number)
+        self.counters.files_created += 1
+        if num_blocks:
+            self.write(inode_number, 0, num_blocks, line=line)
+        else:
+            self._mark_dirty(line, inode_number)
+        return inode_number
+
+    def write(self, inode: int, offset: int, num_blocks: int = 1, line: int = 0) -> None:
+        """Write (copy-on-write) ``num_blocks`` blocks starting at ``offset``."""
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        volume = self.volume(line)
+        if inode not in volume.inodes:
+            raise KeyError(f"inode {inode} does not exist in line {line}")
+        node = volume.writable_inode(inode)
+        for logical in range(offset, offset + num_blocks):
+            self._write_block(volume, node, logical)
+        self._mark_dirty(line, inode)
+        self._maybe_auto_cp()
+
+    def append(self, inode: int, num_blocks: int = 1, line: int = 0) -> None:
+        """Append ``num_blocks`` blocks at the end of the file."""
+        volume = self.volume(line)
+        node = volume.inodes[inode]
+        self.write(inode, node.size_blocks, num_blocks, line=line)
+
+    def read(self, inode: int, offset: int, num_blocks: int = 1, line: int = 0) -> List[Optional[int]]:
+        """Read block pointers (metadata-only read; counted but otherwise free)."""
+        volume = self.volume(line)
+        node = volume.inodes[inode]
+        self.counters.read_ops += num_blocks
+        return [node.physical_block(off) for off in range(offset, offset + num_blocks)]
+
+    def truncate(self, inode: int, new_size_blocks: int, line: int = 0) -> int:
+        """Truncate a file, dropping references beyond ``new_size_blocks``.
+
+        Returns the number of block references removed.
+        """
+        volume = self.volume(line)
+        node = volume.writable_inode(inode)
+        removed = node.truncate(new_size_blocks)
+        for offset, block in removed:
+            self._remove_reference(volume, inode, offset, block)
+        if removed:
+            self._mark_dirty(line, inode)
+            self._maybe_auto_cp()
+        return len(removed)
+
+    def delete_file(self, inode: int, line: int = 0) -> int:
+        """Delete a file, removing every block reference it held.
+
+        Returns the number of block references removed.
+        """
+        volume = self.volume(line)
+        node = volume.writable_inode(inode)
+        removed = node.truncate(0)
+        for offset, block in removed:
+            self._remove_reference(volume, inode, offset, block)
+        del volume.inodes[inode]
+        volume.frozen.discard(inode)
+        self._dirty_inodes.discard((line, inode))
+        self.counters.files_deleted += 1
+        self._maybe_auto_cp()
+        return len(removed)
+
+    def file_size(self, inode: int, line: int = 0) -> int:
+        """Logical size of a file in blocks."""
+        return self.volume(line).inodes[inode].size_blocks
+
+    def list_files(self, line: int = 0) -> List[int]:
+        """Inode numbers of all files in the live image of ``line``."""
+        return sorted(self.volume(line).inodes)
+
+    # ---------------------------------------------------- consistency points
+
+    def take_consistency_point(self) -> int:
+        """Complete the current consistency point and return its CP number."""
+        cp = self.global_cp
+        # Charge the metadata writes the write-anywhere update chain implies:
+        # every dirty inode rewrites its inode block and indirect blocks, and
+        # the volume root / superblock is rewritten once per dirty volume.
+        dirty_volumes: Set[int] = set()
+        for line, inode_number in self._dirty_inodes:
+            volume = self.volumes.get(line)
+            if volume is None or inode_number not in volume.inodes:
+                continue
+            self.counters.meta_block_writes += volume.inodes[inode_number].meta_blocks()
+            dirty_volumes.add(line)
+        self.counters.meta_block_writes += len(dirty_volumes) + 1  # roots + superblock
+        self._dirty_inodes.clear()
+
+        # Let the attached back-reference implementations flush.
+        for listener in self.listeners:
+            listener.on_consistency_point(cp)
+
+        # Capture a snapshot of every volume at this CP and apply retention.
+        for line, volume in self.volumes.items():
+            self.snapshots.capture(line, cp, dict(volume.inodes))
+            volume.freeze_all()
+            for deleted in self.snapshots.apply_retention(line, cp):
+                self.counters.snapshots_deleted += 1
+                for listener in self.listeners:
+                    listener.on_snapshot_deleted(deleted.line, deleted.version, False, cp)
+
+        # The journal's contents are now durable via the CP.
+        if self.journal is not None:
+            self.journal.truncate()
+
+        # Blocks whose lifetime no longer overlaps any retained version can go
+        # back to the free pool.
+        self.allocator.reclaim(self.snapshots.all_retained_versions(cp))
+
+        self.counters.consistency_points += 1
+        self.global_cp = cp + 1
+        self._ops_since_cp = 0
+        return cp
+
+    # -------------------------------------------------- snapshots and clones
+
+    def take_snapshot(self, line: int = 0) -> SnapshotId:
+        """Force a consistency point and return the snapshot id it captured."""
+        cp = self.take_consistency_point()
+        return SnapshotId(line, cp)
+
+    def create_clone(self, parent_line: int, parent_version: Optional[int] = None) -> int:
+        """Create a writable clone of a snapshot and return its new line id.
+
+        If ``parent_version`` is omitted the most recent retained snapshot of
+        ``parent_line`` is used (taking one first if none exists).
+        """
+        if parent_version is None:
+            versions = self.snapshots.versions(parent_line)
+            if not versions:
+                self.take_consistency_point()
+                versions = self.snapshots.versions(parent_line)
+            parent_version = versions[-1]
+        parent_id = SnapshotId(parent_line, parent_version)
+        snapshot = self.snapshots.get(parent_id)
+        new_line = self.snapshots.new_line(parent_id)
+
+        clone_volume = Volume(line=new_line)
+        clone_volume.inodes = dict(snapshot.inodes)
+        clone_volume.freeze_all()
+        clone_volume.next_inode = max(clone_volume.inodes, default=1) + 1
+        self.volumes[new_line] = clone_volume
+
+        # The clone's image makes every block in the snapshot live again (or
+        # more shared); this is pure allocator bookkeeping -- structural
+        # inheritance means no back-reference records are written.
+        for inode in snapshot.inodes.values():
+            for _, block in inode.iter_blocks():
+                self.allocator.add_ref_or_revive(block)
+
+        self.counters.clones_created += 1
+        cp = self.global_cp
+        for listener in self.listeners:
+            listener.on_clone_created(new_line, parent_line, parent_version, cp)
+        return new_line
+
+    def delete_clone(self, line: int) -> None:
+        """Delete a writable clone volume and all references it holds."""
+        if line == 0:
+            raise ValueError("cannot delete the root volume")
+        volume = self.volume(line)
+        for inode_number in list(volume.inodes):
+            self.delete_file(inode_number, line=line)
+        del self.volumes[line]
+
+    def delete_snapshot(self, line: int, version: int) -> bool:
+        """Delete a retained snapshot; returns True if it became a zombie."""
+        is_zombie = self.snapshots.delete(SnapshotId(line, version))
+        self.counters.snapshots_deleted += 1
+        cp = self.global_cp
+        for listener in self.listeners:
+            listener.on_snapshot_deleted(line, version, is_zombie, cp)
+        return is_zombie
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def physical_data_bytes(self) -> int:
+        """Bytes of physical data currently pinned on the (virtual) data disk."""
+        return self.allocator.physical_blocks_in_use * self.config.block_size
+
+    def live_lines(self) -> List[int]:
+        """Lines with a writable volume or at least one retained snapshot."""
+        lines = set(self.volumes)
+        for snap in self.snapshots.all_snapshots():
+            lines.add(snap.line)
+        return sorted(lines)
+
+    def iter_live_references(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Yield ``(block, inode, offset, line)`` for every live reference."""
+        for line, volume in sorted(self.volumes.items()):
+            for inode_number, inode in sorted(volume.inodes.items()):
+                for offset, block in inode.iter_blocks():
+                    yield block, inode_number, offset, line
+
+    def iter_snapshot_references(self) -> Iterator[Tuple[int, int, int, int, int]]:
+        """Yield ``(block, inode, offset, line, version)`` for retained snapshots."""
+        for snap in self.snapshots.all_snapshots():
+            for inode_number, inode in sorted(snap.inodes.items()):
+                for offset, block in inode.iter_blocks():
+                    yield block, inode_number, offset, snap.line, snap.version
+
+    # --------------------------------------------------------------- internals
+
+    def _mark_dirty(self, line: int, inode: int) -> None:
+        self._dirty_inodes.add((line, inode))
+
+    def _maybe_auto_cp(self) -> None:
+        if self.config.auto_cp and self._ops_since_cp >= self.config.ops_per_cp:
+            self.take_consistency_point()
+
+    def _write_block(self, volume: Volume, node: Inode, offset: int) -> None:
+        """Copy-on-write one logical block of ``node``."""
+        cp = self.global_cp
+        previous = node.physical_block(offset)
+
+        duplicate = self.dedup.maybe_duplicate() if self.dedup is not None else None
+        if duplicate is not None and self.allocator.is_allocated(duplicate) and duplicate != previous:
+            block = duplicate
+            self.allocator.add_ref(block)
+        else:
+            block = self.allocator.allocate(cp)
+            if self.dedup is not None:
+                self.dedup.observe_new_block(block)
+
+        node.set_block(offset, block)
+        self.counters.data_block_writes += 1
+        self._notify_added(block, node.number, offset, volume.line, cp)
+
+        if previous is not None:
+            self._drop_block(volume, node.number, offset, previous, cp)
+
+    def _remove_reference(self, volume: Volume, inode: int, offset: int, block: int) -> None:
+        cp = self.global_cp
+        self._drop_block(volume, inode, offset, block, cp)
+
+    def _drop_block(self, volume: Volume, inode: int, offset: int, block: int, cp: int) -> None:
+        remaining = self.allocator.drop_ref(block, cp)
+        if remaining == 0 and self.dedup is not None:
+            self.dedup.forget_block(block)
+        self._notify_removed(block, inode, offset, volume.line, cp)
+
+    def _notify_added(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        self.counters.block_ops += 1
+        self._ops_since_cp += 1
+        if self.journal is not None:
+            self.journal.log_add(block, inode, offset, line, cp)
+        for listener in self.listeners:
+            listener.on_reference_added(block, inode, offset, line, cp)
+
+    def _notify_removed(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        self.counters.block_ops += 1
+        self._ops_since_cp += 1
+        if self.journal is not None:
+            self.journal.log_remove(block, inode, offset, line, cp)
+        for listener in self.listeners:
+            listener.on_reference_removed(block, inode, offset, line, cp)

@@ -1,0 +1,117 @@
+"""Inodes: the logical objects that own physical blocks.
+
+An inode is modelled as an ordered mapping from logical file offset (in
+blocks) to physical block number.  Indirect blocks are not materialised as
+separate objects -- the simulator only needs to know *how many* metadata
+blocks a file of a given size dirties at a consistency point, which
+:meth:`Inode.meta_blocks` computes from the pointer fan-out -- but the
+logical->physical map itself is exact, because that is what back references
+are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["POINTERS_PER_INDIRECT_BLOCK", "Inode"]
+
+#: Number of 64-bit block pointers that fit in one 4 KB indirect block.
+POINTERS_PER_INDIRECT_BLOCK = 512
+
+
+@dataclass
+class Inode:
+    """A file (or other filesystem object) owning a set of physical blocks.
+
+    Attributes
+    ----------
+    number:
+        The inode number, unique within a volume (and stable across clones,
+        which is what makes structural inheritance work).
+    blocks:
+        Mapping of logical block offset -> physical block number.  Sparse
+        files simply omit offsets.
+    """
+
+    number: int
+    blocks: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of allocated logical blocks (holes excluded)."""
+        return len(self.blocks)
+
+    @property
+    def size_blocks(self) -> int:
+        """Logical size in blocks: one past the highest allocated offset."""
+        if not self.blocks:
+            return 0
+        return max(self.blocks) + 1
+
+    def physical_block(self, offset: int) -> Optional[int]:
+        """Physical block backing logical ``offset``, or ``None`` for a hole."""
+        return self.blocks.get(offset)
+
+    def offsets_of(self, physical_block: int) -> List[int]:
+        """All logical offsets that point at ``physical_block``.
+
+        A deduplicated file may reference the same physical block from more
+        than one offset.
+        """
+        return sorted(off for off, blk in self.blocks.items() if blk == physical_block)
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(offset, physical_block)`` in offset order."""
+        return iter(sorted(self.blocks.items()))
+
+    def meta_blocks(self) -> int:
+        """Metadata blocks dirtied when this inode changes within a CP.
+
+        One block for the inode itself plus enough single-level indirect
+        blocks to hold all of its block pointers.  This is only used for
+        accounting the base (non-Backlog) cost of a consistency point.
+        """
+        size = self.size_blocks
+        indirect = (size + POINTERS_PER_INDIRECT_BLOCK - 1) // POINTERS_PER_INDIRECT_BLOCK
+        return 1 + indirect
+
+    # -------------------------------------------------------------- mutation
+
+    def set_block(self, offset: int, physical_block: int) -> Optional[int]:
+        """Point logical ``offset`` at ``physical_block``.
+
+        Returns the physical block previously mapped at that offset (the
+        caller is responsible for dropping its reference), or ``None`` if the
+        offset was a hole.
+        """
+        if offset < 0:
+            raise ValueError(f"negative file offset {offset}")
+        previous = self.blocks.get(offset)
+        self.blocks[offset] = physical_block
+        return previous
+
+    def clear_block(self, offset: int) -> Optional[int]:
+        """Remove the mapping at ``offset`` and return the old physical block."""
+        return self.blocks.pop(offset, None)
+
+    def truncate(self, new_size_blocks: int) -> List[Tuple[int, int]]:
+        """Truncate the file to ``new_size_blocks`` logical blocks.
+
+        Returns the ``(offset, physical_block)`` pairs that were removed, in
+        offset order, so the caller can drop their references.
+        """
+        if new_size_blocks < 0:
+            raise ValueError("cannot truncate to a negative size")
+        removed = [
+            (off, blk) for off, blk in sorted(self.blocks.items()) if off >= new_size_blocks
+        ]
+        for off, _ in removed:
+            del self.blocks[off]
+        return removed
+
+    def copy(self) -> "Inode":
+        """Return an independent copy (used when freezing snapshots)."""
+        return Inode(number=self.number, blocks=dict(self.blocks))

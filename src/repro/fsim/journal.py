@@ -1,0 +1,98 @@
+"""A logical operation journal for crash recovery.
+
+Write-anywhere file systems that keep a journal (on disk or NVRAM) can replay
+operations issued since the last consistency point to recover state lost in a
+crash.  Backlog relies on exactly this property (§5.4): the write stores live
+only in memory between consistency points, and after a failure they are
+rebuilt by replaying the journal alongside the rest of the file system state.
+
+The journal records *logical* back-reference events -- reference added,
+reference removed -- rather than file-system operations, because that is the
+granularity at which the write store must be reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+__all__ = ["JournalRecord", "Journal"]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One logical event since the last consistency point.
+
+    ``kind`` is ``"add"`` or ``"remove"``; the remaining fields identify the
+    back reference exactly as the write store sees it.
+    """
+
+    kind: str
+    block: int
+    inode: int
+    offset: int
+    line: int
+    cp: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "remove"):
+            raise ValueError(f"unknown journal record kind {self.kind!r}")
+
+
+class Journal:
+    """Accumulates records between consistency points.
+
+    The journal is truncated when a consistency point completes (all state it
+    protected is now durable).  ``replay`` feeds the records since the last
+    CP back into a pair of callbacks, which is how
+    :class:`repro.core.recovery.RecoveryManager` rebuilds the write stores.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[JournalRecord] = []
+        self._records_since_mount: int = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def log_add(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Record that a reference (block <- inode/offset in line) was added."""
+        self._records.append(JournalRecord("add", block, inode, offset, line, cp))
+        self._records_since_mount += 1
+
+    def log_remove(self, block: int, inode: int, offset: int, line: int, cp: int) -> None:
+        """Record that a reference was removed."""
+        self._records.append(JournalRecord("remove", block, inode, offset, line, cp))
+        self._records_since_mount += 1
+
+    def truncate(self) -> int:
+        """Discard all records (called when a consistency point completes).
+
+        Returns the number of records discarded.
+        """
+        count = len(self._records)
+        self._records.clear()
+        return count
+
+    def records(self) -> Tuple[JournalRecord, ...]:
+        """The records logged since the last consistency point."""
+        return tuple(self._records)
+
+    def replay(
+        self,
+        on_add: Callable[[int, int, int, int, int], None],
+        on_remove: Callable[[int, int, int, int, int], None],
+    ) -> int:
+        """Replay pending records into the provided callbacks.
+
+        Returns the number of records replayed.
+        """
+        for record in self._records:
+            if record.kind == "add":
+                on_add(record.block, record.inode, record.offset, record.line, record.cp)
+            else:
+                on_remove(record.block, record.inode, record.offset, record.line, record.cp)
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JournalRecord]:
+        return iter(self._records)

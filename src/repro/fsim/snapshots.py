@@ -1,0 +1,269 @@
+"""Snapshot lines, versions, writable clones, and retention.
+
+The paper models the snapshot space as *lines* (Figure 3): taking a
+consistency point creates a new version within the latest line, while creating
+a writable clone of an existing snapshot starts a new line.  A snapshot or
+consistency point is uniquely identified by the pair ``(line, version)`` where
+``version`` is the global CP number at which it was captured.
+
+This module tracks:
+
+* which snapshot versions exist and are retained in each line (the retention
+  policy mirrors the paper's configuration of a few recent CPs promoted to
+  hourly and nightly snapshots),
+* the clone parentage graph (needed by Backlog's structural-inheritance
+  expansion at query time), and
+* *zombies* -- snapshots that have been deleted but were previously cloned,
+  whose back references must not be purged while descendants remain
+  (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.fsim.inode import Inode
+
+__all__ = ["SnapshotId", "Snapshot", "SnapshotPolicy", "SnapshotManager"]
+
+
+class SnapshotId(NamedTuple):
+    """Identity of a snapshot or consistency point."""
+
+    line: int
+    version: int
+
+
+@dataclass
+class Snapshot:
+    """A retained point-in-time image of one volume.
+
+    The inode table is a shallow copy of the volume's table at capture time;
+    individual :class:`~repro.fsim.inode.Inode` objects are shared with the
+    live volume until the volume modifies them (inode-granularity
+    copy-on-write, handled by the file system).
+    """
+
+    line: int
+    version: int
+    inodes: Dict[int, Inode]
+    kind: str = "cp"  # "cp", "hourly", "nightly", or "user"
+
+    @property
+    def id(self) -> SnapshotId:
+        return SnapshotId(self.line, self.version)
+
+    def total_block_references(self) -> int:
+        """Total number of (inode, offset) -> block pointers in this image."""
+        return sum(inode.num_blocks for inode in self.inodes.values())
+
+
+@dataclass(frozen=True)
+class SnapshotPolicy:
+    """Which consistency points are promoted to retained snapshots.
+
+    The defaults approximate the paper's configuration: four hourly and four
+    nightly snapshots, plus a handful of the most recent consistency points.
+    Because the simulator's notion of time is the global CP number, "hourly"
+    and "nightly" are expressed as CP strides.
+    """
+
+    recent_cps: int = 4
+    hourly_retained: int = 4
+    nightly_retained: int = 4
+    cps_per_hour: int = 10
+    cps_per_night: int = 100
+
+    def classify(self, cp_number: int) -> str:
+        """Return the strongest promotion this CP is eligible for."""
+        if self.cps_per_night > 0 and cp_number % self.cps_per_night == 0:
+            return "nightly"
+        if self.cps_per_hour > 0 and cp_number % self.cps_per_hour == 0:
+            return "hourly"
+        return "cp"
+
+
+class SnapshotManager:
+    """Tracks snapshot lines, retained versions, clones and zombies."""
+
+    def __init__(self, policy: Optional[SnapshotPolicy] = None) -> None:
+        self.policy = policy or SnapshotPolicy()
+        self._snapshots: Dict[SnapshotId, Snapshot] = {}
+        #: line -> (parent line, parent version); line 0 has no parent.
+        self._parents: Dict[int, Optional[SnapshotId]] = {0: None}
+        #: (line, version) -> set of child lines cloned from that snapshot.
+        self._children: Dict[SnapshotId, Set[int]] = {}
+        self._next_line = 1
+        #: Deleted-but-cloned snapshots whose back references must survive.
+        self._zombies: Set[SnapshotId] = set()
+        #: Snapshots deleted outright (their versions can be masked away).
+        self._deleted_versions: Dict[int, Set[int]] = {}
+
+    # -------------------------------------------------------------- creation
+
+    def register_line(self, line: int, parent: Optional[SnapshotId]) -> None:
+        """Record the existence of a snapshot line (used for the root volume)."""
+        self._parents.setdefault(line, parent)
+
+    def new_line(self, parent: SnapshotId) -> int:
+        """Start a new line cloned from ``parent`` and return its id."""
+        if parent not in self._snapshots:
+            raise KeyError(f"cannot clone unknown snapshot {parent}")
+        line = self._next_line
+        self._next_line += 1
+        self._parents[line] = parent
+        self._children.setdefault(parent, set()).add(line)
+        return line
+
+    def capture(self, line: int, version: int, inodes: Dict[int, Inode]) -> Snapshot:
+        """Retain the given inode table as snapshot ``(line, version)``."""
+        if line not in self._parents:
+            raise KeyError(f"unknown snapshot line {line}")
+        snap = Snapshot(line=line, version=version, inodes=inodes,
+                        kind=self.policy.classify(version))
+        self._snapshots[snap.id] = snap
+        return snap
+
+    # -------------------------------------------------------------- deletion
+
+    def delete(self, snapshot_id: SnapshotId) -> bool:
+        """Delete a snapshot.
+
+        If the snapshot has been cloned it becomes a *zombie*: the image is
+        released but its identity is remembered so that Backlog's maintenance
+        does not purge back references that clones still inherit.  Returns
+        ``True`` when the snapshot became a zombie.
+        """
+        snapshot_id = SnapshotId(*snapshot_id)
+        if snapshot_id not in self._snapshots:
+            raise KeyError(f"unknown snapshot {snapshot_id}")
+        del self._snapshots[snapshot_id]
+        self._deleted_versions.setdefault(snapshot_id.line, set()).add(snapshot_id.version)
+        if self._children.get(snapshot_id):
+            self._zombies.add(snapshot_id)
+            return True
+        return False
+
+    def apply_retention(self, line: int, current_cp: int) -> List[SnapshotId]:
+        """Delete snapshots in ``line`` that fall outside the retention policy.
+
+        Returns the ids of the snapshots that were deleted.  Cloned snapshots
+        are never deleted by retention (they become zombies only via explicit
+        deletion), mirroring the paper's rule that cloned snapshots' back
+        references must be preserved.
+        """
+        policy = self.policy
+        versions = self.versions(line)
+        keep: Set[int] = set()
+        recent = [v for v in versions if v > current_cp - policy.recent_cps]
+        keep.update(recent)
+        hourly = [v for v in versions if self._snapshots[SnapshotId(line, v)].kind in ("hourly", "nightly")]
+        keep.update(hourly[-(policy.hourly_retained + policy.nightly_retained):])
+        nightly = [v for v in versions if self._snapshots[SnapshotId(line, v)].kind == "nightly"]
+        keep.update(nightly[-policy.nightly_retained:])
+        deleted: List[SnapshotId] = []
+        for version in versions:
+            if version in keep:
+                continue
+            sid = SnapshotId(line, version)
+            if self._children.get(sid):
+                continue
+            self.delete(sid)
+            deleted.append(sid)
+        return deleted
+
+    def drop_dead_zombies(self, live_lines: Iterable[int]) -> List[SnapshotId]:
+        """Forget zombies whose descendant lines have all been removed.
+
+        ``live_lines`` is the set of lines that still exist (have a live
+        volume or retained snapshots).  Returns the zombie ids dropped; their
+        back references become purgeable at the next maintenance run.
+        """
+        live = set(live_lines)
+        dropped: List[SnapshotId] = []
+        for zombie in sorted(self._zombies):
+            descendants = self._descendant_lines(zombie)
+            if not (descendants & live):
+                dropped.append(zombie)
+        for zombie in dropped:
+            self._zombies.discard(zombie)
+        return dropped
+
+    def _descendant_lines(self, snapshot_id: SnapshotId) -> Set[int]:
+        result: Set[int] = set()
+        frontier = list(self._children.get(snapshot_id, ()))
+        while frontier:
+            line = frontier.pop()
+            if line in result:
+                continue
+            result.add(line)
+            for sid, children in self._children.items():
+                if sid.line == line:
+                    frontier.extend(children)
+        return result
+
+    # --------------------------------------------------------------- queries
+
+    def get(self, snapshot_id: SnapshotId) -> Snapshot:
+        return self._snapshots[SnapshotId(*snapshot_id)]
+
+    def exists(self, snapshot_id: SnapshotId) -> bool:
+        return SnapshotId(*snapshot_id) in self._snapshots
+
+    def versions(self, line: int) -> List[int]:
+        """Sorted retained snapshot versions in ``line``."""
+        return sorted(v for (ln, v) in self._snapshots if ln == line)
+
+    def all_snapshots(self) -> List[Snapshot]:
+        return [self._snapshots[sid] for sid in sorted(self._snapshots)]
+
+    def lines(self) -> List[int]:
+        return sorted(self._parents)
+
+    def parent_of(self, line: int) -> Optional[SnapshotId]:
+        """The snapshot from which ``line`` was cloned (None for the root line)."""
+        return self._parents.get(line)
+
+    def clones_of(self, snapshot_id: SnapshotId) -> List[int]:
+        """Lines cloned directly from the given snapshot."""
+        return sorted(self._children.get(SnapshotId(*snapshot_id), ()))
+
+    def clone_points(self, line: int) -> List[Tuple[int, SnapshotId]]:
+        """All ``(child_line, cloned_snapshot)`` pairs whose parent is ``line``."""
+        result = []
+        for sid, children in self._children.items():
+            if sid.line == line:
+                for child in children:
+                    result.append((child, sid))
+        return sorted(result)
+
+    def zombies(self) -> List[SnapshotId]:
+        return sorted(self._zombies)
+
+    def is_zombie(self, snapshot_id: SnapshotId) -> bool:
+        return SnapshotId(*snapshot_id) in self._zombies
+
+    def deleted_versions(self, line: int) -> List[int]:
+        """Versions of ``line`` that have been deleted (excluding zombies)."""
+        dead = self._deleted_versions.get(line, set())
+        return sorted(v for v in dead if SnapshotId(line, v) not in self._zombies)
+
+    def retained_versions(self, line: int, current_cp: Optional[int] = None) -> List[int]:
+        """Versions still reachable in ``line``: retained snapshots and zombies.
+
+        If ``current_cp`` is given it is included to represent the live file
+        system image of the line.
+        """
+        versions = set(self.versions(line))
+        versions.update(v for (ln, v) in self._zombies if ln == line)
+        if current_cp is not None:
+            versions.add(current_cp)
+        return sorted(versions)
+
+    def all_retained_versions(self, current_cp: Optional[int] = None) -> List[int]:
+        """Union of retained versions across all lines (for block reclaim)."""
+        versions: Set[int] = set()
+        for line in self.lines():
+            versions.update(self.retained_versions(line, current_cp))
+        return sorted(versions)

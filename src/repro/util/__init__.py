@@ -1,0 +1,28 @@
+"""Utility data structures shared across the Backlog reproduction.
+
+This package contains small, dependency-free building blocks:
+
+* :mod:`repro.util.rbtree` -- a left-leaning red-black tree used as the
+  in-memory write store (the paper's btrfs port uses Linux red-black trees
+  for the same purpose).
+* :mod:`repro.util.intervals` -- helpers for working with half-open version
+  ranges ``[from, to)`` used by back-reference records.
+"""
+
+from repro.util.rbtree import RedBlackTree
+from repro.util.intervals import (
+    INFINITY,
+    VersionRange,
+    intersect_ranges,
+    merge_adjacent_ranges,
+    subtract_versions,
+)
+
+__all__ = [
+    "RedBlackTree",
+    "INFINITY",
+    "VersionRange",
+    "intersect_ranges",
+    "merge_adjacent_ranges",
+    "subtract_versions",
+]

@@ -1,0 +1,384 @@
+"""A red-black tree with sorted and range iteration.
+
+The Backlog write store buffers back-reference records between consistency
+points and must support:
+
+* O(log n) insert, delete and exact lookup,
+* in-order iteration (so a read-store run can be built bottom-up without
+  sorting), and
+* range iteration from an arbitrary key (used by proactive pruning, which
+  looks for a matching record with the same ``(block, inode, offset, line)``
+  prefix and the current consistency-point number).
+
+The paper's ``fsim`` prototype used a Berkeley DB in-memory B-tree and the
+btrfs port used Linux red-black trees; this module provides the equivalent
+structure in pure Python.  Keys may be any totally ordered values (the write
+store uses tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = ["RedBlackTree"]
+
+_RED = True
+_BLACK = False
+
+
+class _Node:
+    """Internal tree node.  Not part of the public API."""
+
+    __slots__ = ("key", "value", "left", "right", "color", "size")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.color = _RED
+        self.size = 1
+
+
+def _is_red(node: Optional[_Node]) -> bool:
+    return node is not None and node.color is _RED
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+class RedBlackTree:
+    """A left-leaning red-black binary search tree.
+
+    The tree maps keys to values; inserting an existing key replaces its
+    value.  Iteration yields ``(key, value)`` pairs in key order.
+
+    Example
+    -------
+    >>> t = RedBlackTree()
+    >>> t.insert((5, 'a'), 1)
+    >>> t.insert((3, 'b'), 2)
+    >>> [k for k, _ in t]
+    [(3, 'b'), (5, 'a')]
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------ size
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    # --------------------------------------------------------------- queries
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def __getitem__(self, key: Any) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node
+        return None
+
+    def min_key(self) -> Any:
+        """Return the smallest key in the tree.
+
+        Raises ``KeyError`` if the tree is empty.
+        """
+        if self._root is None:
+            raise KeyError("min_key() on an empty tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> Any:
+        """Return the largest key in the tree.
+
+        Raises ``KeyError`` if the tree is empty.
+        """
+        if self._root is None:
+            raise KeyError("max_key() on an empty tree")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def ceiling(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the smallest ``(key, value)`` pair with key >= ``key``.
+
+        Returns ``None`` when every key in the tree is smaller than ``key``.
+        """
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if node.key < key:
+                node = node.right
+            else:
+                best = node
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def floor(self, key: Any) -> Optional[Tuple[Any, Any]]:
+        """Return the largest ``(key, value)`` pair with key <= ``key``.
+
+        Returns ``None`` when every key in the tree is larger than ``key``.
+        """
+        node = self._root
+        best: Optional[_Node] = None
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            else:
+                best = node
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    # ------------------------------------------------------------- iteration
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        return self.items()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in ascending key order."""
+        stack = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        """Yield keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        """Yield values in ascending key order."""
+        for _, value in self.items():
+            yield value
+
+    def items_from(self, start: Any) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with key >= ``start`` in order."""
+        stack = []
+        node = self._root
+        while node is not None:
+            if node.key < start:
+                node = node.right
+            else:
+                stack.append(node)
+                node = node.left
+        while stack:
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+            while node is not None:
+                if node.key < start:
+                    node = node.right
+                else:
+                    stack.append(node)
+                    node = node.left
+
+    def items_range(self, start: Any, stop: Any) -> Iterator[Tuple[Any, Any]]:
+        """Yield pairs with ``start <= key < stop`` in ascending order."""
+        for key, value in self.items_from(start):
+            if not (key < stop):
+                return
+            yield key, value
+
+    # -------------------------------------------------------------- mutation
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` with ``value``, replacing any existing value."""
+        self._root = self._insert(self._root, key, value)
+        self._root.color = _BLACK
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.insert(key, value)
+
+    def _insert(self, node: Optional[_Node], key: Any, value: Any) -> _Node:
+        if node is None:
+            return _Node(key, value)
+        if key < node.key:
+            node.left = self._insert(node.left, key, value)
+        elif node.key < key:
+            node.right = self._insert(node.right, key, value)
+        else:
+            node.value = value
+            return node
+        return self._fix_up(node)
+
+    def delete(self, key: Any) -> Any:
+        """Delete ``key`` and return its value.
+
+        Raises ``KeyError`` if the key is not present.
+        """
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        value = node.value
+        if not _is_red(self._root.left) and not _is_red(self._root.right):
+            self._root.color = _RED
+        self._root = self._delete(self._root, key)
+        if self._root is not None:
+            self._root.color = _BLACK
+        return value
+
+    def __delitem__(self, key: Any) -> None:
+        self.delete(key)
+
+    def pop(self, key: Any, default: Any = ...) -> Any:
+        """Delete ``key`` and return its value, or ``default`` if missing."""
+        try:
+            return self.delete(key)
+        except KeyError:
+            if default is ...:
+                raise
+            return default
+
+    def clear(self) -> None:
+        """Remove every entry from the tree."""
+        self._root = None
+
+    # ----------------------------------------------------- LLRB tree plumbing
+
+    def _delete(self, node: _Node, key: Any) -> Optional[_Node]:
+        if key < node.key:
+            if not _is_red(node.left) and node.left is not None and not _is_red(node.left.left):
+                node = self._move_red_left(node)
+            node.left = self._delete(node.left, key)
+        else:
+            if _is_red(node.left):
+                node = self._rotate_right(node)
+            if not (key < node.key or node.key < key) and node.right is None:
+                return None
+            if (
+                not _is_red(node.right)
+                and node.right is not None
+                and not _is_red(node.right.left)
+            ):
+                node = self._move_red_right(node)
+            if not (key < node.key or node.key < key):
+                successor = node.right
+                while successor.left is not None:
+                    successor = successor.left
+                node.key = successor.key
+                node.value = successor.value
+                node.right = self._delete_min(node.right)
+            else:
+                node.right = self._delete(node.right, key)
+        return self._fix_up(node)
+
+    def _delete_min(self, node: _Node) -> Optional[_Node]:
+        if node.left is None:
+            return None
+        if not _is_red(node.left) and not _is_red(node.left.left):
+            node = self._move_red_left(node)
+        node.left = self._delete_min(node.left)
+        return self._fix_up(node)
+
+    def _rotate_left(self, node: _Node) -> _Node:
+        right = node.right
+        node.right = right.left
+        right.left = node
+        right.color = node.color
+        node.color = _RED
+        right.size = node.size
+        node.size = 1 + _size(node.left) + _size(node.right)
+        return right
+
+    def _rotate_right(self, node: _Node) -> _Node:
+        left = node.left
+        node.left = left.right
+        left.right = node
+        left.color = node.color
+        node.color = _RED
+        left.size = node.size
+        node.size = 1 + _size(node.left) + _size(node.right)
+        return left
+
+    @staticmethod
+    def _flip_colors(node: _Node) -> None:
+        node.color = not node.color
+        if node.left is not None:
+            node.left.color = not node.left.color
+        if node.right is not None:
+            node.right.color = not node.right.color
+
+    def _move_red_left(self, node: _Node) -> _Node:
+        self._flip_colors(node)
+        if node.right is not None and _is_red(node.right.left):
+            node.right = self._rotate_right(node.right)
+            node = self._rotate_left(node)
+            self._flip_colors(node)
+        return node
+
+    def _move_red_right(self, node: _Node) -> _Node:
+        self._flip_colors(node)
+        if node.left is not None and _is_red(node.left.left):
+            node = self._rotate_right(node)
+            self._flip_colors(node)
+        return node
+
+    def _fix_up(self, node: _Node) -> _Node:
+        if _is_red(node.right) and not _is_red(node.left):
+            node = self._rotate_left(node)
+        if _is_red(node.left) and _is_red(node.left.left):
+            node = self._rotate_right(node)
+        if _is_red(node.left) and _is_red(node.right):
+            self._flip_colors(node)
+        node.size = 1 + _size(node.left) + _size(node.right)
+        return node
+
+    # ---------------------------------------------------------- diagnostics
+
+    def check_invariants(self) -> bool:
+        """Validate red-black tree invariants.  Used by the test suite."""
+
+        def check(node: Optional[_Node], lo: Any, hi: Any) -> int:
+            if node is None:
+                return 0
+            if lo is not None and not (lo < node.key):
+                raise AssertionError("BST order violated (left)")
+            if hi is not None and not (node.key < hi):
+                raise AssertionError("BST order violated (right)")
+            if _is_red(node) and (_is_red(node.left) or _is_red(node.right)):
+                raise AssertionError("red node with red child")
+            if _is_red(node.right) and not _is_red(node.left):
+                raise AssertionError("right-leaning red link")
+            left_black = check(node.left, lo, node.key)
+            right_black = check(node.right, node.key, hi)
+            if left_black != right_black:
+                raise AssertionError("unbalanced black height")
+            if node.size != 1 + _size(node.left) + _size(node.right):
+                raise AssertionError("size field out of date")
+            return left_black + (0 if _is_red(node) else 1)
+
+        if self._root is not None and _is_red(self._root):
+            raise AssertionError("root must be black")
+        check(self._root, None, None)
+        return True

@@ -1,0 +1,48 @@
+"""Workload generators and trace players for the benchmark harness.
+
+Every experiment in the paper's evaluation is driven by one of four workload
+families, all reproduced here:
+
+* :mod:`repro.workloads.synthetic` -- the stochastic generator used for
+  Figures 5 and 6 (high load: at least 32 000 block writes per consistency
+  point, EECS03-like op mix, ~7 clones per 100 CPs);
+* :mod:`repro.workloads.nfs_trace` -- an EECS03-like NFS trace synthesiser
+  and player used for Figures 7 and 8;
+* :mod:`repro.workloads.microbench` -- the 4 KB / 64 KB file create and
+  delete microbenchmarks of Table 1; and
+* :mod:`repro.workloads.apps` -- dbench-, FileBench /var/mail- and
+  PostMark-like application op mixes, also for Table 1.
+"""
+
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+from repro.workloads.nfs_trace import (
+    NFSTraceConfig,
+    NFSTracePlayer,
+    TraceOp,
+    generate_eecs03_like_trace,
+)
+from repro.workloads.microbench import MicrobenchResult, create_files, delete_files
+from repro.workloads.apps import (
+    AppWorkload,
+    AppWorkloadConfig,
+    dbench_like,
+    postmark_like,
+    varmail_like,
+)
+
+__all__ = [
+    "AppWorkload",
+    "AppWorkloadConfig",
+    "MicrobenchResult",
+    "NFSTraceConfig",
+    "NFSTracePlayer",
+    "SyntheticWorkload",
+    "SyntheticWorkloadConfig",
+    "TraceOp",
+    "create_files",
+    "delete_files",
+    "dbench_like",
+    "generate_eecs03_like_trace",
+    "postmark_like",
+    "varmail_like",
+]

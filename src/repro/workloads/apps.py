@@ -1,0 +1,220 @@
+"""Application-style workloads (Table 1, rows 7-9).
+
+The paper's btrfs evaluation runs three application benchmarks: dbench (a
+CIFS file-server trace), FileBench's /var/mail personality (a multi-threaded
+mail server) and PostMark (a small-file workload).  This module provides op
+mixes with the same character so the three-way Base / Original / Backlog
+comparison can be reproduced on the simulator:
+
+* ``dbench_like``   -- bursts of creates, sequential writes, reads and
+  deletes over a moderately sized working set, the mix dominated by writes;
+* ``varmail_like``  -- create/append/read/delete cycles over many small mail
+  files with frequent fsync-like consistency points, round-robined over a
+  configurable number of threads;
+* ``postmark_like`` -- an initial pool of small files followed by
+  "transactions" that pair create-or-delete with read-or-append.
+
+The figure of merit is throughput (operations per second), matching the way
+Table 1 reports the application benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fsim.filesystem import FileSystem
+
+__all__ = ["AppWorkloadConfig", "AppWorkloadResult", "AppWorkload",
+           "dbench_like", "varmail_like", "postmark_like"]
+
+
+@dataclass(frozen=True)
+class AppWorkloadConfig:
+    """An application op mix.
+
+    ``mix`` maps operation name to relative weight; supported operations are
+    ``create``, ``write``, ``append``, ``read``, ``delete`` and ``sync`` (a
+    sync forces a consistency point, standing in for fsync/commit activity).
+    """
+
+    name: str
+    seed: int = 11
+    num_ops: int = 4_000
+    initial_files: int = 200
+    file_blocks: Tuple[int, int] = (1, 8)
+    ops_per_cp: int = 512
+    threads: int = 1
+    mix: Tuple[Tuple[str, float], ...] = (
+        ("create", 0.1),
+        ("write", 0.4),
+        ("read", 0.3),
+        ("delete", 0.1),
+        ("append", 0.1),
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_ops <= 0 or self.ops_per_cp <= 0:
+            raise ValueError("num_ops and ops_per_cp must be positive")
+        if not self.mix:
+            raise ValueError("mix must not be empty")
+        for op, weight in self.mix:
+            if op not in ("create", "write", "append", "read", "delete", "sync"):
+                raise ValueError(f"unknown operation {op!r} in mix")
+            if weight < 0:
+                raise ValueError("mix weights must be non-negative")
+
+
+def dbench_like(num_ops: int = 4_000, seed: int = 11) -> AppWorkloadConfig:
+    """A CIFS file-server-like mix (cf. dbench with 4 users)."""
+    return AppWorkloadConfig(
+        name="dbench-like CIFS",
+        seed=seed,
+        num_ops=num_ops,
+        initial_files=150,
+        file_blocks=(1, 16),
+        ops_per_cp=512,
+        threads=4,
+        mix=(
+            ("create", 0.12),
+            ("write", 0.38),
+            ("append", 0.10),
+            ("read", 0.28),
+            ("delete", 0.10),
+            ("sync", 0.02),
+        ),
+    )
+
+
+def varmail_like(num_ops: int = 4_000, seed: int = 13, threads: int = 16) -> AppWorkloadConfig:
+    """A mail-server-like mix (cf. FileBench /var/mail, 16 threads)."""
+    return AppWorkloadConfig(
+        name="varmail-like mail server",
+        seed=seed,
+        num_ops=num_ops,
+        initial_files=400,
+        file_blocks=(1, 4),
+        ops_per_cp=256,
+        threads=threads,
+        mix=(
+            ("create", 0.22),
+            ("append", 0.22),
+            ("read", 0.22),
+            ("delete", 0.22),
+            ("sync", 0.12),
+        ),
+    )
+
+
+def postmark_like(num_ops: int = 4_000, seed: int = 17) -> AppWorkloadConfig:
+    """A small-file transaction mix (cf. PostMark)."""
+    return AppWorkloadConfig(
+        name="postmark-like small files",
+        seed=seed,
+        num_ops=num_ops,
+        initial_files=500,
+        file_blocks=(1, 4),
+        ops_per_cp=1024,
+        threads=1,
+        mix=(
+            ("create", 0.25),
+            ("delete", 0.25),
+            ("read", 0.25),
+            ("append", 0.25),
+        ),
+    )
+
+
+@dataclass
+class AppWorkloadResult:
+    """Outcome of one application workload run."""
+
+    name: str
+    operations: int
+    seconds: float
+    cps_taken: int
+    block_ops: int
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.operations / self.seconds
+
+    def overhead_vs(self, base: "AppWorkloadResult") -> float:
+        """Fractional throughput loss relative to a baseline run."""
+        if base.ops_per_second == 0:
+            return 0.0
+        return 1.0 - self.ops_per_second / base.ops_per_second
+
+
+class AppWorkload:
+    """Executes an application op mix against a file system."""
+
+    def __init__(self, config: AppWorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def run(self, fs: FileSystem) -> AppWorkloadResult:
+        """Run the configured number of operations and return throughput."""
+        config = self.config
+        cps_before = fs.counters.consistency_points
+        block_ops_before = fs.counters.block_ops
+
+        # Per-thread working sets; threads are simulated round-robin (the
+        # simulator has a single metadata lock anyway, as does a CP-based FS).
+        thread_files: List[List[int]] = [[] for _ in range(max(1, config.threads))]
+        for index in range(config.initial_files):
+            bucket = thread_files[index % len(thread_files)]
+            bucket.append(fs.create_file(num_blocks=self._rng.randint(*config.file_blocks)))
+        fs.take_consistency_point()
+
+        operations = [op for op, _ in config.mix]
+        weights = [weight for _, weight in config.mix]
+        ops_since_cp = 0
+        start = time.perf_counter()
+        for index in range(config.num_ops):
+            files = thread_files[index % len(thread_files)]
+            op = self._rng.choices(operations, weights)[0]
+            self._apply(fs, files, op)
+            ops_since_cp += 1
+            if op == "sync" or ops_since_cp >= config.ops_per_cp:
+                fs.take_consistency_point()
+                ops_since_cp = 0
+        fs.take_consistency_point()
+        elapsed = time.perf_counter() - start
+
+        return AppWorkloadResult(
+            name=config.name,
+            operations=config.num_ops,
+            seconds=elapsed,
+            cps_taken=fs.counters.consistency_points - cps_before,
+            block_ops=fs.counters.block_ops - block_ops_before,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _apply(self, fs: FileSystem, files: List[int], op: str) -> None:
+        config = self.config
+        if op == "sync":
+            return  # the caller takes the consistency point
+        if op == "create" or not files:
+            files.append(fs.create_file(num_blocks=self._rng.randint(*config.file_blocks)))
+            return
+        inode = self._rng.choice(files)
+        size = fs.file_size(inode)
+        if op == "delete":
+            fs.delete_file(inode)
+            files.remove(inode)
+        elif op == "write":
+            offset = self._rng.randrange(max(1, size)) if size else 0
+            fs.write(inode, offset, self._rng.randint(1, 4))
+        elif op == "append":
+            fs.append(inode, self._rng.randint(1, 2))
+        elif op == "read":
+            if size:
+                fs.read(inode, self._rng.randrange(size), 1)
+        else:
+            raise ValueError(f"unknown operation {op!r}")

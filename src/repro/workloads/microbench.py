@@ -1,0 +1,111 @@
+"""File create / delete microbenchmarks (Table 1, rows 1-6).
+
+The paper's btrfs evaluation times the creation of 4 KB and 64 KB files and
+the deletion of 4 KB files, with a consistency point (btrfs transaction)
+taken every 2048 or 8192 operations, under three configurations: no back
+references (Base), native btrfs back references (Original), and Backlog.
+These helpers run the same microbenchmarks against the simulator with any
+listener attached and report milliseconds per operation, which is what the
+table's overhead percentages are computed from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.fsim.filesystem import FileSystem
+
+__all__ = ["MicrobenchResult", "create_files", "delete_files"]
+
+
+@dataclass
+class MicrobenchResult:
+    """Timing of one microbenchmark run."""
+
+    name: str
+    operations: int
+    seconds: float
+    cps_taken: int
+    inodes: List[int]
+
+    @property
+    def ms_per_op(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.seconds * 1e3 / self.operations
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.operations / self.seconds
+
+    def overhead_vs(self, base: "MicrobenchResult") -> float:
+        """Fractional slowdown relative to a baseline run (Table 1's Overhead)."""
+        if base.ms_per_op == 0:
+            return 0.0
+        return self.ms_per_op / base.ms_per_op - 1.0
+
+
+def create_files(
+    fs: FileSystem,
+    count: int,
+    blocks_per_file: int,
+    ops_per_cp: int,
+    name: Optional[str] = None,
+) -> MicrobenchResult:
+    """Create ``count`` files of ``blocks_per_file`` blocks each.
+
+    A consistency point is taken every ``ops_per_cp`` file operations and
+    once at the end (the paper syncs the files before moving on to the
+    delete phase), and the time to do so is included in the figure -- just
+    as the paper's reported averages include the sync.
+    """
+    if count <= 0 or blocks_per_file <= 0 or ops_per_cp <= 0:
+        raise ValueError("count, blocks_per_file and ops_per_cp must be positive")
+    cps_before = fs.counters.consistency_points
+    inodes: List[int] = []
+    start = time.perf_counter()
+    for index in range(count):
+        inodes.append(fs.create_file(num_blocks=blocks_per_file))
+        if (index + 1) % ops_per_cp == 0:
+            fs.take_consistency_point()
+    fs.take_consistency_point()
+    elapsed = time.perf_counter() - start
+    label = name or f"create {blocks_per_file * 4} KB x {count} ({ops_per_cp} ops/CP)"
+    return MicrobenchResult(
+        name=label,
+        operations=count,
+        seconds=elapsed,
+        cps_taken=fs.counters.consistency_points - cps_before,
+        inodes=inodes,
+    )
+
+
+def delete_files(
+    fs: FileSystem,
+    inodes: Sequence[int],
+    ops_per_cp: int,
+    name: Optional[str] = None,
+) -> MicrobenchResult:
+    """Delete the given files, taking a CP every ``ops_per_cp`` operations."""
+    if ops_per_cp <= 0:
+        raise ValueError("ops_per_cp must be positive")
+    cps_before = fs.counters.consistency_points
+    start = time.perf_counter()
+    for index, inode in enumerate(inodes):
+        fs.delete_file(inode)
+        if (index + 1) % ops_per_cp == 0:
+            fs.take_consistency_point()
+    fs.take_consistency_point()
+    elapsed = time.perf_counter() - start
+    label = name or f"delete x {len(inodes)} ({ops_per_cp} ops/CP)"
+    return MicrobenchResult(
+        name=label,
+        operations=len(inodes),
+        seconds=elapsed,
+        cps_taken=fs.counters.consistency_points - cps_before,
+        inodes=[],
+    )

@@ -1,0 +1,62 @@
+"""Shared fixtures for the Backlog reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Backlog,
+    BacklogConfig,
+    FileSystem,
+    FileSystemConfig,
+    SnapshotManagerAuthority,
+)
+from repro.fsim.dedup import DedupConfig
+from repro.fsim.snapshots import SnapshotPolicy
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests that need randomness."""
+    return random.Random(1234)
+
+
+def build_system(
+    ops_per_cp: int = 10**9,
+    dedup: DedupConfig | None = DedupConfig(),
+    backlog_config: BacklogConfig | None = None,
+    policy: SnapshotPolicy | None = None,
+):
+    """Create a (FileSystem, Backlog) pair wired together.
+
+    ``ops_per_cp`` defaults to effectively-infinite so tests control
+    consistency points explicitly.
+    """
+    backlog = Backlog(config=backlog_config)
+    fs_config = FileSystemConfig(
+        ops_per_cp=ops_per_cp,
+        auto_cp=False,
+        dedup=dedup,
+        snapshot_policy=policy or SnapshotPolicy(),
+    )
+    fs = FileSystem(fs_config, listeners=[backlog])
+    backlog.set_version_authority(SnapshotManagerAuthority(fs))
+    return fs, backlog
+
+
+@pytest.fixture
+def system():
+    """A connected (FileSystem, Backlog) pair with default settings."""
+    return build_system()
+
+
+@pytest.fixture
+def fs(system):
+    return system[0]
+
+
+@pytest.fixture
+def backlog(system):
+    return system[1]

@@ -1,0 +1,102 @@
+"""Tests for the snapshot-aware block allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.allocator import BlockAllocator
+
+
+class TestAllocation:
+    def test_allocate_monotonic_then_recycle(self):
+        allocator = BlockAllocator()
+        first = allocator.allocate(current_cp=1)
+        second = allocator.allocate(current_cp=1)
+        assert (first, second) == (0, 1)
+        allocator.drop_ref(first, current_cp=2)
+        allocator.reclaim(retained_versions=[5])  # CP 1..2 not retained
+        third = allocator.allocate(current_cp=5)
+        assert third == first  # recycled
+
+    def test_refcounting(self):
+        allocator = BlockAllocator()
+        block = allocator.allocate(1)
+        assert allocator.refcount(block) == 1
+        assert allocator.add_ref(block) == 2
+        assert allocator.drop_ref(block, 3) == 1
+        assert allocator.is_allocated(block)
+        assert allocator.drop_ref(block, 4) == 0
+        assert not allocator.is_allocated(block)
+        assert allocator.deferred_blocks == 1
+
+    def test_unknown_block_errors(self):
+        allocator = BlockAllocator()
+        with pytest.raises(KeyError):
+            allocator.add_ref(99)
+        with pytest.raises(KeyError):
+            allocator.drop_ref(99, 1)
+        with pytest.raises(KeyError):
+            allocator.revive(99)
+
+
+class TestDeferredFrees:
+    def test_block_pinned_by_snapshot_is_not_reclaimed(self):
+        allocator = BlockAllocator()
+        block = allocator.allocate(current_cp=1)
+        allocator.drop_ref(block, current_cp=5)
+        # A snapshot at CP 3 still references the block (lifetime [1, 5)).
+        assert allocator.reclaim(retained_versions=[3, 10]) == []
+        assert allocator.physical_blocks_in_use == 1
+        # Once the snapshot goes away the block is freed.
+        assert allocator.reclaim(retained_versions=[10]) == [block]
+        assert allocator.physical_blocks_in_use == 0
+
+    def test_boundary_semantics(self):
+        """Lifetime [1, 5): version 5 does NOT pin, version 1 does."""
+        allocator = BlockAllocator()
+        block = allocator.allocate(1)
+        allocator.drop_ref(block, 5)
+        assert allocator.reclaim([5]) == [block]
+        block2 = allocator.allocate(1)
+        allocator.drop_ref(block2, 5)
+        assert allocator.reclaim([1]) == []
+
+    def test_revive_for_clones(self):
+        allocator = BlockAllocator()
+        block = allocator.allocate(1)
+        allocator.drop_ref(block, 3)
+        allocator.revive(block)
+        assert allocator.refcount(block) == 1
+        assert allocator.deferred_blocks == 0
+
+    def test_add_ref_or_revive(self):
+        allocator = BlockAllocator()
+        live = allocator.allocate(1)
+        assert allocator.add_ref_or_revive(live) == 2
+        dead = allocator.allocate(1)
+        allocator.drop_ref(dead, 2)
+        assert allocator.add_ref_or_revive(dead) == 1
+
+
+class TestStatisticsAndHistogram:
+    def test_refcount_histogram(self):
+        allocator = BlockAllocator()
+        a = allocator.allocate(1)
+        b = allocator.allocate(1)
+        allocator.add_ref(b)
+        histogram = allocator.refcount_histogram()
+        assert histogram == {1: 1, 2: 1}
+
+    def test_iter_live_blocks(self):
+        allocator = BlockAllocator()
+        blocks = [allocator.allocate(1) for _ in range(3)]
+        assert [b for b, _ in allocator.iter_live_blocks()] == sorted(blocks)
+
+    def test_stats_counters(self):
+        allocator = BlockAllocator()
+        block = allocator.allocate(1)
+        allocator.drop_ref(block, 2)
+        allocator.reclaim([])
+        assert allocator.stats.allocations == 1
+        assert allocator.stats.frees == 1
+        assert allocator.stats.reclaimed == 1

@@ -1,0 +1,107 @@
+"""Tests for metric collection and report formatting."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.metrics import (
+    collect_overhead_series,
+    measure_query_performance,
+    sample_space_overhead,
+)
+from repro.analysis.reporting import format_series, format_table, write_report
+from tests.conftest import build_system
+
+
+class TestOverheadSeries:
+    def test_series_matches_checkpoints(self, system):
+        fs, backlog = system
+        for _ in range(4):
+            fs.create_file(num_blocks=10)
+            fs.take_consistency_point()
+        series = collect_overhead_series(backlog)
+        assert len(series) == 4
+        assert all(sample.writes_per_block_op >= 0 for sample in series)
+        assert all(sample.microseconds_per_block_op >= 0 for sample in series)
+        assert [s.cp for s in series] == [1, 2, 3, 4]
+
+    def test_bucketing(self, system):
+        fs, backlog = system
+        for _ in range(6):
+            fs.create_file(num_blocks=5)
+            fs.take_consistency_point()
+        series = collect_overhead_series(backlog, bucket_cps=2)
+        assert len(series) == 3
+        with pytest.raises(ValueError):
+            collect_overhead_series(backlog, bucket_cps=0)
+
+
+class TestSpaceSamples:
+    def test_overhead_percent(self, system):
+        fs, backlog = system
+        fs.create_file(num_blocks=100)
+        cp = fs.take_consistency_point()
+        sample = sample_space_overhead(backlog, fs, cp)
+        assert sample.database_bytes > 0
+        assert sample.physical_data_bytes == fs.physical_data_bytes
+        assert 0 < sample.overhead_percent < 100
+
+
+class TestQueryPerformance:
+    def test_measure_query_performance(self, system):
+        fs, backlog = system
+        fs.create_file(num_blocks=64)
+        fs.take_consistency_point()
+        blocks = sorted(b for b, *_ in fs.iter_live_references())
+        point = measure_query_performance(backlog, blocks, run_length=8, num_queries=32)
+        assert point.queries >= 32
+        assert point.queries_per_second > 0
+        assert point.reads_per_query >= 0
+        assert point.back_references_per_query > 0
+
+    def test_validation(self, system):
+        _, backlog = system
+        with pytest.raises(ValueError):
+            measure_query_performance(backlog, [1], run_length=0, num_queries=1)
+        with pytest.raises(ValueError):
+            measure_query_performance(backlog, [], run_length=1, num_queries=1)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Table 1: btrfs benchmarks",
+            ["Benchmark", "Base", "Backlog", "Overhead"],
+            [["create 4 KB", 0.89, 0.96, "7.9%"], ["dbench", 19.59, 19.19, "2.1%"]],
+            note="values in ms per op",
+        )
+        assert "Table 1" in text
+        assert "create 4 KB" in text
+        assert "note:" in text
+        lines = text.splitlines()
+        assert len(lines) == 6
+
+    def test_format_series(self):
+        text = format_series(
+            "Figure 5: overhead",
+            "cp",
+            [1, 2, 3],
+            {"writes/op": [0.01, 0.011, 0.0105], "us/op": [8.5, 9.0, 8.7]},
+        )
+        assert "writes/op" in text and "us/op" in text
+        assert len(text.splitlines()) == 6
+
+    def test_format_cell_ranges(self):
+        text = format_table("t", ["v"], [[123456.0], [0.00001], [0.5], [12.3456]])
+        assert "123,456" in text
+        assert "0.00001" in text
+
+    def test_write_report(self, tmp_path):
+        path = str(tmp_path / "reports" / "out.txt")
+        text = write_report(path, ["section one", "section two"])
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == text
+        assert "section one" in text

@@ -1,0 +1,177 @@
+"""Tests for the baseline back-reference implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceQuerier
+from repro.baselines.btrfs_refs import BtrfsStyleBackReferences
+from repro.baselines.naive import NaiveBackReferences
+from repro.core.records import INFINITY
+from repro.fsim.filesystem import FileSystem, FileSystemConfig
+from tests.conftest import build_system
+
+
+def _fs_with(listener):
+    fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False, dedup=None),
+                    listeners=[listener])
+    return fs
+
+
+class TestNaiveBaseline:
+    def test_tracks_live_references(self):
+        naive = NaiveBackReferences()
+        fs = _fs_with(naive)
+        inode = fs.create_file(num_blocks=3)
+        block = fs.volume().inodes[inode].physical_block(1)
+        records = naive.query(block)
+        assert len(records) == 1
+        assert records[0].inode == inode and records[0].is_live
+
+    def test_removal_closes_record_in_place(self):
+        naive = NaiveBackReferences()
+        fs = _fs_with(naive)
+        inode = fs.create_file(num_blocks=1)
+        block = fs.volume().inodes[inode].physical_block(0)
+        fs.take_consistency_point()
+        fs.delete_file(inode)
+        records = naive.query(block)
+        assert records[0].to_cp != INFINITY
+
+    def test_every_operation_costs_io(self):
+        """The naive design reads and writes the table on every block op (§4.1)."""
+        naive = NaiveBackReferences()
+        fs = _fs_with(naive)
+        fs.create_file(num_blocks=100)
+        assert naive.stats.references_added == 100
+        assert naive.stats.pages_written >= 100
+        assert naive.stats.writes_per_block_op >= 1.0
+        assert naive.stats.microseconds_per_block_op > 0
+
+    def test_io_per_op_far_exceeds_backlog(self):
+        """Backlog's headline claim: ~0.01 writes/op vs ~1 write/op naively."""
+        naive = NaiveBackReferences()
+        naive_fs = _fs_with(naive)
+        fs, backlog = build_system(dedup=None)
+        for target in (naive_fs, fs):
+            for _ in range(20):
+                target.create_file(num_blocks=32)
+            target.take_consistency_point()
+        assert backlog.stats.writes_per_block_op < 0.2
+        assert naive.stats.writes_per_block_op > 10 * backlog.stats.writes_per_block_op
+
+    def test_clone_duplicates_records(self):
+        naive = NaiveBackReferences()
+        fs = _fs_with(naive)
+        fs.create_file(num_blocks=5)
+        fs.take_consistency_point()
+        before = naive.record_count()
+        fs.create_clone(0)
+        assert naive.record_count() > before
+
+    def test_table_grows_without_bound(self):
+        naive = NaiveBackReferences()
+        fs = _fs_with(naive)
+        inode = fs.create_file(num_blocks=1)
+        size_after_create = naive.table_size_bytes()
+        for _ in range(50):
+            fs.write(inode, 0, 1)
+        assert naive.table_size_bytes() > size_after_create
+
+
+class TestBtrfsStyleBaseline:
+    def test_refcounted_owners(self):
+        btrfs = BtrfsStyleBackReferences()
+        fs = _fs_with(btrfs)
+        inode = fs.create_file(num_blocks=2)
+        block = fs.volume().inodes[inode].physical_block(0)
+        assert btrfs.query(block) == [(inode, 0, 0)]
+        assert btrfs.refcount(block) == 1
+        fs.delete_file(inode)
+        assert btrfs.refcount(block) == 0
+
+    def test_updates_buffered_until_commit(self):
+        btrfs = BtrfsStyleBackReferences()
+        fs = _fs_with(btrfs)
+        fs.create_file(num_blocks=50)
+        assert btrfs.stats.pages_written == 0     # nothing until the commit
+        fs.take_consistency_point()
+        assert btrfs.stats.pages_written > 0
+
+    def test_commit_cost_scales_sublinearly_with_locality(self):
+        """Many ops on nearby blocks dirty few leaves; scattered ops dirty more."""
+        clustered = BtrfsStyleBackReferences()
+        for block in range(500):
+            clustered.on_reference_added(block, 1, block, 0, 1)
+        clustered.on_consistency_point(1)
+
+        scattered = BtrfsStyleBackReferences()
+        for index in range(500):
+            scattered.on_reference_added(index * 1000, 1, index, 0, 1)
+        scattered.on_consistency_point(1)
+        assert clustered.stats.pages_written < scattered.stats.pages_written
+
+    def test_clone_is_free(self):
+        btrfs = BtrfsStyleBackReferences()
+        fs = _fs_with(btrfs)
+        fs.create_file(num_blocks=5)
+        fs.take_consistency_point()
+        writes_before = btrfs.stats.pages_written
+        fs.create_clone(0)
+        assert btrfs.stats.pages_written == writes_before
+
+    def test_record_count_and_size(self):
+        btrfs = BtrfsStyleBackReferences()
+        fs = _fs_with(btrfs)
+        fs.create_file(num_blocks=4)
+        fs.take_consistency_point()
+        assert btrfs.record_count() == 4
+        assert btrfs.table_size_bytes() > 0
+
+
+class TestBruteForceQuerier:
+    def test_finds_live_and_snapshot_owners(self, system):
+        fs, _ = system
+        inode = fs.create_file(num_blocks=2)
+        cp = fs.take_consistency_point()
+        block = fs.volume().inodes[inode].physical_block(0)
+        querier = BruteForceQuerier(fs)
+        owners = querier.query_block(block)
+        versions = {version for *_, version in owners}
+        assert cp in versions and fs.global_cp in versions
+        assert all(owner[1] == inode for owner in owners)
+
+    def test_range_query_and_stats(self, system):
+        fs, _ = system
+        fs.create_file(num_blocks=10)
+        fs.take_consistency_point()
+        querier = BruteForceQuerier(fs)
+        results = querier.query_range(0, 5)
+        assert {r[0] for r in results} <= set(range(5))
+        assert querier.stats.queries == 1
+        assert querier.stats.pointers_examined >= 10
+        assert querier.stats.meta_pages_read > 0
+        assert querier.stats.seconds_per_query >= 0
+
+    def test_owners_summary_groups_versions(self, system):
+        fs, _ = system
+        inode = fs.create_file(num_blocks=1)
+        fs.take_consistency_point()
+        fs.take_consistency_point()
+        block = fs.volume().inodes[inode].physical_block(0)
+        summary = BruteForceQuerier(fs).owners_summary(block)
+        (key, versions), = summary.items()
+        assert key[1] == inode
+        assert len(versions) >= 2
+
+    def test_agrees_with_backlog_on_live_owners(self, system):
+        fs, backlog = system
+        for _ in range(5):
+            fs.create_file(num_blocks=4)
+        fs.take_consistency_point()
+        querier = BruteForceQuerier(fs)
+        for block, *_ in list(fs.iter_live_references())[:10]:
+            brute = {(i, off, line) for _, i, off, line, v in querier.query_block(block)
+                     if v == fs.global_cp}
+            backlog_live = {(r.inode, r.offset, r.line) for r in backlog.live_owners(block)}
+            assert brute == backlog_live

@@ -1,0 +1,126 @@
+"""Tests for the simulated storage backends and I/O accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.blockdev import (
+    DeviceModel,
+    DiskBackend,
+    IOStats,
+    MemoryBackend,
+    PAGE_SIZE,
+)
+
+
+class TestIOStats:
+    def test_snapshot_and_delta(self):
+        stats = IOStats()
+        stats.pages_written = 10
+        snap = stats.snapshot()
+        stats.pages_written = 25
+        stats.pages_read = 3
+        delta = stats.delta(snap)
+        assert delta.pages_written == 15
+        assert delta.pages_read == 3
+        assert delta.bytes_written == 15 * PAGE_SIZE
+
+    def test_reset(self):
+        stats = IOStats(pages_written=5, pages_read=5)
+        stats.reset()
+        assert stats.pages_written == 0 and stats.pages_read == 0
+
+
+class TestDeviceModel:
+    def test_costs_scale_with_pages(self):
+        model = DeviceModel()
+        assert model.write_cost(0) == 0.0
+        assert model.write_cost(100) > model.write_cost(10)
+        assert model.read_cost(100) > 0.0
+        # More seeks cost more for the same data volume.
+        assert model.write_cost(100, sequential_runs=10) > model.write_cost(100, sequential_runs=1)
+
+
+class _BackendContract:
+    """Shared test body run against both backends."""
+
+    def make_backend(self):
+        raise NotImplementedError
+
+    def test_create_write_read(self):
+        backend = self.make_backend()
+        page_file = backend.create("runs/a")
+        index = page_file.append_page(b"hello")
+        assert index == 0
+        assert page_file.num_pages == 1
+        data = page_file.read_page(0)
+        assert data[:5] == b"hello"
+        assert len(data) == PAGE_SIZE
+        assert backend.stats.pages_written == 1
+        assert backend.stats.pages_read == 1
+
+    def test_oversized_page_rejected(self):
+        backend = self.make_backend()
+        page_file = backend.create("big")
+        with pytest.raises(ValueError):
+            page_file.append_page(b"x" * (PAGE_SIZE + 1))
+
+    def test_read_out_of_range(self):
+        backend = self.make_backend()
+        page_file = backend.create("small")
+        page_file.append_page(b"data")
+        with pytest.raises(IndexError):
+            page_file.read_page(1)
+        with pytest.raises(IndexError):
+            page_file.read_page(-1)
+
+    def test_exists_delete_list(self):
+        backend = self.make_backend()
+        backend.create("one")
+        backend.create("two")
+        assert backend.exists("one")
+        assert sorted(backend.list_files()) == ["one", "two"]
+        backend.delete("one")
+        assert not backend.exists("one")
+        with pytest.raises(FileNotFoundError):
+            backend.delete("one")
+        with pytest.raises(FileNotFoundError):
+            backend.open("one")
+
+    def test_total_pages_and_bytes(self):
+        backend = self.make_backend()
+        a = backend.create("a")
+        a.append_page(b"1")
+        a.append_page(b"2")
+        b = backend.create("b")
+        b.append_page(b"3")
+        assert backend.total_pages() == 3
+        assert backend.total_bytes() == 3 * PAGE_SIZE
+
+
+class TestMemoryBackend(_BackendContract):
+    def make_backend(self):
+        return MemoryBackend()
+
+    def test_create_truncates(self):
+        backend = MemoryBackend()
+        f = backend.create("x")
+        f.append_page(b"1")
+        f = backend.create("x")
+        assert f.num_pages == 0
+
+
+class TestDiskBackend(_BackendContract):
+    def make_backend(self):
+        import tempfile
+
+        return DiskBackend(tempfile.mkdtemp(prefix="backlog-test-"))
+
+    def test_persistence_across_instances(self, tmp_path):
+        directory = str(tmp_path / "store")
+        backend = DiskBackend(directory)
+        page_file = backend.create("p000001/from/L0_0000000001")
+        page_file.append_page(b"persisted")
+        reopened = DiskBackend(directory)
+        assert reopened.exists("p000001/from/L0_0000000001")
+        assert reopened.open("p000001/from/L0_0000000001").read_page(0)[:9] == b"persisted"

@@ -1,0 +1,136 @@
+"""Tests for the Bloom filters guarding read-store runs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter, COMBINED_FILTER_BITS, DEFAULT_FILTER_BITS
+
+
+class TestBasics:
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(1024)
+        assert not bloom.might_contain(42)
+        assert bloom.num_items == 0
+        assert bloom.expected_false_positive_rate() == 0.0
+
+    def test_added_items_always_found(self):
+        bloom = BloomFilter(4096)
+        for block in range(100):
+            bloom.add(block * 7)
+        for block in range(100):
+            assert bloom.might_contain(block * 7)
+
+    def test_add_all(self):
+        bloom = BloomFilter(4096)
+        bloom.add_all(range(50))
+        assert all(bloom.might_contain(b) for b in range(50))
+        assert bloom.num_items == 50
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(1024, num_hashes=0)
+
+    def test_size_rounded_to_power_of_two(self):
+        bloom = BloomFilter(1000)
+        assert bloom.num_bits == 1024
+
+    def test_default_sizes_match_paper(self):
+        """32 KB default filters, 1 MB cap for the Combined store (§5.1)."""
+        assert DEFAULT_FILTER_BITS == 32 * 1024 * 8
+        assert COMBINED_FILTER_BITS == 1024 * 1024 * 8
+
+
+class TestFalsePositiveRate:
+    def test_paper_configuration_false_positive_rate(self):
+        """32 KB filter, 4 hashes, 32 000 items: expected FP rate around 2.4 %."""
+        bloom = BloomFilter(DEFAULT_FILTER_BITS, num_hashes=4)
+        for block in range(32_000):
+            bloom.add(block)
+        rate = bloom.expected_false_positive_rate()
+        assert 0.01 < rate < 0.05
+        # Measure empirically on blocks never inserted.
+        false_positives = sum(
+            1 for block in range(1_000_000, 1_010_000) if bloom.might_contain(block)
+        )
+        assert false_positives / 10_000 < 0.06
+
+    def test_fill_ratio_increases(self):
+        bloom = BloomFilter(4096)
+        assert bloom.fill_ratio() == 0.0
+        bloom.add_all(range(100))
+        assert bloom.fill_ratio() > 0.0
+
+
+class TestRange:
+    def test_range_query(self):
+        bloom = BloomFilter(8192)
+        bloom.add(500)
+        assert bloom.might_contain_range(490, 20)
+        assert not bloom.might_contain_range(0, 0)
+
+    def test_wide_range_short_circuits(self):
+        bloom = BloomFilter(8192)
+        assert bloom.might_contain_range(0, 1000)  # wider than 256: always True
+
+
+class TestShrinking:
+    def test_halving_preserves_membership(self):
+        bloom = BloomFilter(64 * 1024)
+        items = [i * 13 for i in range(200)]
+        bloom.add_all(items)
+        bloom.shrink_to(8 * 1024)
+        assert bloom.num_bits == 8 * 1024
+        assert all(bloom.might_contain(i) for i in items)
+
+    def test_shrink_to_fit_small_run(self):
+        bloom = BloomFilter(DEFAULT_FILTER_BITS)
+        bloom.add_all(range(10))
+        bloom.shrink_to_fit()
+        assert bloom.num_bits < DEFAULT_FILTER_BITS
+        assert all(bloom.might_contain(i) for i in range(10))
+
+    def test_shrink_invalid_target(self):
+        bloom = BloomFilter(1024)
+        with pytest.raises(ValueError):
+            bloom.shrink_to(0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bloom = BloomFilter(4096, num_hashes=4)
+        bloom.add_all([1, 5, 9, 1000, 123456])
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        assert restored.num_bits == bloom.num_bits
+        assert restored.num_hashes == bloom.num_hashes
+        assert restored.num_items == bloom.num_items
+        for item in [1, 5, 9, 1000, 123456]:
+            assert restored.might_contain(item)
+
+    def test_size_bytes(self):
+        bloom = BloomFilter(8 * 1024)
+        assert bloom.size_bytes == 1024
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=2**48), max_size=200),
+       st.integers(min_value=8, max_value=16))
+def test_no_false_negatives_property(blocks, log_bits):
+    """Property: a Bloom filter never reports an inserted block as absent."""
+    bloom = BloomFilter(1 << log_bits)
+    bloom.add_all(blocks)
+    assert all(bloom.might_contain(b) for b in blocks)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=2**32), min_size=1, max_size=100))
+def test_no_false_negatives_after_halving(blocks):
+    """Property: halving the filter preserves the no-false-negative guarantee."""
+    bloom = BloomFilter(32 * 1024)
+    bloom.add_all(blocks)
+    bloom.shrink_to(2 * 1024)
+    assert all(bloom.might_contain(b) for b in blocks)

@@ -1,0 +1,80 @@
+"""Tests for the LRU page cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE
+from repro.fsim.cache import PageCache
+
+
+def _backend_with_file(name="f", pages=10):
+    backend = MemoryBackend()
+    page_file = backend.create(name)
+    for index in range(pages):
+        page_file.append_page(bytes([index]) * 16)
+    return backend, page_file
+
+
+class TestPageCache:
+    def test_hit_after_miss(self):
+        backend, page_file = _backend_with_file()
+        cache = PageCache(1024 * 1024)
+        first = cache.read_page(page_file, 3)
+        second = cache.read_page(page_file, 3)
+        assert first == second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert backend.stats.pages_read == 1  # only the miss touched the backend
+
+    def test_eviction_at_capacity(self):
+        backend, page_file = _backend_with_file(pages=10)
+        cache = PageCache(3 * PAGE_SIZE)
+        for index in range(10):
+            cache.read_page(page_file, index)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+        assert cache.used_bytes == 3 * PAGE_SIZE
+
+    def test_lru_order(self):
+        _, page_file = _backend_with_file(pages=4)
+        cache = PageCache(2 * PAGE_SIZE)
+        cache.read_page(page_file, 0)
+        cache.read_page(page_file, 1)
+        cache.read_page(page_file, 0)      # page 0 becomes most recent
+        cache.read_page(page_file, 2)      # evicts page 1
+        assert cache.peek(page_file.name, 0) is not None
+        assert cache.peek(page_file.name, 1) is None
+
+    def test_zero_capacity_disables_caching(self):
+        backend, page_file = _backend_with_file()
+        cache = PageCache(0)
+        cache.read_page(page_file, 0)
+        cache.read_page(page_file, 0)
+        assert backend.stats.pages_read == 2
+        assert len(cache) == 0
+
+    def test_invalidate_file(self):
+        backend, page_file = _backend_with_file(name="a")
+        other_file = backend.create("b")
+        other_file.append_page(b"other")
+        cache = PageCache(1024 * 1024)
+        cache.read_page(page_file, 0)
+        cache.read_page(other_file, 0)
+        cache.invalidate_file("a")
+        assert cache.peek("a", 0) is None
+        assert cache.peek("b", 0) is not None
+
+    def test_clear_and_hit_ratio(self):
+        _, page_file = _backend_with_file()
+        cache = PageCache(1024 * 1024)
+        assert cache.stats.hit_ratio == 0.0
+        cache.read_page(page_file, 0)
+        cache.read_page(page_file, 0)
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache(-1)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthetic_defaults(self):
+        args = build_parser().parse_args(["synthetic"])
+        assert args.cps == 30
+        assert args.ops_per_cp == 1000
+        assert args.maintain_every is None
+
+    def test_query_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["query-bench", "--cps", "5", "--run-length", "16", "--queries", "64"]
+        )
+        assert (args.cps, args.run_length, args.queries) == (5, 16, 64)
+
+
+class TestCommands:
+    def test_synthetic_command_prints_summary(self, capsys):
+        exit_code = main(["synthetic", "--cps", "3", "--ops-per-cp", "150",
+                          "--initial-files", "20", "--maintain-every", "2"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "io_writes_per_block_op" in output
+        assert "Backlog summary" in output
+        assert "maintenance passes" in output
+
+    def test_nfs_command(self, capsys):
+        exit_code = main(["nfs", "--hours", "2", "--ops-per-hour", "200"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "NFS-like trace replay" in output
+        assert "space overhead %" in output
+
+    def test_query_bench_command(self, capsys):
+        exit_code = main(["query-bench", "--cps", "4", "--ops-per-cp", "200",
+                          "--run-length", "8", "--queries", "32"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "before maintenance" in output
+        assert "after maintenance" in output
+
+    def test_verify_command_reports_ok(self, capsys):
+        exit_code = main(["verify", "--cps", "3", "--ops-per-cp", "150", "--maintain"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "OK" in output

@@ -1,0 +1,240 @@
+"""Tests for the write-anywhere file system simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.dedup import DedupConfig
+from repro.fsim.filesystem import FileSystem, FileSystemConfig, ReferenceListener
+from repro.fsim.snapshots import SnapshotPolicy
+
+
+class RecordingListener(ReferenceListener):
+    """Captures every callback for assertions."""
+
+    def __init__(self):
+        self.added = []
+        self.removed = []
+        self.cps = []
+        self.clones = []
+        self.deleted_snapshots = []
+
+    def on_reference_added(self, block, inode, offset, line, cp):
+        self.added.append((block, inode, offset, line, cp))
+
+    def on_reference_removed(self, block, inode, offset, line, cp):
+        self.removed.append((block, inode, offset, line, cp))
+
+    def on_consistency_point(self, cp):
+        self.cps.append(cp)
+
+    def on_clone_created(self, new_line, parent_line, parent_version, cp):
+        self.clones.append((new_line, parent_line, parent_version, cp))
+
+    def on_snapshot_deleted(self, line, version, is_zombie, cp):
+        self.deleted_snapshots.append((line, version, is_zombie))
+
+
+def _plain_fs(**overrides):
+    defaults = dict(ops_per_cp=10**9, auto_cp=False, dedup=None)
+    defaults.update(overrides)
+    return FileSystem(FileSystemConfig(**defaults))
+
+
+class TestFileOperations:
+    def test_create_write_read(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=3)
+        assert fs.file_size(inode) == 3
+        assert fs.list_files() == [inode]
+        pointers = fs.read(inode, 0, 3)
+        assert all(p is not None for p in pointers)
+        assert fs.counters.read_ops == 3
+
+    def test_write_is_copy_on_write(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=1)
+        before = fs.volume().inodes[inode].physical_block(0)
+        fs.write(inode, 0, 1)
+        after = fs.volume().inodes[inode].physical_block(0)
+        assert before != after
+
+    def test_write_validation(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=1)
+        with pytest.raises(ValueError):
+            fs.write(inode, 0, 0)
+        with pytest.raises(KeyError):
+            fs.write(999, 0, 1)
+        with pytest.raises(KeyError):
+            fs.volume(7)
+
+    def test_append_truncate_delete(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=2)
+        fs.append(inode, 3)
+        assert fs.file_size(inode) == 5
+        assert fs.truncate(inode, 1) == 4
+        assert fs.file_size(inode) == 1
+        assert fs.delete_file(inode) == 1
+        assert fs.list_files() == []
+        assert fs.counters.files_deleted == 1
+
+    def test_listener_sees_reference_changes(self):
+        listener = RecordingListener()
+        fs = _plain_fs()
+        fs.add_listener(listener)
+        inode = fs.create_file(num_blocks=2)
+        assert len(listener.added) == 2
+        fs.write(inode, 0, 1)          # COW: one add + one remove
+        assert len(listener.added) == 3
+        assert len(listener.removed) == 1
+        fs.delete_file(inode)
+        assert len(listener.removed) == 3
+        fs.remove_listener(listener)
+        fs.create_file(num_blocks=1)
+        assert len(listener.added) == 3
+
+    def test_block_ops_counter(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=2)   # 2 adds
+        fs.write(inode, 0, 1)                   # 1 add + 1 remove
+        fs.delete_file(inode)                   # 2 removes
+        assert fs.counters.block_ops == 6
+
+
+class TestConsistencyPoints:
+    def test_cp_number_advances(self):
+        fs = _plain_fs()
+        fs.create_file(num_blocks=1)
+        assert fs.take_consistency_point() == 1
+        assert fs.take_consistency_point() == 2
+        assert fs.global_cp == 3
+
+    def test_auto_cp_after_threshold(self):
+        fs = FileSystem(FileSystemConfig(ops_per_cp=10, auto_cp=True, dedup=None))
+        for _ in range(6):
+            fs.create_file(num_blocks=5)
+        assert fs.counters.consistency_points >= 2
+
+    def test_cp_captures_snapshot_and_freezes_inodes(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=1)
+        cp = fs.take_consistency_point()
+        snapshot = fs.snapshots.get((0, cp))
+        old_block = snapshot.inodes[inode].physical_block(0)
+        fs.write(inode, 0, 1)
+        # The snapshot keeps the original pointer even though the live file changed.
+        assert snapshot.inodes[inode].physical_block(0) == old_block
+        assert fs.volume().inodes[inode].physical_block(0) != old_block
+
+    def test_meta_block_writes_accounted(self):
+        fs = _plain_fs()
+        fs.create_file(num_blocks=1)
+        before = fs.counters.meta_block_writes
+        fs.take_consistency_point()
+        assert fs.counters.meta_block_writes > before
+
+    def test_journal_truncated_at_cp(self):
+        fs = _plain_fs(journal_enabled=True)
+        fs.create_file(num_blocks=2)
+        assert len(fs.journal) == 2
+        fs.take_consistency_point()
+        assert len(fs.journal) == 0
+
+    def test_physical_data_bytes_tracks_allocations(self):
+        fs = _plain_fs()
+        assert fs.physical_data_bytes == 0
+        fs.create_file(num_blocks=4)
+        assert fs.physical_data_bytes == 4 * fs.config.block_size
+
+
+class TestDeduplication:
+    def test_dedup_produces_shared_blocks(self):
+        fs = FileSystem(FileSystemConfig(
+            ops_per_cp=10**9, auto_cp=False,
+            dedup=DedupConfig(duplicate_fraction=0.5), dedup_seed=1,
+        ))
+        for _ in range(20):
+            fs.create_file(num_blocks=20)
+        histogram = fs.allocator.refcount_histogram()
+        assert any(count >= 2 for count in histogram)
+
+    def test_no_dedup_all_unique(self):
+        fs = _plain_fs()
+        for _ in range(5):
+            fs.create_file(num_blocks=10)
+        assert set(fs.allocator.refcount_histogram()) == {1}
+
+
+class TestSnapshotsAndClones:
+    def test_blocks_pinned_by_snapshot_survive_deletion(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=2)
+        fs.take_consistency_point()
+        fs.delete_file(inode)
+        fs.take_consistency_point()
+        # The snapshot still pins the blocks.
+        assert fs.allocator.physical_blocks_in_use == 2
+
+    def test_clone_creates_new_writable_line(self):
+        listener = RecordingListener()
+        fs = _plain_fs()
+        fs.add_listener(listener)
+        inode = fs.create_file(num_blocks=2)
+        cp = fs.take_consistency_point()
+        line = fs.create_clone(0, cp)
+        assert line == 1
+        assert listener.clones == [(1, 0, cp, fs.global_cp)]
+        assert fs.list_files(line) == [inode]
+        # Writing in the clone does not disturb the parent.
+        parent_block = fs.volume(0).inodes[inode].physical_block(0)
+        fs.write(inode, 0, 1, line=line)
+        assert fs.volume(0).inodes[inode].physical_block(0) == parent_block
+        assert fs.volume(line).inodes[inode].physical_block(0) != parent_block
+
+    def test_clone_without_version_takes_cp(self):
+        fs = _plain_fs()
+        fs.create_file(num_blocks=1)
+        line = fs.create_clone(0)
+        assert line in fs.volumes
+
+    def test_delete_clone_and_root_protection(self):
+        fs = _plain_fs()
+        fs.create_file(num_blocks=1)
+        cp = fs.take_consistency_point()
+        line = fs.create_clone(0, cp)
+        fs.delete_clone(line)
+        assert line not in fs.volumes
+        with pytest.raises(ValueError):
+            fs.delete_clone(0)
+
+    def test_delete_snapshot_zombie_flag(self):
+        listener = RecordingListener()
+        fs = _plain_fs()
+        fs.add_listener(listener)
+        fs.create_file(num_blocks=1)
+        cp = fs.take_consistency_point()
+        fs.create_clone(0, cp)
+        assert fs.delete_snapshot(0, cp) is True
+        assert (0, cp, True) in listener.deleted_snapshots
+
+    def test_retention_deletes_old_cps(self):
+        policy = SnapshotPolicy(recent_cps=2, hourly_retained=1, nightly_retained=1,
+                                cps_per_hour=0, cps_per_night=0)
+        fs = _plain_fs(snapshot_policy=policy)
+        inode = fs.create_file(num_blocks=1)
+        for _ in range(6):
+            fs.write(inode, 0, 1)
+            fs.take_consistency_point()
+        assert len(fs.snapshots.versions(0)) <= 2
+
+    def test_iter_references(self):
+        fs = _plain_fs()
+        inode = fs.create_file(num_blocks=2)
+        live = list(fs.iter_live_references())
+        assert {(i, off) for _, i, off, _ in live} == {(inode, 0), (inode, 1)}
+        fs.take_consistency_point()
+        snap_refs = list(fs.iter_snapshot_references())
+        assert len(snap_refs) == 2
+        assert fs.live_lines() == [0]

@@ -1,0 +1,105 @@
+"""Tests for structural inheritance (writable clone expansion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inheritance import CloneGraph, expand_clones
+from repro.core.records import CombinedRecord, INFINITY
+
+
+class TestCloneGraph:
+    def test_add_and_lookup(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 10)
+        graph.add_clone(2, 0, 20)
+        graph.add_clone(3, 1, 30)
+        assert graph.parent_of(1) == (0, 10)
+        assert graph.parent_of(0) is None
+        assert graph.children_of(0) == [(1, 10), (2, 20)]
+        assert graph.clone_versions(0) == [10, 20]
+        assert graph.descendants_of(0) == [1, 2, 3]
+        assert graph.all_lines() == [0, 1, 2, 3]
+
+    def test_add_clone_validation(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 10)
+        with pytest.raises(ValueError):
+            graph.add_clone(1, 0, 20)
+        with pytest.raises(ValueError):
+            graph.add_clone(5, 5, 1)
+
+    def test_remove_line(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 10)
+        graph.remove_line(1)
+        assert graph.parent_of(1) is None
+        assert graph.children_of(0) == []
+        # Removing an unknown line is harmless.
+        graph.remove_line(99)
+
+
+class TestExpandClones:
+    def test_paper_section_4_2_2(self):
+        """Clone line 1 overrides block 103 at CP 43; block 107 replaces it."""
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 40)  # line 1 cloned from (0, 40)
+        records = [
+            CombinedRecord(103, 5, 2, 0, 30, INFINITY),   # parent's reference
+            CombinedRecord(103, 5, 2, 1, 0, 43),          # override in the clone
+            CombinedRecord(107, 5, 2, 1, 43, INFINITY),   # the clone's new block
+        ]
+        expanded = expand_clones(records, graph)
+        # The override suppresses inheritance: no (103, line 1, 0, INF) record.
+        assert CombinedRecord(103, 5, 2, 1, 0, INFINITY) not in expanded
+        assert set(expanded) == set(records)
+
+    def test_inherited_record_added_when_no_override(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 40)
+        records = [CombinedRecord(200, 9, 0, 0, 30, INFINITY)]
+        expanded = expand_clones(records, graph)
+        assert CombinedRecord(200, 9, 0, 1, 0, INFINITY) in expanded
+        assert len(expanded) == 2
+
+    def test_no_inheritance_when_clone_point_outside_lifetime(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 40)
+        records = [CombinedRecord(200, 9, 0, 0, 50, INFINITY)]  # allocated after the clone
+        expanded = expand_clones(records, graph)
+        assert expanded == records
+
+    def test_recursive_expansion_through_clone_chains(self):
+        """A clone of a clone inherits transitively (the iterative algorithm)."""
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 10)
+        graph.add_clone(2, 1, 20)
+        graph.add_clone(3, 2, 30)
+        records = [CombinedRecord(77, 4, 1, 0, 5, INFINITY)]
+        expanded = expand_clones(records, graph)
+        lines = {r.line for r in expanded}
+        assert lines == {0, 1, 2, 3}
+        for line in (1, 2, 3):
+            assert CombinedRecord(77, 4, 1, line, 0, INFINITY) in expanded
+
+    def test_override_stops_propagation_only_for_that_branch(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 10)
+        graph.add_clone(2, 0, 10)
+        records = [
+            CombinedRecord(5, 1, 0, 0, 1, INFINITY),
+            CombinedRecord(5, 1, 0, 1, 0, 12),  # line 1 dropped the block at CP 12
+        ]
+        expanded = expand_clones(records, graph)
+        assert CombinedRecord(5, 1, 0, 2, 0, INFINITY) in expanded
+        assert CombinedRecord(5, 1, 0, 1, 0, INFINITY) not in expanded
+
+    def test_expansion_result_is_sorted_and_deduplicated(self):
+        graph = CloneGraph()
+        graph.add_clone(1, 0, 10)
+        record = CombinedRecord(5, 1, 0, 0, 1, INFINITY)
+        expanded = expand_clones([record, record], graph)
+        assert expanded == sorted(set(expanded), key=CombinedRecord.sort_key)
+
+    def test_empty_input(self):
+        assert expand_clones([], CloneGraph()) == []

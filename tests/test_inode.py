@@ -1,0 +1,94 @@
+"""Tests for the inode model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.inode import Inode, POINTERS_PER_INDIRECT_BLOCK
+
+
+class TestBlockMapping:
+    def test_empty_inode(self):
+        inode = Inode(number=2)
+        assert inode.num_blocks == 0
+        assert inode.size_blocks == 0
+        assert inode.physical_block(0) is None
+        assert inode.meta_blocks() == 1
+
+    def test_set_and_get(self):
+        inode = Inode(number=2)
+        assert inode.set_block(0, 100) is None
+        assert inode.set_block(0, 200) == 100  # returns the overwritten block
+        assert inode.physical_block(0) == 200
+        assert inode.num_blocks == 1
+
+    def test_negative_offset_rejected(self):
+        inode = Inode(number=2)
+        with pytest.raises(ValueError):
+            inode.set_block(-1, 5)
+
+    def test_sparse_file_sizes(self):
+        inode = Inode(number=2)
+        inode.set_block(0, 10)
+        inode.set_block(9, 11)
+        assert inode.num_blocks == 2
+        assert inode.size_blocks == 10  # one past the highest offset
+
+    def test_offsets_of_shared_block(self):
+        inode = Inode(number=2)
+        inode.set_block(0, 7)
+        inode.set_block(3, 7)
+        inode.set_block(1, 9)
+        assert inode.offsets_of(7) == [0, 3]
+        assert inode.offsets_of(9) == [1]
+        assert inode.offsets_of(42) == []
+
+    def test_iter_blocks_sorted(self):
+        inode = Inode(number=2)
+        for offset in (5, 1, 3):
+            inode.set_block(offset, offset * 10)
+        assert list(inode.iter_blocks()) == [(1, 10), (3, 30), (5, 50)]
+
+
+class TestTruncate:
+    def test_truncate_removes_tail(self):
+        inode = Inode(number=2)
+        for offset in range(6):
+            inode.set_block(offset, 100 + offset)
+        removed = inode.truncate(2)
+        assert removed == [(2, 102), (3, 103), (4, 104), (5, 105)]
+        assert inode.size_blocks == 2
+
+    def test_truncate_to_zero_and_no_op(self):
+        inode = Inode(number=2)
+        inode.set_block(0, 1)
+        assert inode.truncate(5) == []
+        assert inode.truncate(0) == [(0, 1)]
+        assert inode.num_blocks == 0
+
+    def test_truncate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Inode(number=2).truncate(-1)
+
+    def test_clear_block(self):
+        inode = Inode(number=2)
+        inode.set_block(4, 44)
+        assert inode.clear_block(4) == 44
+        assert inode.clear_block(4) is None
+
+
+class TestMetaBlocksAndCopy:
+    def test_meta_blocks_scale_with_size(self):
+        inode = Inode(number=2)
+        for offset in range(POINTERS_PER_INDIRECT_BLOCK + 1):
+            inode.set_block(offset, offset)
+        assert inode.meta_blocks() == 1 + 2  # inode + two indirect blocks
+
+    def test_copy_is_independent(self):
+        inode = Inode(number=2)
+        inode.set_block(0, 1)
+        clone = inode.copy()
+        clone.set_block(0, 99)
+        assert inode.physical_block(0) == 1
+        assert clone.physical_block(0) == 99
+        assert clone.number == 2

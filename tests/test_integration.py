@@ -1,0 +1,153 @@
+"""Integration and property-based tests across the whole stack.
+
+These tests exercise the complete pipeline -- file system, Backlog, flushes,
+compaction, clones, snapshots -- and check the single invariant the paper's
+own verification tool checks: the back references reconstructed by walking
+the file system tree always agree with the database.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BacklogConfig
+from repro.core.verify import verify_backlog
+from repro.fsim.dedup import DedupConfig
+from tests.conftest import build_system
+
+
+def _churn(fs, rng, operations, line=0):
+    """Apply random file operations to one volume."""
+    for _ in range(operations):
+        files = fs.list_files(line)
+        roll = rng.random()
+        if roll < 0.2 or not files:
+            fs.create_file(num_blocks=rng.randint(1, 8), line=line)
+            continue
+        inode = rng.choice(files)
+        size = fs.file_size(inode, line=line)
+        if roll < 0.3 and len(files) > 3:
+            fs.delete_file(inode, line=line)
+        elif roll < 0.4 and size > 1:
+            fs.truncate(inode, rng.randrange(size), line=line)
+        elif size > 0:
+            fs.write(inode, rng.randrange(size), rng.randint(1, 3), line=line)
+        else:
+            fs.write(inode, 0, 1, line=line)
+
+
+class TestEndToEnd:
+    def test_long_run_with_clones_and_maintenance(self):
+        fs, backlog = build_system()
+        rng = random.Random(5)
+        clone_lines = []
+        for round_number in range(8):
+            _churn(fs, rng, 150)
+            for line in clone_lines:
+                _churn(fs, rng, 20, line=line)
+            cp = fs.take_consistency_point()
+            if round_number in (2, 5) and len(clone_lines) < 2:
+                clone_lines.append(fs.create_clone(0, cp))
+            if round_number == 4:
+                backlog.maintain()
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+        backlog.maintain()
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+
+    def test_clone_deletion_and_zombies(self):
+        fs, backlog = build_system()
+        rng = random.Random(6)
+        _churn(fs, rng, 100)
+        cp = fs.take_consistency_point()
+        clone = fs.create_clone(0, cp)
+        _churn(fs, rng, 50, line=clone)
+        fs.take_consistency_point()
+        # Delete the cloned-from snapshot: it becomes a zombie and must not
+        # break queries for the clone.
+        fs.delete_snapshot(0, cp)
+        fs.take_consistency_point()
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+        backlog.maintain()
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+
+    def test_small_partitions_and_frequent_maintenance(self):
+        fs, backlog = build_system(
+            backlog_config=BacklogConfig(partition_size_blocks=64,
+                                         maintenance_interval_cps=2),
+        )
+        rng = random.Random(7)
+        for _ in range(6):
+            _churn(fs, rng, 100)
+            fs.take_consistency_point()
+        assert len(backlog.stats.maintenance_runs) >= 2
+        assert len(backlog.run_manager.partitions()) >= 2
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+
+    def test_heavy_dedup_workload(self):
+        fs, backlog = build_system(dedup=DedupConfig(duplicate_fraction=0.5))
+        rng = random.Random(8)
+        for _ in range(4):
+            _churn(fs, rng, 150)
+            fs.take_consistency_point()
+        # Dedup produced shared blocks with multiple owners.
+        histogram = fs.allocator.refcount_histogram()
+        assert any(count > 1 for count in histogram)
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+
+    def test_relocation_workflow(self):
+        """The defragmentation use case: query, move, update, suppress.
+
+        No snapshot is taken before the move, so no retained image still
+        points at the old physical block -- which is the state a relocation
+        utility leaves behind after updating every pointer it found.
+        """
+        fs, backlog = build_system(dedup=None)
+        inode = fs.create_file(num_blocks=8)
+        victim = fs.volume().inodes[inode].physical_block(3)
+        owners = backlog.query(victim)
+        assert owners and owners[0].inode == inode
+        # "Move" the block: the file system rewrites the pointer (COW) and the
+        # old block's stale records are suppressed.
+        fs.write(inode, 3, 1)
+        backlog.relocate_block(victim)
+        fs.take_consistency_point()
+        assert backlog.query(victim) == []
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:10]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(
+    seed=st.integers(0, 10_000),
+    rounds=st.integers(1, 4),
+    ops_per_round=st.integers(20, 120),
+    with_clone=st.booleans(),
+    maintain=st.booleans(),
+)
+def test_database_always_matches_filesystem(seed, rounds, ops_per_round, with_clone, maintain):
+    """Property: after any random op sequence, Backlog matches the FS tree."""
+    fs, backlog = build_system()
+    rng = random.Random(seed)
+    clone_line = None
+    for round_number in range(rounds):
+        _churn(fs, rng, ops_per_round)
+        if clone_line is not None:
+            _churn(fs, rng, ops_per_round // 4, line=clone_line)
+        cp = fs.take_consistency_point()
+        if with_clone and clone_line is None:
+            clone_line = fs.create_clone(0, cp)
+    if maintain:
+        backlog.maintain()
+    report = verify_backlog(fs, backlog)
+    assert report.ok, report.mismatches[:10]

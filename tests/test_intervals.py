@@ -1,0 +1,127 @@
+"""Tests for version-range helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.intervals import (
+    INFINITY,
+    VersionRange,
+    intersect_ranges,
+    merge_adjacent_ranges,
+    subtract_versions,
+)
+
+
+class TestVersionRange:
+    def test_live_range(self):
+        r = VersionRange(5)
+        assert r.is_live
+        assert 5 in r
+        assert 10**12 in r
+        assert 4 not in r
+
+    def test_bounded_range(self):
+        r = VersionRange(3, 7)
+        assert not r.is_live
+        assert 3 in r
+        assert 6 in r
+        assert 7 not in r
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            VersionRange(-1, 5)
+        with pytest.raises(ValueError):
+            VersionRange(7, 3)
+
+    def test_overlaps_and_intersection(self):
+        a = VersionRange(0, 10)
+        b = VersionRange(5, 15)
+        c = VersionRange(10, 20)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open: [0,10) and [10,20) do not share 10
+        assert a.intersection(b) == VersionRange(5, 10)
+        assert a.intersection(c) is None
+
+    def test_as_tuple(self):
+        assert VersionRange(1, 2).as_tuple() == (1, 2)
+
+
+class TestIntersectRanges:
+    def test_masking_drops_dead_ranges(self):
+        ranges = [(0, 5), (10, 20), (30, INFINITY)]
+        retained = [7, 15, 40]
+        assert intersect_ranges(ranges, retained) == [(10, 20), (30, INFINITY)]
+
+    def test_boundaries_are_half_open(self):
+        # A retained version equal to `to` does not keep the range alive.
+        assert intersect_ranges([(0, 5)], [5]) == []
+        assert intersect_ranges([(0, 5)], [4]) == [(0, 5)]
+        assert intersect_ranges([(5, 6)], [5]) == [(5, 6)]
+
+    def test_empty_versions_drops_everything(self):
+        assert intersect_ranges([(0, 10)], []) == []
+
+
+class TestMergeAdjacentRanges:
+    def test_merges_overlapping_and_touching(self):
+        assert merge_adjacent_ranges([(5, 7), (0, 3), (3, 5)]) == [(0, 7)]
+
+    def test_keeps_disjoint(self):
+        assert merge_adjacent_ranges([(0, 2), (4, 6)]) == [(0, 2), (4, 6)]
+
+    def test_live_range_absorbs(self):
+        assert merge_adjacent_ranges([(0, 4), (4, INFINITY)]) == [(0, INFINITY)]
+
+    def test_empty_input(self):
+        assert merge_adjacent_ranges([]) == []
+
+
+class TestSubtractVersions:
+    def test_splits_range(self):
+        assert subtract_versions([(0, 10)], [5]) == [(0, 5), (6, 10)]
+
+    def test_removes_edges(self):
+        assert subtract_versions([(5, 8)], [5, 7]) == [(6, 7)]
+
+    def test_no_effect_outside(self):
+        assert subtract_versions([(0, 3)], [10]) == [(0, 3)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 100)).map(
+            lambda pair: (min(pair), max(pair) + 1)
+        ),
+        max_size=20,
+    ),
+    st.sets(st.integers(0, 120), max_size=30),
+)
+def test_intersect_ranges_matches_bruteforce(ranges, versions):
+    """Property: a range survives masking iff some version lies inside it."""
+    retained = sorted(versions)
+    result = intersect_ranges(ranges, retained)
+    expected = [r for r in ranges if any(r[0] <= v < r[1] for v in retained)]
+    assert result == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 60), st.integers(1, 15)).map(lambda p: (p[0], p[0] + p[1])),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_merge_adjacent_ranges_covers_same_versions(ranges):
+    """Property: merging never changes the set of covered versions."""
+    merged = merge_adjacent_ranges(ranges)
+    covered_before = {v for a, b in ranges for v in range(a, b)}
+    covered_after = {v for a, b in merged for v in range(a, b)}
+    assert covered_before == covered_after
+    # Merged output is sorted and non-overlapping.
+    for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+        assert b1 < a2

@@ -1,0 +1,57 @@
+"""Tests for the logical operation journal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.journal import Journal, JournalRecord
+
+
+class TestJournalRecord:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            JournalRecord("bogus", 1, 2, 3, 0, 1)
+
+    def test_fields(self):
+        record = JournalRecord("add", 10, 2, 0, 0, 4)
+        assert record.block == 10 and record.cp == 4
+
+
+class TestJournal:
+    def test_log_and_len(self):
+        journal = Journal()
+        journal.log_add(1, 2, 0, 0, 1)
+        journal.log_remove(1, 2, 0, 0, 1)
+        assert len(journal) == 2
+        kinds = [record.kind for record in journal]
+        assert kinds == ["add", "remove"]
+
+    def test_truncate(self):
+        journal = Journal()
+        journal.log_add(1, 2, 0, 0, 1)
+        assert journal.truncate() == 1
+        assert len(journal) == 0
+        assert journal.records() == ()
+
+    def test_replay_order_and_callbacks(self):
+        journal = Journal()
+        journal.log_add(1, 2, 0, 0, 1)
+        journal.log_add(2, 2, 1, 0, 1)
+        journal.log_remove(1, 2, 0, 0, 1)
+        events = []
+        count = journal.replay(
+            on_add=lambda *args: events.append(("add",) + args),
+            on_remove=lambda *args: events.append(("remove",) + args),
+        )
+        assert count == 3
+        assert events == [
+            ("add", 1, 2, 0, 0, 1),
+            ("add", 2, 2, 1, 0, 1),
+            ("remove", 1, 2, 0, 0, 1),
+        ]
+
+    def test_replay_after_truncate_is_empty(self):
+        journal = Journal()
+        journal.log_add(1, 2, 0, 0, 1)
+        journal.truncate()
+        assert journal.replay(lambda *a: None, lambda *a: None) == 0

@@ -1,0 +1,99 @@
+"""Tests for version masking and the version authorities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.masking import (
+    AllVersionsAuthority,
+    ExplicitVersionAuthority,
+    SnapshotManagerAuthority,
+    mask_records,
+)
+from repro.core.records import CombinedRecord, INFINITY
+from tests.conftest import build_system
+
+
+class TestAllVersionsAuthority:
+    def test_everything_valid(self):
+        authority = AllVersionsAuthority()
+        assert authority.valid_versions(0) is None
+        records = [CombinedRecord(1, 1, 0, 0, 5, 6)]
+        assert mask_records(records, authority) == records
+
+
+class TestExplicitVersionAuthority:
+    def test_live_line_includes_current_cp(self):
+        authority = ExplicitVersionAuthority()
+        authority.set_current_cp(9)
+        assert authority.valid_versions(0) == [9]
+
+    def test_snapshots_and_removal(self):
+        authority = ExplicitVersionAuthority()
+        authority.set_current_cp(10)
+        authority.add_snapshot(0, 3)
+        authority.add_snapshot(0, 7)
+        assert authority.valid_versions(0) == [3, 7, 10]
+        authority.remove_snapshot(0, 3)
+        assert authority.valid_versions(0) == [7, 10]
+
+    def test_non_live_line(self):
+        authority = ExplicitVersionAuthority()
+        authority.add_snapshot(5, 2)
+        assert authority.valid_versions(5) == [2]
+        authority.add_line(5)
+        authority.set_current_cp(4)
+        assert authority.valid_versions(5) == [2, 4]
+        authority.remove_line(5)
+        assert authority.valid_versions(5) == [2]
+
+
+class TestMaskRecords:
+    def test_drops_fully_deleted_lifetimes(self):
+        authority = ExplicitVersionAuthority()
+        authority.set_current_cp(100)
+        authority.add_snapshot(0, 50)
+        records = [
+            CombinedRecord(1, 1, 0, 0, 10, 20),    # dead: no retained version inside
+            CombinedRecord(2, 1, 0, 0, 40, 60),    # covers snapshot 50
+            CombinedRecord(3, 1, 0, 0, 90, INFINITY),  # live
+        ]
+        masked = mask_records(records, authority)
+        assert [r.block for r in masked] == [2, 3]
+
+    def test_mask_is_per_line(self):
+        authority = ExplicitVersionAuthority()
+        authority.set_current_cp(100)
+        authority.add_snapshot(1, 15)
+        records = [
+            CombinedRecord(1, 1, 0, 1, 10, 20),
+            CombinedRecord(1, 1, 0, 2, 10, 20),
+        ]
+        masked = mask_records(records, authority)
+        assert [r.line for r in masked] == [1]
+
+
+class TestSnapshotManagerAuthority:
+    def test_reflects_filesystem_snapshots(self):
+        fs, backlog = build_system()
+        authority = SnapshotManagerAuthority(fs)
+        fs.create_file(num_blocks=2)
+        cp1 = fs.take_consistency_point()
+        cp2 = fs.take_consistency_point()
+        valid = authority.valid_versions(0)
+        assert cp1 in valid and cp2 in valid
+        assert fs.global_cp in valid  # the live file system
+
+    def test_unknown_line_has_no_live_cp(self):
+        fs, _ = build_system()
+        authority = SnapshotManagerAuthority(fs)
+        assert authority.valid_versions(42) == []
+
+    def test_deleted_snapshot_disappears(self):
+        fs, _ = build_system()
+        authority = SnapshotManagerAuthority(fs)
+        fs.create_file(num_blocks=1)
+        cp = fs.take_consistency_point()
+        assert cp in authority.valid_versions(0)
+        fs.delete_snapshot(0, cp)
+        assert cp not in authority.valid_versions(0)

@@ -1,0 +1,75 @@
+"""Tests for horizontal partitioning by physical block number."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import Partitioner
+from repro.core.records import FromRecord
+
+
+class TestPartitionOf:
+    def test_default_partition_size(self):
+        partitioner = Partitioner()
+        assert partitioner.partition_of(0) == 0
+        assert partitioner.partition_of((1 << 20) - 1) == 0
+        assert partitioner.partition_of(1 << 20) == 1
+
+    def test_custom_size(self):
+        partitioner = Partitioner(partition_size_blocks=100)
+        assert partitioner.partition_of(99) == 0
+        assert partitioner.partition_of(100) == 1
+        assert partitioner.partition_of(1234) == 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Partitioner(partition_size_blocks=0)
+        with pytest.raises(ValueError):
+            Partitioner().partition_of(-1)
+
+    def test_block_range_roundtrip(self):
+        partitioner = Partitioner(partition_size_blocks=50)
+        first, last = partitioner.block_range(3)
+        assert (first, last) == (150, 200)
+        assert partitioner.partition_of(first) == 3
+        assert partitioner.partition_of(last - 1) == 3
+
+
+class TestRangeQueries:
+    def test_partitions_for_range(self):
+        partitioner = Partitioner(partition_size_blocks=100)
+        assert partitioner.partitions_for_range(10, 5) == [0]
+        assert partitioner.partitions_for_range(95, 10) == [0, 1]
+        assert partitioner.partitions_for_range(95, 300) == [0, 1, 2, 3]
+        assert partitioner.partitions_for_range(10, 0) == []
+
+
+class TestSplitSortedRecords:
+    def test_groups_consecutive_partitions(self):
+        partitioner = Partitioner(partition_size_blocks=10)
+        records = [FromRecord(b, 1, 0, 0, 1) for b in [1, 2, 9, 10, 25, 26]]
+        groups = list(partitioner.split_sorted_records(records))
+        assert [(partition, [r.block for r in bucket]) for partition, bucket in groups] == [
+            (0, [1, 2, 9]),
+            (1, [10]),
+            (2, [25, 26]),
+        ]
+
+    def test_empty_input(self):
+        partitioner = Partitioner()
+        assert list(partitioner.split_sorted_records([])) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 5_000), max_size=200), st.integers(1, 500))
+def test_split_preserves_records_and_grouping(blocks, partition_size):
+    """Property: splitting loses nothing and every record lands in its partition."""
+    partitioner = Partitioner(partition_size_blocks=partition_size)
+    records = [FromRecord(b, 1, 0, 0, 1) for b in sorted(blocks)]
+    groups = list(partitioner.split_sorted_records(records))
+    recombined = [record for _, bucket in groups for record in bucket]
+    assert recombined == records
+    for partition, bucket in groups:
+        assert all(partitioner.partition_of(r.block) == partition for r in bucket)

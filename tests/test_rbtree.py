@@ -1,0 +1,195 @@
+"""Tests for the red-black tree underlying the write stores."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rbtree import RedBlackTree
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert not tree
+        assert list(tree) == []
+        assert 5 not in tree
+
+    def test_insert_and_lookup(self):
+        tree = RedBlackTree()
+        tree.insert(3, "three")
+        tree.insert(1, "one")
+        tree.insert(2, "two")
+        assert len(tree) == 3
+        assert tree[1] == "one"
+        assert tree[2] == "two"
+        assert tree[3] == "three"
+        assert tree.get(4) is None
+        assert tree.get(4, "missing") == "missing"
+
+    def test_getitem_missing_raises(self):
+        tree = RedBlackTree()
+        with pytest.raises(KeyError):
+            tree[42]
+
+    def test_insert_replaces_existing_value(self):
+        tree = RedBlackTree()
+        tree.insert("key", 1)
+        tree.insert("key", 2)
+        assert len(tree) == 1
+        assert tree["key"] == 2
+
+    def test_setitem_and_delitem(self):
+        tree = RedBlackTree()
+        tree["a"] = 1
+        tree["b"] = 2
+        del tree["a"]
+        assert "a" not in tree
+        assert "b" in tree
+
+    def test_delete_returns_value(self):
+        tree = RedBlackTree()
+        tree.insert(10, "ten")
+        assert tree.delete(10) == "ten"
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        with pytest.raises(KeyError):
+            tree.delete(2)
+
+    def test_pop_with_default(self):
+        tree = RedBlackTree()
+        assert tree.pop(1, None) is None
+        tree.insert(1, "x")
+        assert tree.pop(1, None) == "x"
+        with pytest.raises(KeyError):
+            tree.pop(1)
+
+    def test_clear(self):
+        tree = RedBlackTree()
+        for i in range(10):
+            tree.insert(i)
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree) == []
+
+    def test_min_max_keys(self):
+        tree = RedBlackTree()
+        with pytest.raises(KeyError):
+            tree.min_key()
+        with pytest.raises(KeyError):
+            tree.max_key()
+        for value in [5, 3, 9, 1, 7]:
+            tree.insert(value)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+
+class TestIteration:
+    def test_items_sorted(self):
+        tree = RedBlackTree()
+        values = [5, 2, 9, 1, 7, 3]
+        for v in values:
+            tree.insert(v, v * 10)
+        assert [k for k, _ in tree.items()] == sorted(values)
+        assert list(tree.keys()) == sorted(values)
+        assert list(tree.values()) == [v * 10 for v in sorted(values)]
+
+    def test_items_from(self):
+        tree = RedBlackTree()
+        for v in range(0, 20, 2):
+            tree.insert(v)
+        assert [k for k, _ in tree.items_from(7)] == [8, 10, 12, 14, 16, 18]
+        assert [k for k, _ in tree.items_from(8)] == [8, 10, 12, 14, 16, 18]
+        assert [k for k, _ in tree.items_from(100)] == []
+
+    def test_items_range(self):
+        tree = RedBlackTree()
+        for v in range(10):
+            tree.insert(v)
+        assert [k for k, _ in tree.items_range(3, 7)] == [3, 4, 5, 6]
+        assert [k for k, _ in tree.items_range(7, 3)] == []
+
+    def test_tuple_keys_range(self):
+        """The write store uses 5-tuples as keys; range scans must work."""
+        tree = RedBlackTree()
+        for block in range(5):
+            for cp in range(3):
+                tree.insert((block, 1, 0, 0, cp), f"{block}:{cp}")
+        start = (2, 0, 0, 0, 0)
+        stop = (3, 0, 0, 0, 0)
+        keys = [k for k, _ in tree.items_range(start, stop)]
+        assert keys == [(2, 1, 0, 0, 0), (2, 1, 0, 0, 1), (2, 1, 0, 0, 2)]
+
+
+class TestFloorCeiling:
+    def test_ceiling_and_floor(self):
+        tree = RedBlackTree()
+        for v in [10, 20, 30]:
+            tree.insert(v)
+        assert tree.ceiling(15) == (20, None)
+        assert tree.ceiling(20) == (20, None)
+        assert tree.ceiling(31) is None
+        assert tree.floor(25) == (20, None)
+        assert tree.floor(10) == (10, None)
+        assert tree.floor(5) is None
+
+
+class TestInvariants:
+    def test_invariants_after_random_operations(self):
+        tree = RedBlackTree()
+        rng = random.Random(7)
+        reference = {}
+        for _ in range(2000):
+            key = rng.randrange(300)
+            if rng.random() < 0.6 or key not in reference:
+                tree.insert(key, key)
+                reference[key] = key
+            else:
+                tree.delete(key)
+                del reference[key]
+        assert tree.check_invariants()
+        assert sorted(reference) == [k for k, _ in tree.items()]
+
+    def test_sequential_insert_balanced(self):
+        tree = RedBlackTree()
+        for i in range(1000):
+            tree.insert(i)
+        assert tree.check_invariants()
+        assert len(tree) == 1000
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(min_value=0, max_value=100))))
+def test_matches_dict_model(operations):
+    """Property: the tree behaves like a dict with sorted iteration."""
+    tree = RedBlackTree()
+    model = {}
+    for is_insert, key in operations:
+        if is_insert:
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        else:
+            expected = model.pop(key, None)
+            actual = tree.pop(key, None)
+            assert actual == expected
+    assert [k for k, _ in tree.items()] == sorted(model)
+    assert len(tree) == len(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=10_000), max_size=300),
+       st.integers(min_value=0, max_value=10_000))
+def test_items_from_matches_sorted_slice(keys, start):
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key)
+    expected = sorted(k for k in keys if k >= start)
+    assert [k for k, _ in tree.items_from(start)] == expected

@@ -1,0 +1,180 @@
+"""Tests for the on-disk read-store runs (dense bottom-up B-trees)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.read_store import ReadStoreReader, ReadStoreWriter
+from repro.core.records import CombinedRecord, FromRecord, INFINITY, ToRecord
+from repro.fsim.blockdev import MemoryBackend
+from repro.fsim.cache import PageCache
+
+
+def _build(records, table="from", backend=None, name="p000000/from/L0_0000000001"):
+    backend = backend or MemoryBackend()
+    writer = ReadStoreWriter(backend, name, table)
+    reader = writer.build(iter(records))
+    return backend, reader
+
+
+def _from_records(count, stride=1):
+    return [FromRecord(block=i * stride, inode=i % 7 + 1, offset=i % 3, line=0, from_cp=i % 11 + 1)
+            for i in range(count)]
+
+
+class TestBuild:
+    def test_empty_input_creates_no_file(self):
+        backend = MemoryBackend()
+        writer = ReadStoreWriter(backend, "empty", "from")
+        assert writer.build(iter([])) is None
+        assert not backend.exists("empty")
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(ValueError):
+            ReadStoreWriter(MemoryBackend(), "x", "bogus")
+
+    def test_unsorted_input_rejected(self):
+        backend = MemoryBackend()
+        writer = ReadStoreWriter(backend, "x", "from")
+        records = [FromRecord(5, 1, 0, 0, 1), FromRecord(3, 1, 0, 0, 1)]
+        with pytest.raises(ValueError):
+            writer.build(iter(records))
+
+    def test_build_writes_no_reads(self):
+        """Constructing a run is pure sequential writing (§5.1).
+
+        The only read allowed is the single header-page read performed when
+        the freshly written run is opened for use afterwards.
+        """
+        backend = MemoryBackend()
+        writer = ReadStoreWriter(backend, "x", "from")
+        writer.build(iter(_from_records(5000)))
+        assert backend.stats.pages_read <= 1
+        assert backend.stats.pages_written > 0
+
+    def test_header_fields(self):
+        records = _from_records(1000)
+        _, reader = _build(records)
+        assert reader.num_records == 1000
+        assert reader.table == "from"
+        assert reader.record_size == 40
+        assert reader.min_block == 0
+        assert reader.max_block == 999
+        assert reader.num_leaf_pages >= 1000 // reader.records_per_page
+
+
+class TestIteration:
+    def test_iter_all_roundtrip(self):
+        records = _from_records(777)
+        _, reader = _build(records)
+        assert list(reader.iter_all()) == records
+
+    def test_single_leaf_file(self):
+        records = _from_records(3)
+        _, reader = _build(records)
+        assert reader.num_levels == 0
+        assert list(reader.iter_all()) == records
+        assert reader.records_for_block(1) == [records[1]]
+
+    def test_multi_level_index(self):
+        """Enough records to need at least two index levels."""
+        records = _from_records(30_000)
+        _, reader = _build(records)
+        assert reader.num_levels >= 2
+        assert reader.records_for_block(12_345) == [records[12_345]]
+
+    def test_iter_from_positions_correctly(self):
+        records = _from_records(500, stride=2)  # blocks 0, 2, 4, ...
+        _, reader = _build(records)
+        result = list(reader.iter_from(block=100))
+        assert result[0].block == 100
+        assert len(result) == 500 - 50
+        # Start between two existing blocks.
+        result = list(reader.iter_from(block=101))
+        assert result[0].block == 102
+
+    def test_records_for_block_range(self):
+        records = _from_records(300)
+        _, reader = _build(records)
+        subset = reader.records_for_block_range(100, 20)
+        assert [r.block for r in subset] == list(range(100, 120))
+        assert reader.records_for_block_range(1000, 5) == []
+
+    def test_combined_and_to_record_kinds(self):
+        to_records = [ToRecord(i, 1, 0, 0, i + 1) for i in range(100)]
+        _, reader = _build(to_records, table="to", name="p0/to/L0_1")
+        assert list(reader.iter_all()) == to_records
+
+        combined = [CombinedRecord(i, 1, 0, 0, 1, INFINITY if i % 2 else i + 2)
+                    for i in range(100)]
+        _, reader = _build(combined, table="combined", name="p0/combined/c_1")
+        assert list(reader.iter_all()) == combined
+        assert reader.record_size == 48
+
+
+class TestBloomIntegration:
+    def test_might_contain_block(self):
+        records = _from_records(200, stride=10)  # blocks 0, 10, ..., 1990
+        _, reader = _build(records)
+        assert reader.might_contain_block(500)
+        assert not reader.might_contain_block(5_000)  # outside min/max bounds
+        assert not reader.might_contain_range(10_000, 50)
+        assert reader.might_contain_range(0, 5)
+
+    def test_bloom_reloaded_from_disk(self):
+        backend, reader = _build(_from_records(100))
+        fresh = ReadStoreReader(backend, reader.name)
+        assert all(fresh.bloom.might_contain(r.block) for r in _from_records(100))
+
+
+class TestCacheIntegration:
+    def test_reads_go_through_cache(self):
+        backend, reader = _build(_from_records(5000))
+        cache = PageCache(4 * 1024 * 1024)
+        cached_reader = ReadStoreReader(backend, reader.name, cache=cache)
+        before = backend.stats.pages_read
+        cached_reader.records_for_block(42)
+        first_reads = backend.stats.pages_read - before
+        assert first_reads > 0
+        before = backend.stats.pages_read
+        cached_reader.records_for_block(42)
+        assert backend.stats.pages_read - before == 0  # served from cache
+        assert cache.stats.hits > 0
+
+    def test_open_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            ReadStoreReader(MemoryBackend(), "nope")
+
+    def test_non_run_file_rejected(self):
+        backend = MemoryBackend()
+        page_file = backend.create("junk")
+        page_file.append_page(b"garbage")
+        with pytest.raises(ValueError):
+            ReadStoreReader(backend, "junk")
+
+
+_record_fields = st.tuples(
+    st.integers(0, 10_000), st.integers(1, 100), st.integers(0, 50),
+    st.integers(0, 4), st.integers(1, 500),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_record_fields, min_size=1, max_size=400))
+def test_roundtrip_property(raw):
+    """Property: any sorted record set written to a run reads back identically."""
+    records = sorted({FromRecord(*fields) for fields in raw}, key=FromRecord.sort_key)
+    _, reader = _build(records)
+    assert list(reader.iter_all()) == records
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_record_fields, min_size=1, max_size=300), st.integers(0, 10_000))
+def test_iter_from_property(raw, start_block):
+    """Property: iter_from(block) returns exactly the records with block >= start."""
+    records = sorted({FromRecord(*fields) for fields in raw}, key=FromRecord.sort_key)
+    _, reader = _build(records)
+    expected = [r for r in records if r.block >= start_block]
+    assert list(reader.iter_from(start_block)) == expected

@@ -1,0 +1,113 @@
+"""Tests for back-reference record types and their encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import (
+    BackReference,
+    COMBINED_RECORD_SIZE,
+    CombinedRecord,
+    FROM_RECORD_SIZE,
+    FromRecord,
+    INFINITY,
+    ReferenceKey,
+    TO_RECORD_SIZE,
+    ToRecord,
+)
+
+
+class TestRecordSizes:
+    def test_paper_record_sizes(self):
+        """The paper's btrfs port uses 40-byte From/To and 48-byte Combined tuples."""
+        assert FROM_RECORD_SIZE == 40
+        assert TO_RECORD_SIZE == 40
+        assert COMBINED_RECORD_SIZE == 48
+
+    def test_pack_lengths_match_constants(self):
+        assert len(FromRecord(1, 2, 3, 4, 5).pack()) == FROM_RECORD_SIZE
+        assert len(ToRecord(1, 2, 3, 4, 5).pack()) == TO_RECORD_SIZE
+        assert len(CombinedRecord(1, 2, 3, 4, 5, 6).pack()) == COMBINED_RECORD_SIZE
+
+
+class TestRoundTrip:
+    def test_from_roundtrip(self):
+        record = FromRecord(block=100, inode=2, offset=0, line=0, from_cp=4)
+        assert FromRecord.unpack(record.pack()) == record
+
+    def test_to_roundtrip(self):
+        record = ToRecord(block=101, inode=2, offset=1, line=0, to_cp=7)
+        assert ToRecord.unpack(record.pack()) == record
+
+    def test_combined_roundtrip_with_infinity(self):
+        record = CombinedRecord(100, 2, 0, 0, 4, INFINITY)
+        restored = CombinedRecord.unpack(record.pack())
+        assert restored == record
+        assert restored.is_live
+
+
+class TestKeysAndOrdering:
+    def test_key_shared_across_tables(self):
+        key = ReferenceKey(100, 2, 0, 0)
+        assert FromRecord(100, 2, 0, 0, 4).key == key
+        assert ToRecord(100, 2, 0, 0, 7).key == key
+        assert CombinedRecord(100, 2, 0, 0, 4, 7).key == key
+
+    def test_sort_key_orders_by_block_first(self):
+        records = [
+            FromRecord(200, 1, 0, 0, 1),
+            FromRecord(100, 9, 9, 9, 9),
+            FromRecord(100, 1, 0, 0, 2),
+            FromRecord(100, 1, 0, 0, 1),
+        ]
+        ordered = sorted(records, key=FromRecord.sort_key)
+        assert [r.block for r in ordered] == [100, 100, 100, 200]
+        assert ordered[0].from_cp == 1
+
+    def test_combined_flags(self):
+        live = CombinedRecord(1, 1, 0, 0, 5, INFINITY)
+        override = CombinedRecord(1, 1, 0, 1, 0, 9)
+        closed = CombinedRecord(1, 1, 0, 0, 5, 9)
+        assert live.is_live and not live.is_override
+        assert override.is_override and not override.is_live
+        assert not closed.is_live and not closed.is_override
+
+    def test_covers_version(self):
+        record = CombinedRecord(1, 1, 0, 0, 4, 7)
+        assert record.covers_version(4)
+        assert record.covers_version(6)
+        assert not record.covers_version(7)
+        assert not record.covers_version(3)
+
+
+class TestBackReference:
+    def test_is_live_and_covers(self):
+        ref = BackReference(block=5, inode=3, offset=1, line=0, ranges=((2, 6), (10, INFINITY)))
+        assert ref.is_live
+        assert ref.covers_version(2)
+        assert ref.covers_version(11)
+        assert not ref.covers_version(7)
+
+    def test_not_live(self):
+        ref = BackReference(5, 3, 1, 0, ((2, 6),))
+        assert not ref.is_live
+
+
+_field = st.integers(min_value=0, max_value=2**63)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_field, _field, _field, _field, _field, _field)
+def test_combined_pack_unpack_roundtrip(block, inode, offset, line, from_cp, to_cp):
+    """Property: packing is lossless for any 64-bit field values."""
+    record = CombinedRecord(block, inode, offset, line, from_cp, to_cp)
+    assert CombinedRecord.unpack(record.pack()) == record
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(_field, _field, _field, _field, _field), max_size=50))
+def test_sort_key_is_total_order_consistent_with_tuples(fields):
+    records = [FromRecord(*f) for f in fields]
+    assert sorted(records, key=FromRecord.sort_key) == sorted(records, key=tuple)

@@ -1,0 +1,123 @@
+"""Tests for snapshot lines, retention, clones and zombies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.inode import Inode
+from repro.fsim.snapshots import SnapshotId, SnapshotManager, SnapshotPolicy
+
+
+def _inodes(*numbers):
+    return {n: Inode(number=n, blocks={0: n * 100}) for n in numbers}
+
+
+class TestSnapshotPolicy:
+    def test_classification(self):
+        policy = SnapshotPolicy(cps_per_hour=10, cps_per_night=100)
+        assert policy.classify(5) == "cp"
+        assert policy.classify(30) == "hourly"
+        assert policy.classify(200) == "nightly"
+
+    def test_disabled_promotions(self):
+        policy = SnapshotPolicy(cps_per_hour=0, cps_per_night=0)
+        assert policy.classify(100) == "cp"
+
+
+class TestCaptureAndVersions:
+    def test_capture_and_lookup(self):
+        manager = SnapshotManager()
+        manager.register_line(0, None)
+        snap = manager.capture(0, 5, _inodes(2, 3))
+        assert manager.exists((0, 5))
+        assert manager.get(SnapshotId(0, 5)) is snap
+        assert manager.versions(0) == [5]
+        assert snap.total_block_references() == 2
+
+    def test_capture_unknown_line_rejected(self):
+        manager = SnapshotManager()
+        with pytest.raises(KeyError):
+            manager.capture(7, 1, {})
+
+    def test_retained_versions_include_live_cp(self):
+        manager = SnapshotManager()
+        manager.register_line(0, None)
+        manager.capture(0, 3, _inodes(2))
+        assert manager.retained_versions(0, current_cp=9) == [3, 9]
+        assert manager.all_retained_versions(9) == [3, 9]
+
+
+class TestRetention:
+    def test_retention_keeps_recent_and_promoted(self):
+        policy = SnapshotPolicy(recent_cps=2, hourly_retained=2, nightly_retained=1,
+                                cps_per_hour=5, cps_per_night=20)
+        manager = SnapshotManager(policy)
+        manager.register_line(0, None)
+        for cp in range(1, 26):
+            manager.capture(0, cp, _inodes(2))
+            manager.apply_retention(0, cp)
+        versions = manager.versions(0)
+        assert 24 in versions and 25 in versions      # recent CPs
+        assert 20 in versions                          # nightly (and hourly) promotion
+        assert all(v % 5 == 0 or v > 23 for v in versions)
+
+    def test_retention_never_deletes_cloned_snapshots(self):
+        manager = SnapshotManager(SnapshotPolicy(recent_cps=1, cps_per_hour=0, cps_per_night=0))
+        manager.register_line(0, None)
+        manager.capture(0, 1, _inodes(2))
+        manager.new_line(SnapshotId(0, 1))
+        for cp in range(2, 6):
+            manager.capture(0, cp, _inodes(2))
+            manager.apply_retention(0, cp)
+        assert 1 in manager.versions(0)
+
+
+class TestClonesAndZombies:
+    def test_new_line_and_parentage(self):
+        manager = SnapshotManager()
+        manager.register_line(0, None)
+        manager.capture(0, 4, _inodes(2))
+        line = manager.new_line(SnapshotId(0, 4))
+        assert line == 1
+        assert manager.parent_of(line) == SnapshotId(0, 4)
+        assert manager.clones_of(SnapshotId(0, 4)) == [1]
+        assert manager.clone_points(0) == [(1, SnapshotId(0, 4))]
+
+    def test_clone_of_unknown_snapshot_rejected(self):
+        manager = SnapshotManager()
+        with pytest.raises(KeyError):
+            manager.new_line(SnapshotId(0, 99))
+
+    def test_delete_cloned_snapshot_becomes_zombie(self):
+        manager = SnapshotManager()
+        manager.register_line(0, None)
+        manager.capture(0, 4, _inodes(2))
+        manager.new_line(SnapshotId(0, 4))
+        assert manager.delete(SnapshotId(0, 4)) is True
+        assert manager.is_zombie(SnapshotId(0, 4))
+        assert manager.zombies() == [SnapshotId(0, 4)]
+        # Zombie versions still count as retained (their backrefs must survive).
+        assert 4 in manager.retained_versions(0)
+        # ... but they are not reported as plainly deleted either.
+        assert manager.deleted_versions(0) == []
+
+    def test_delete_uncloned_snapshot(self):
+        manager = SnapshotManager()
+        manager.register_line(0, None)
+        manager.capture(0, 4, _inodes(2))
+        assert manager.delete(SnapshotId(0, 4)) is False
+        assert manager.deleted_versions(0) == [4]
+        with pytest.raises(KeyError):
+            manager.delete(SnapshotId(0, 4))
+
+    def test_drop_dead_zombies(self):
+        manager = SnapshotManager()
+        manager.register_line(0, None)
+        manager.capture(0, 4, _inodes(2))
+        clone_line = manager.new_line(SnapshotId(0, 4))
+        manager.delete(SnapshotId(0, 4))
+        # While the clone line is alive, the zombie stays.
+        assert manager.drop_dead_zombies(live_lines=[0, clone_line]) == []
+        # Once the clone line is gone, the zombie can be forgotten.
+        assert manager.drop_dead_zombies(live_lines=[0]) == [SnapshotId(0, 4)]
+        assert manager.zombies() == []

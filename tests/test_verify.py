@@ -1,0 +1,74 @@
+"""Tests for the verification utility itself."""
+
+from __future__ import annotations
+
+from repro.core.records import FromRecord
+from repro.core.verify import Mismatch, verify_backlog
+from tests.conftest import build_system
+
+
+class TestVerification:
+    def test_clean_system_verifies(self, system):
+        fs, backlog = system
+        for _ in range(5):
+            fs.create_file(num_blocks=3)
+        fs.take_consistency_point()
+        report = verify_backlog(fs, backlog)
+        assert report.ok
+        assert report.references_checked > 0
+        assert "OK" in report.summary()
+
+    def test_unflushed_updates_are_still_visible(self, system):
+        fs, backlog = system
+        fs.create_file(num_blocks=3)
+        # No consistency point taken: records only exist in the write stores.
+        report = verify_backlog(fs, backlog)
+        assert report.ok
+
+    def test_detects_missing_references(self, system):
+        fs, backlog = system
+        inode = fs.create_file(num_blocks=2)
+        fs.take_consistency_point()
+        # Sabotage: hide one block's records from the database.
+        block = fs.volume().inodes[inode].physical_block(0)
+        backlog.deletion_vector.suppress(block, inode, 0, 0)
+        report = verify_backlog(fs, backlog)
+        assert not report.ok
+        assert any(m.kind == "missing" and m.block == block for m in report.mismatches)
+        assert "mismatches" in report.summary()
+
+    def test_detects_spurious_references(self, system):
+        fs, backlog = system
+        inode = fs.create_file(num_blocks=1)
+        fs.take_consistency_point()
+        block = fs.volume().inodes[inode].physical_block(0)
+        # Sabotage: claim another inode also owns the block.
+        backlog.ws_from.insert(FromRecord(block, 999, 0, 0, 1))
+        report = verify_backlog(fs, backlog)
+        assert any(m.kind == "spurious" and m.inode == 999 for m in report.mismatches)
+
+    def test_spurious_check_can_be_disabled(self, system):
+        fs, backlog = system
+        inode = fs.create_file(num_blocks=1)
+        fs.take_consistency_point()
+        block = fs.volume().inodes[inode].physical_block(0)
+        backlog.ws_from.insert(FromRecord(block, 999, 0, 0, 1))
+        report = verify_backlog(fs, backlog, check_spurious=False)
+        assert report.ok
+
+    def test_mismatch_str(self):
+        mismatch = Mismatch("missing", 5, 2, 0, 0, 7)
+        text = str(mismatch)
+        assert "missing" in text and "block 5" in text
+
+    def test_verification_covers_snapshots_and_clones(self, system):
+        fs, backlog = system
+        inode = fs.create_file(num_blocks=3)
+        cp = fs.take_consistency_point()
+        clone = fs.create_clone(0, cp)
+        fs.write(inode, 0, 1, line=clone)
+        fs.write(inode, 1, 1, line=0)
+        fs.take_consistency_point()
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:5]
+        assert report.blocks_checked >= 3

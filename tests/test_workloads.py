@@ -1,0 +1,188 @@
+"""Tests for the workload generators and trace player."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsim.filesystem import FileSystem, FileSystemConfig
+from repro.workloads.apps import AppWorkload, AppWorkloadConfig, dbench_like, postmark_like, varmail_like
+from repro.workloads.microbench import create_files, delete_files
+from repro.workloads.nfs_trace import (
+    NFSTraceConfig,
+    NFSTracePlayer,
+    generate_eecs03_like_trace,
+)
+from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
+from tests.conftest import build_system
+
+
+def _plain_fs():
+    return FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False, dedup=None))
+
+
+class TestSyntheticWorkload:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(num_cps=0)
+        with pytest.raises(ValueError):
+            SyntheticWorkloadConfig(small_file_fraction=2.0)
+
+    def test_reaches_target_ops_per_cp(self):
+        fs = _plain_fs()
+        config = SyntheticWorkloadConfig(num_cps=5, ops_per_cp=300, initial_files=30)
+        result = SyntheticWorkload(config).run(fs)
+        assert result.cps_taken == 5
+        assert all(ops >= 300 for ops in result.per_cp_block_ops)
+        assert fs.counters.consistency_points >= 5
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticWorkloadConfig(num_cps=3, ops_per_cp=200, initial_files=20, seed=9)
+        first = SyntheticWorkload(config).run(_plain_fs())
+        second = SyntheticWorkload(config).run(_plain_fs())
+        assert first.per_cp_block_ops == second.per_cp_block_ops
+        assert first.files_created == second.files_created
+
+    def test_on_cp_callback_invoked(self):
+        fs = _plain_fs()
+        seen = []
+        config = SyntheticWorkloadConfig(num_cps=3, ops_per_cp=100, initial_files=20)
+        SyntheticWorkload(config).run(fs, on_cp=lambda cp, _: seen.append(cp))
+        assert len(seen) == 3
+        assert seen == sorted(seen)
+
+    def test_clone_churn_happens_at_configured_rate(self):
+        fs = _plain_fs()
+        config = SyntheticWorkloadConfig(
+            num_cps=30, ops_per_cp=100, initial_files=20,
+            clones_per_100_cps=100.0, clone_delete_probability=0.0,
+        )
+        result = SyntheticWorkload(config).run(fs)
+        assert result.clones_created > 5
+        assert len(fs.volumes) > 1
+
+    def test_attached_backlog_stays_consistent(self):
+        from repro.core.verify import verify_backlog
+
+        fs, backlog = build_system()
+        config = SyntheticWorkloadConfig(num_cps=5, ops_per_cp=200, initial_files=20)
+        SyntheticWorkload(config).run(fs)
+        report = verify_backlog(fs, backlog)
+        assert report.ok, report.mismatches[:5]
+
+
+class TestNFSTrace:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NFSTraceConfig(hours=0)
+
+    def test_trace_is_deterministic_and_shaped(self):
+        config = NFSTraceConfig(hours=24, base_ops_per_hour=500)
+        first = list(generate_eecs03_like_trace(config))
+        second = list(generate_eecs03_like_trace(config))
+        assert first == second
+        hours = {op.hour for op in first}
+        assert hours == set(range(24))
+        kinds = {op.kind for op in first}
+        assert {"write", "read", "create"} <= kinds
+
+    def test_write_read_ratio_is_write_rich(self):
+        """Roughly one write per two reads among data operations (§6.2.2)."""
+        config = NFSTraceConfig(hours=48, base_ops_per_hour=800)
+        ops = list(generate_eecs03_like_trace(config))
+        writes = sum(1 for op in ops if op.kind == "write")
+        reads = sum(1 for op in ops if op.kind == "read")
+        assert 0.2 < writes / reads < 0.75
+
+    def test_truncate_burst_present(self):
+        config = NFSTraceConfig(hours=96, base_ops_per_hour=300,
+                                truncate_burst_hours=(50, 62))
+        ops = list(generate_eecs03_like_trace(config))
+        in_burst = [op for op in ops if 50 <= op.hour < 62]
+        outside = [op for op in ops if op.hour < 50]
+        burst_rate = sum(1 for op in in_burst if op.kind == "truncate") / len(in_burst)
+        base_rate = sum(1 for op in outside if op.kind == "truncate") / len(outside)
+        assert burst_rate > 3 * base_rate
+
+    def test_player_applies_trace(self):
+        fs = _plain_fs()
+        player = NFSTracePlayer(fs, ops_per_cp=100)
+        config = NFSTraceConfig(hours=4, base_ops_per_hour=300)
+        summaries = player.play(generate_eecs03_like_trace(config))
+        assert len(summaries) == 4
+        assert fs.counters.block_ops > 0
+        assert fs.counters.consistency_points >= 4  # at least one per hour
+        assert all(s.cps_taken >= 1 for s in summaries)
+
+    def test_player_hour_callback(self):
+        fs = _plain_fs()
+        player = NFSTracePlayer(fs, ops_per_cp=100)
+        seen = []
+        player.play(
+            generate_eecs03_like_trace(NFSTraceConfig(hours=3, base_ops_per_hour=200)),
+            on_hour=lambda summary, _: seen.append(summary.hour),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_player_validation(self):
+        with pytest.raises(ValueError):
+            NFSTracePlayer(_plain_fs(), ops_per_cp=0)
+
+
+class TestMicrobench:
+    def test_create_and_delete_cycle(self):
+        fs = _plain_fs()
+        created = create_files(fs, count=100, blocks_per_file=1, ops_per_cp=50)
+        assert created.operations == 100
+        assert len(created.inodes) == 100
+        assert created.ms_per_op > 0
+        assert created.cps_taken >= 2
+        deleted = delete_files(fs, created.inodes, ops_per_cp=50)
+        assert deleted.operations == 100
+        assert fs.list_files() == []
+
+    def test_overhead_vs(self):
+        fs = _plain_fs()
+        base = create_files(fs, 50, 1, 25)
+        other = create_files(fs, 50, 1, 25)
+        assert isinstance(other.overhead_vs(base), float)
+
+    def test_validation(self):
+        fs = _plain_fs()
+        with pytest.raises(ValueError):
+            create_files(fs, 0, 1, 10)
+        with pytest.raises(ValueError):
+            delete_files(fs, [], 0)
+
+
+class TestAppWorkloads:
+    def test_presets_have_expected_shape(self):
+        assert dbench_like().threads == 4
+        assert varmail_like().threads == 16
+        assert postmark_like().threads == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(name="x", num_ops=0)
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(name="x", mix=(("fly", 1.0),))
+        with pytest.raises(ValueError):
+            AppWorkloadConfig(name="x", mix=())
+
+    def test_run_produces_throughput(self):
+        fs = _plain_fs()
+        result = AppWorkload(dbench_like(num_ops=400)).run(fs)
+        assert result.operations == 400
+        assert result.ops_per_second > 0
+        assert result.block_ops > 0
+        assert result.cps_taken >= 1
+
+    def test_overhead_vs_other_run(self):
+        base = AppWorkload(postmark_like(num_ops=300)).run(_plain_fs())
+        other = AppWorkload(postmark_like(num_ops=300)).run(_plain_fs())
+        assert -1.0 < other.overhead_vs(base) < 1.0
+
+    def test_varmail_takes_many_cps(self):
+        fs = _plain_fs()
+        result = AppWorkload(varmail_like(num_ops=600)).run(fs)
+        # Frequent syncs force extra consistency points beyond the op threshold.
+        assert result.cps_taken > 600 // 256
