@@ -1,0 +1,303 @@
+"""Hot-path microbenchmark: legacy vs. current implementations, side by side.
+
+Measures the three paths this repository's perf work targets -- update
+(write-store insert/prune/flush), query prefilter (Bloom probes) and page
+codecs (leaf decode, sorted-run merge) -- by driving the *retained legacy
+implementations* and the current ones through identical inputs in the same
+process, and emits ``BENCH_hotpath.json`` recording µs/op and speedups.
+
+The legacy back ends are first-class code, not museum pieces:
+
+* :class:`repro.core.write_store.RBTreeWriteStore` -- the red-black-tree
+  write store the seed shipped with;
+* ``BloomFilter(hash_version=1)`` -- the MD5 double-hashing scheme;
+* a local re-implementation of the seed's one-``unpack``-per-record leaf
+  decoder and of its tuple-keyed heap merge.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--check]
+                                                      [--output PATH]
+
+``--quick`` shrinks the workloads (CI uses it), ``--check`` exits non-zero
+when the speedup targets (2x write store, 1.5x Bloom probe) are not met.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Iterator, List, Sequence, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.core.bloom import BloomFilter, DEFAULT_FILTER_BITS, FORMAT_V1, FORMAT_V2
+from repro.core.lsm import merge_sorted_runs
+from repro.core.read_store import ReadStoreWriter, _PAGE_HEADER
+from repro.core.records import FromRecord
+from repro.core.write_store import RBTreeWriteStore, WriteStore
+from repro.fsim.blockdev import MemoryBackend
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_hotpath.json")
+
+#: Acceptance targets for this PR's two headline paths.
+TARGETS = {"write_store_insert_flush": 2.0, "bloom_probe": 1.5}
+
+
+# --------------------------------------------------------------- write store
+
+def _make_ops(num_ops: int, ops_per_cp: int, seed: int) -> List[Tuple[str, FromRecord]]:
+    """A deterministic insert/remove/flush mix shaped like the update path."""
+    rng = random.Random(seed)
+    ops: List[Tuple[str, FromRecord]] = []
+    live: List[FromRecord] = []
+    cp = 1
+    for index in range(num_ops):
+        # ~25% removals of a previously inserted record (proactive pruning
+        # shape: most removals hit something buffered in the same CP).
+        if live and rng.random() < 0.25:
+            ops.append(("remove", live.pop(rng.randrange(len(live)))))
+        else:
+            record = FromRecord(
+                block=rng.randrange(1 << 22),
+                inode=rng.randrange(1, 1 << 16),
+                offset=rng.randrange(1 << 10),
+                line=0,
+                from_cp=cp,
+            )
+            ops.append(("insert", record))
+            live.append(record)
+        if (index + 1) % ops_per_cp == 0:
+            ops.append(("flush", None))
+            live.clear()
+            cp += 1
+    ops.append(("flush", None))
+    return ops
+
+
+def _drive_write_store(store_cls, ops: Sequence[Tuple[str, FromRecord]]) -> Tuple[float, int]:
+    """Run the op sequence; returns (seconds, checksum of flushed order)."""
+    store = store_cls("from")
+    checksum = 0
+    start = time.perf_counter()
+    for op, record in ops:
+        if op == "insert":
+            store.insert(record)
+        elif op == "remove":
+            store.remove(record)
+        else:  # flush: drain in sorted order, as a consistency point does
+            for drained in store:
+                checksum = (checksum * 31 + drained[0]) & 0xFFFFFFFF
+            store.clear()
+    return time.perf_counter() - start, checksum
+
+
+def bench_write_store(num_ops: int, ops_per_cp: int) -> dict:
+    ops = _make_ops(num_ops, ops_per_cp, seed=1234)
+    legacy_seconds, legacy_sum = _drive_write_store(RBTreeWriteStore, ops)
+    new_seconds, new_sum = _drive_write_store(WriteStore, ops)
+    if legacy_sum != new_sum:
+        raise AssertionError("write-store back ends disagree on flush order")
+    return _entry(legacy_seconds, new_seconds, num_ops)
+
+
+# --------------------------------------------------------------------- bloom
+
+def bench_bloom(num_items: int, num_probes: int) -> dict:
+    blocks = list(range(0, num_items * 3, 3))
+    probes = list(range(1, num_probes * 7, 7))  # ~1/3 hits, 2/3 misses
+
+    filters = {}
+    add_seconds = {}
+    for version in (FORMAT_V1, FORMAT_V2):
+        bloom = BloomFilter(DEFAULT_FILTER_BITS, num_hashes=4, hash_version=version)
+        start = time.perf_counter()
+        bloom.add_many(blocks)
+        add_seconds[version] = time.perf_counter() - start
+        filters[version] = bloom
+
+    probe_seconds = {}
+    hits = {}
+    for version, bloom in filters.items():
+        contains = bloom.might_contain
+        start = time.perf_counter()
+        hits[version] = sum(1 for block in probes if contains(block))
+        probe_seconds[version] = time.perf_counter() - start
+
+    range_seconds = {}
+    for version, bloom in filters.items():
+        contains_range = bloom.might_contain_range
+        start = time.perf_counter()
+        for first in range(0, num_probes, 8):
+            contains_range(first * 97, 256)
+        range_seconds[version] = time.perf_counter() - start
+
+    return {
+        "bloom_add": _entry(add_seconds[FORMAT_V1], add_seconds[FORMAT_V2], len(blocks)),
+        "bloom_probe": _entry(probe_seconds[FORMAT_V1], probe_seconds[FORMAT_V2], len(probes)),
+        "bloom_range_probe": _entry(
+            range_seconds[FORMAT_V1], range_seconds[FORMAT_V2],
+            max(1, num_probes // 8),
+        ),
+    }
+
+
+# --------------------------------------------------------------- page codecs
+
+def _legacy_iter_all(reader) -> Iterator:
+    """The seed's leaf decoder: one struct.unpack + slice per record."""
+    record_class = reader._record_class
+    record_size = reader.record_size
+    for page_index in range(reader.num_leaf_pages):
+        data = reader._read_page(page_index)
+        count, _ = _PAGE_HEADER.unpack_from(data, 0)
+        position = _PAGE_HEADER.size
+        for _ in range(count):
+            yield record_class.unpack(data[position:position + record_size])
+            position += record_size
+
+
+def bench_leaf_decode(num_records: int, num_passes: int) -> dict:
+    backend = MemoryBackend()
+    records = [FromRecord(i, i % 997 + 1, i % 13, 0, i % 31 + 1) for i in range(num_records)]
+    reader = ReadStoreWriter(backend, "bench/from/L0_1", "from").build(iter(records))
+
+    start = time.perf_counter()
+    for _ in range(num_passes):
+        legacy_count = sum(1 for _ in _legacy_iter_all(reader))
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(num_passes):
+        new_count = sum(1 for _ in reader.iter_all())
+    new_seconds = time.perf_counter() - start
+
+    if legacy_count != num_records or new_count != num_records:
+        raise AssertionError("leaf decoders disagree")
+    return _entry(legacy_seconds, new_seconds, num_records * num_passes)
+
+
+# --------------------------------------------------------------------- merge
+
+def _legacy_merge(iterators: Sequence[Iterator]) -> Iterator:
+    """The seed's merge: tuple-keyed heap calling sort_key() per operation."""
+    import heapq
+
+    heap = []
+    for index, iterator in enumerate(iterators):
+        try:
+            record = next(iterator)
+        except StopIteration:
+            continue
+        heap.append(((record.sort_key(), index), record, iterator))
+    heapq.heapify(heap)
+    while heap:
+        (_, index), record, iterator = heap[0]
+        yield record
+        try:
+            nxt = next(iterator)
+        except StopIteration:
+            heapq.heappop(heap)
+        else:
+            heapq.heapreplace(heap, ((nxt.sort_key(), index), nxt, iterator))
+
+
+def bench_merge(num_runs: int, records_per_run: int) -> dict:
+    runs = []
+    for run_index in range(num_runs):
+        runs.append(sorted(
+            FromRecord((i * num_runs + run_index) * 3 % (records_per_run * 7),
+                       run_index + 1, i % 11, 0, 1)
+            for i in range(records_per_run)
+        ))
+    total = num_runs * records_per_run
+
+    start = time.perf_counter()
+    legacy_count = sum(1 for _ in _legacy_merge([iter(run) for run in runs]))
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    new_count = sum(1 for _ in merge_sorted_runs([iter(run) for run in runs]))
+    new_seconds = time.perf_counter() - start
+
+    if legacy_count != total or new_count != total:
+        raise AssertionError("merge implementations disagree")
+    return _entry(legacy_seconds, new_seconds, total)
+
+
+# ------------------------------------------------------------------- harness
+
+def _entry(legacy_seconds: float, new_seconds: float, operations: int) -> dict:
+    return {
+        "legacy_us_per_op": round(legacy_seconds / operations * 1e6, 4),
+        "new_us_per_op": round(new_seconds / operations * 1e6, 4),
+        "speedup": round(legacy_seconds / new_seconds, 2) if new_seconds else float("inf"),
+        "operations": operations,
+    }
+
+
+def run(quick: bool) -> dict:
+    scale = 1 if quick else 4
+    results = {
+        "write_store_insert_flush": bench_write_store(
+            num_ops=25_000 * scale, ops_per_cp=2_000),
+        **bench_bloom(num_items=8_000 * scale, num_probes=20_000 * scale),
+        "leaf_decode": bench_leaf_decode(
+            num_records=20_000 * scale, num_passes=2),
+        "merge_sorted_runs": bench_merge(
+            num_runs=8, records_per_run=2_500 * scale),
+    }
+    return results
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (used by CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when speedup targets are missed")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    results = run(quick=args.quick)
+    report = {
+        "benchmark": "hotpath",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "unix_time": int(time.time()),
+        "comparison": (
+            "legacy = seed implementations retained in-tree "
+            "(RBTreeWriteStore, MD5 Bloom hashing, per-record unpack, "
+            "tuple-keyed heap merge); new = current hot paths"
+        ),
+        "targets": TARGETS,
+        "results": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    width = max(len(name) for name in results)
+    print(f"hotpath microbenchmark ({'quick' if args.quick else 'full'} mode)")
+    for name, entry in results.items():
+        print(f"  {name:<{width}}  legacy {entry['legacy_us_per_op']:>9.3f} us/op"
+              f"  new {entry['new_us_per_op']:>9.3f} us/op"
+              f"  speedup {entry['speedup']:>6.2f}x")
+    print(f"wrote {os.path.abspath(args.output)}")
+
+    failed = [name for name, minimum in TARGETS.items()
+              if results[name]["speedup"] < minimum]
+    if failed:
+        print(f"targets missed: {', '.join(failed)}")
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

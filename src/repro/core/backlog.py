@@ -111,8 +111,7 @@ class Backlog(ReferenceListener):
         start = time.perf_counter() if self.config.track_timing else 0.0
         self.stats.references_added += 1
         self._ops_this_cp += 1
-        if self.config.proactive_pruning and self.ws_to.contains(block, inode, offset, line, cp):
-            self.ws_to.remove(ToRecord(block, inode, offset, line, cp))
+        if self.config.proactive_pruning and self.ws_to.remove_key(block, inode, offset, line, cp):
             self.stats.pruned_pairs += 1
             self._pruned_this_cp += 1
         else:
@@ -130,8 +129,7 @@ class Backlog(ReferenceListener):
         start = time.perf_counter() if self.config.track_timing else 0.0
         self.stats.references_removed += 1
         self._ops_this_cp += 1
-        if self.config.proactive_pruning and self.ws_from.contains(block, inode, offset, line, cp):
-            self.ws_from.remove(FromRecord(block, inode, offset, line, cp))
+        if self.config.proactive_pruning and self.ws_from.remove_key(block, inode, offset, line, cp):
             self.stats.pruned_pairs += 1
             self._pruned_this_cp += 1
         else:
@@ -148,7 +146,9 @@ class Backlog(ReferenceListener):
         for table, store in (("from", self.ws_from), ("to", self.ws_to)):
             if not store:
                 continue
-            for partition, records in self.partitioner.split_sorted_records(iter(store)):
+            # The memtable sorts once here (sort-on-demand) and hands the
+            # partitioner the snapshot list directly.
+            for partition, records in self.partitioner.split_sorted_records(store.sorted_records()):
                 self.run_manager.write_run(
                     partition, table, "L0", records, self.config.run_bloom_bits
                 )

@@ -11,22 +11,113 @@ positive rate about 2.4 %), expandable to 1 MB for the Combined read store.
 Filters built for small runs are shrunk by repeated halving -- a Bloom filter
 whose size is a power of two can be halved by OR-ing its two halves together
 without rehashing the underlying keys.
+
+Hashing
+-------
+Filters hash 64-bit block numbers with a splitmix64-style multiplicative
+mixer (two multiply/xor-shift rounds producing the ``h1 + i * h2`` double
+hashing pair).  This replaced an MD5-based scheme: an integer mixer costs a
+handful of arithmetic operations per key instead of a full cryptographic
+digest, which matters because the filter is probed on every query and fed on
+every flush.
+
+Serialization format versions
+-----------------------------
+Two on-disk layouts exist, distinguished by :meth:`BloomFilter.from_bytes`:
+
+* **Version 1 (legacy)** -- header ``<QQQ`` = ``(num_bits, num_hashes,
+  num_items)`` followed by the bit array.  Filters serialized in this layout
+  were built with MD5-based double hashing, so a deserialized version-1
+  filter keeps probing with MD5 (``hash_version == 1``): existing serialized
+  runs stay queryable with no false negatives.
+* **Version 2 (current)** -- header ``<QQQQ`` = ``(magic | version,
+  num_bits, num_hashes, num_items)`` followed by the bit array.  The first
+  field carries ``_FORMAT_MAGIC_BASE`` in its upper bytes and the format
+  version in its low byte; a legacy header can never collide with it because
+  its first field (``num_bits``) is always a power of two.
+
+Range probes
+------------
+Version-2 filters additionally insert one *stride key* per
+``2**STRIDE_SHIFT``-block aligned group a block falls into.  A range query
+over hundreds of blocks then probes the filter once per aligned stride
+overlapping the range instead of once per block (``num_hashes`` bit tests
+per probe either way), at the cost of up to a stride's worth of slack at the
+range edges.  Version-1 filters have no stride keys and fall back to
+per-block probing.
 """
 
 from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Iterable, Optional
+from typing import Iterable, Tuple
 
-__all__ = ["BloomFilter", "DEFAULT_FILTER_BITS", "COMBINED_FILTER_BITS"]
+__all__ = [
+    "BloomFilter",
+    "DEFAULT_FILTER_BITS",
+    "COMBINED_FILTER_BITS",
+    "FORMAT_V1",
+    "FORMAT_V2",
+    "STRIDE_SHIFT",
+]
 
 #: Default filter size for a From/To run covering one CP (32 KB of bits).
 DEFAULT_FILTER_BITS = 32 * 1024 * 8
 #: Maximum filter size used for the Combined read store (1 MB of bits).
 COMBINED_FILTER_BITS = 1024 * 1024 * 8
 
-_HEADER = struct.Struct("<QQQ")  # num_bits, num_hashes, num_items
+#: Legacy serialization layout (MD5 double hashing, no stride keys).
+FORMAT_V1 = 1
+#: Current serialization layout (splitmix64 double hashing + stride keys).
+FORMAT_V2 = 2
+
+#: Range probes test one key per 2**STRIDE_SHIFT-block aligned stride.
+STRIDE_SHIFT = 6
+
+#: Ranges wider than this short-circuit to True (the cost of a false
+#: negative-free answer would exceed just reading the run).  Kept at the
+#: paper-era value so run-probing behaviour is unchanged across versions.
+_MAX_RANGE_BLOCKS = 256
+
+#: Below this width a range query probes per block: a stride probe carries up
+#: to ``2**STRIDE_SHIFT - 1`` blocks of slack on each edge, which would
+#: dominate the false-positive rate of a narrow range.
+_PER_BLOCK_RANGE_LIMIT = 16
+
+_HEADER_V1 = struct.Struct("<QQQ")   # num_bits, num_hashes, num_items
+_HEADER_V2 = struct.Struct("<QQQQ")  # magic|version, num_bits, num_hashes, num_items
+_U64 = struct.Struct("<Q")
+
+#: Upper seven bytes of the version-2 header's first field ("BLOOMV\0").
+_FORMAT_MAGIC_BASE = 0x424C4F4F4D560000
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: XORed into stride identifiers so stride keys and block keys cannot alias.
+_STRIDE_SEED = 0x8C95B8C1F0F2D3E5
+
+
+def _hash_pair(key: int) -> Tuple[int, int]:
+    """Splitmix64 double-hashing pair ``(h1, h2)`` for a 64-bit key.
+
+    One full splitmix64 finalizer round; ``h1`` is the mixed value and
+    ``h2`` its upper half (made odd), so the ``h1 + i * h2`` probe sequence
+    draws both legs from independent, well-mixed bits.
+    """
+    z = (key + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z ^= z >> 31
+    return z, (z >> 32) | 1
+
+
+def _md5_pair(key: int) -> Tuple[int, int]:
+    """Legacy double-hashing pair derived from one MD5 digest."""
+    digest = hashlib.md5(key.to_bytes(8, "little", signed=False)).digest()
+    return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:16], "little") | 1
 
 
 class BloomFilter:
@@ -35,60 +126,126 @@ class BloomFilter:
     The filter hashes 64-bit block numbers.  Membership tests never produce
     false negatives; the false-positive rate depends on the bit size and the
     number of inserted items.
+
+    ``hash_version`` selects the hashing scheme: 2 (default) is the cheap
+    splitmix64 mixer with stride keys for range probes, 1 is the legacy MD5
+    scheme kept so deserialized version-1 filters -- and benchmark baselines
+    -- keep their original behaviour.
     """
 
-    def __init__(self, num_bits: int = DEFAULT_FILTER_BITS, num_hashes: int = 4) -> None:
+    def __init__(self, num_bits: int = DEFAULT_FILTER_BITS, num_hashes: int = 4,
+                 hash_version: int = FORMAT_V2) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
         if num_hashes <= 0:
             raise ValueError("num_hashes must be positive")
+        if hash_version not in (FORMAT_V1, FORMAT_V2):
+            raise ValueError(f"unknown hash_version {hash_version}")
         # Round the size up to a power of two so the filter can be halved.
         self.num_bits = 1 << (num_bits - 1).bit_length()
         self.num_hashes = num_hashes
+        self.hash_version = hash_version
         self._bits = bytearray(self.num_bits // 8)
         self.num_items = 0
-
-    # ------------------------------------------------------------- hashing
-
-    def _positions(self, block: int) -> Iterable[int]:
-        """Bit positions for ``block`` (double hashing from one MD5 digest)."""
-        digest = hashlib.md5(block.to_bytes(8, "little", signed=False)).digest()
-        h1 = int.from_bytes(digest[:8], "little")
-        h2 = int.from_bytes(digest[8:16], "little") | 1
-        mask = self.num_bits - 1
-        for i in range(self.num_hashes):
-            yield (h1 + i * h2) & mask
+        # Distinct keys actually hashed into the filter (block keys plus, on
+        # v2, stride keys).  Drives shrink_to_fit sizing: a v2 filter over
+        # scattered blocks inserts up to two keys per item and must not be
+        # shrunk as if it held one.
+        self._keys_inserted = 0
 
     # ------------------------------------------------------------ interface
 
     def add(self, block: int) -> None:
         """Insert a block number."""
-        for position in self._positions(block):
-            self._bits[position >> 3] |= 1 << (position & 7)
+        self._insert_key(block)
         self.num_items += 1
 
-    def add_all(self, blocks: Iterable[int]) -> None:
+    def add_many(self, blocks: Iterable[int]) -> None:
+        """Bulk insert.  Consecutive duplicate blocks are hashed only once.
+
+        The read-store builder feeds this the (block-sorted) record stream of
+        a run, where long runs of records share one physical block; skipping
+        the repeat hashing makes the flush cheaper without changing the bit
+        array.  ``num_items`` still counts every supplied item so filter
+        sizing matches the legacy per-record behaviour.
+        """
+        count = 0
+        last: object = None
+        if self.hash_version == FORMAT_V1:
+            insert = self._insert_key
+            for block in blocks:
+                count += 1
+                if block == last:
+                    continue
+                last = block
+                insert(block)
+            self.num_items += count
+            return
+        # v2 bulk path: block-sorted input means long runs of blocks share an
+        # aligned stride, so the stride key is re-inserted only when the
+        # stride changes.
+        bits = self._bits
+        mask = self.num_bits - 1
+        num_hashes = self.num_hashes
+        last_stride: object = None
+        keys = 0
         for block in blocks:
-            self.add(block)
+            count += 1
+            if block == last:
+                continue
+            last = block
+            keys += 1
+            h1, h2 = _hash_pair(block)
+            for _ in range(num_hashes):
+                position = h1 & mask
+                bits[position >> 3] |= 1 << (position & 7)
+                h1 += h2
+            stride = block >> STRIDE_SHIFT
+            if stride != last_stride:
+                last_stride = stride
+                keys += 1
+                h1, h2 = _hash_pair(stride ^ _STRIDE_SEED)
+                for _ in range(num_hashes):
+                    position = h1 & mask
+                    bits[position >> 3] |= 1 << (position & 7)
+                    h1 += h2
+        self.num_items += count
+        self._keys_inserted += keys
+
+    # Backwards-compatible alias.
+    add_all = add_many
 
     def might_contain(self, block: int) -> bool:
         """True if ``block`` may have been inserted (no false negatives)."""
-        for position in self._positions(block):
-            if not self._bits[position >> 3] & (1 << (position & 7)):
+        h1, h2 = _hash_pair(block) if self.hash_version == FORMAT_V2 else _md5_pair(block)
+        bits = self._bits
+        mask = self.num_bits - 1
+        for _ in range(self.num_hashes):
+            position = h1 & mask
+            if not bits[position >> 3] & (1 << (position & 7)):
                 return False
+            h1 += h2
         return True
 
     def might_contain_range(self, first_block: int, num_blocks: int) -> bool:
         """True if any block in ``[first_block, first_block + num_blocks)`` may be present.
 
-        For wide ranges the per-block test cost would exceed the cost of just
-        reading the run, so ranges wider than 256 blocks short-circuit to
-        ``True``.
+        Version-2 filters answer wide ranges with one probe per aligned
+        ``2**STRIDE_SHIFT``-block stride (see the module docstring); narrow
+        ranges and legacy filters probe per block.  Ranges wider than
+        ``_MAX_RANGE_BLOCKS`` short-circuit to ``True``.
         """
         if num_blocks <= 0:
             return False
-        if num_blocks > 256:
+        if num_blocks > _MAX_RANGE_BLOCKS:
             return True
+        if self.hash_version == FORMAT_V2 and num_blocks > _PER_BLOCK_RANGE_LIMIT:
+            first_stride = first_block >> STRIDE_SHIFT
+            last_stride = (first_block + num_blocks - 1) >> STRIDE_SHIFT
+            return any(
+                self._might_contain_stride(stride)
+                for stride in range(first_stride, last_stride + 1)
+            )
         return any(self.might_contain(first_block + i) for i in range(num_blocks))
 
     # ------------------------------------------------------------- resizing
@@ -97,8 +254,8 @@ class BloomFilter:
         """Halve the filter repeatedly until it is no larger than ``target_bits``.
 
         Halving ORs the upper half of the bit array onto the lower half; all
-        previously inserted keys remain members because the position masks
-        are consistent power-of-two moduli.
+        previously inserted keys (including stride keys) remain members
+        because the position masks are consistent power-of-two moduli.
         """
         if target_bits <= 0:
             raise ValueError("target_bits must be positive")
@@ -114,25 +271,72 @@ class BloomFilter:
 
         Runs flushed during quiet periods contain far fewer than 32 000
         records; shrinking their filters saves memory without a meaningful
-        increase in false positives.
+        increase in false positives.  Sizing honours whichever is larger of
+        the item count and the keys actually hashed, so a version-2 filter
+        over scattered blocks (whose stride keys nearly double the inserted
+        keys) is not shrunk below its real load.
         """
-        target = max(min_bits, self.num_items * bits_per_item)
+        target = max(min_bits, max(self.num_items, self._keys_inserted) * bits_per_item)
         self.shrink_to(1 << (max(target, 8) - 1).bit_length())
 
     # -------------------------------------------------------- serialization
 
     def to_bytes(self) -> bytes:
-        """Serialize the filter (stored alongside its read-store run)."""
-        return _HEADER.pack(self.num_bits, self.num_hashes, self.num_items) + bytes(self._bits)
+        """Serialize the filter (stored alongside its read-store run).
+
+        A version-1 filter serializes in the legacy layout so a round trip
+        through ``from_bytes`` is lossless in both directions.
+        """
+        if self.hash_version == FORMAT_V1:
+            header = _HEADER_V1.pack(self.num_bits, self.num_hashes, self.num_items)
+        else:
+            header = _HEADER_V2.pack(
+                _FORMAT_MAGIC_BASE | FORMAT_V2, self.num_bits, self.num_hashes, self.num_items
+            )
+        return header + bytes(self._bits)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BloomFilter":
-        num_bits, num_hashes, num_items = _HEADER.unpack_from(data, 0)
+        """Deserialize either format version, validating the header.
+
+        Raises :class:`ValueError` on corrupt input: short or truncated
+        blobs, a non-power-of-two bit count, an implausible hash count, or an
+        unknown format version.  Trailing padding after the bit array is
+        tolerated (run files store the filter in whole pages).
+        """
+        if len(data) < _HEADER_V1.size:
+            raise ValueError("Bloom filter blob shorter than any known header")
+        (first_field,) = _U64.unpack_from(data, 0)
+        if first_field & ~0xFF == _FORMAT_MAGIC_BASE:
+            version = first_field & 0xFF
+            if version != FORMAT_V2:
+                raise ValueError(f"unsupported Bloom filter format version {version}")
+            if len(data) < _HEADER_V2.size:
+                raise ValueError("truncated version-2 Bloom filter header")
+            _, num_bits, num_hashes, num_items = _HEADER_V2.unpack_from(data, 0)
+            header_size = _HEADER_V2.size
+        else:
+            version = FORMAT_V1
+            num_bits, num_hashes, num_items = _HEADER_V1.unpack_from(data, 0)
+            header_size = _HEADER_V1.size
+        if num_bits < 8 or num_bits & (num_bits - 1):
+            raise ValueError(f"corrupt Bloom filter: num_bits={num_bits} is not a power of two >= 8")
+        if not 1 <= num_hashes <= 64:
+            raise ValueError(f"corrupt Bloom filter: implausible num_hashes={num_hashes}")
+        payload_size = num_bits // 8
+        if len(data) - header_size < payload_size:
+            raise ValueError(
+                f"truncated Bloom filter: need {payload_size} payload bytes, "
+                f"have {len(data) - header_size}"
+            )
         instance = cls.__new__(cls)
         instance.num_bits = num_bits
         instance.num_hashes = num_hashes
         instance.num_items = num_items
-        instance._bits = bytearray(data[_HEADER.size:_HEADER.size + num_bits // 8])
+        instance.hash_version = version
+        # Not serialized; a conservative reconstruction for any later shrink.
+        instance._keys_inserted = num_items * (2 if version == FORMAT_V2 else 1)
+        instance._bits = bytearray(data[header_size:header_size + payload_size])
         return instance
 
     # ----------------------------------------------------------- statistics
@@ -147,8 +351,51 @@ class BloomFilter:
         return set_bits / self.num_bits if self.num_bits else 0.0
 
     def expected_false_positive_rate(self) -> float:
-        """Theoretical false-positive probability for the current load."""
+        """False-positive probability estimated from the observed fill.
+
+        Computed as ``fill_ratio() ** num_hashes`` rather than from the
+        analytic ``num_items`` formula, so it stays accurate for version-2
+        filters whose stride keys set bits beyond the per-item accounting
+        (and for filters that have been halved).
+        """
         if self.num_items == 0:
             return 0.0
-        fraction_set = 1.0 - (1.0 - 1.0 / self.num_bits) ** (self.num_hashes * self.num_items)
-        return fraction_set ** self.num_hashes
+        return self.fill_ratio() ** self.num_hashes
+
+    # ------------------------------------------------------------ internals
+
+    def _insert_key(self, block: int) -> None:
+        """Set the bit positions for one block (and, on v2, its stride key)."""
+        bits = self._bits
+        mask = self.num_bits - 1
+        if self.hash_version == FORMAT_V1:
+            self._keys_inserted += 1
+            h1, h2 = _md5_pair(block)
+            for _ in range(self.num_hashes):
+                position = h1 & mask
+                bits[position >> 3] |= 1 << (position & 7)
+                h1 += h2
+            return
+        self._keys_inserted += 2
+        h1, h2 = _hash_pair(block)
+        for _ in range(self.num_hashes):
+            position = h1 & mask
+            bits[position >> 3] |= 1 << (position & 7)
+            h1 += h2
+        h1, h2 = _hash_pair((block >> STRIDE_SHIFT) ^ _STRIDE_SEED)
+        for _ in range(self.num_hashes):
+            position = h1 & mask
+            bits[position >> 3] |= 1 << (position & 7)
+            h1 += h2
+
+    def _might_contain_stride(self, stride: int) -> bool:
+        """Probe the stride key of one aligned ``2**STRIDE_SHIFT`` group."""
+        h1, h2 = _hash_pair(stride ^ _STRIDE_SEED)
+        bits = self._bits
+        mask = self.num_bits - 1
+        for _ in range(self.num_hashes):
+            position = h1 & mask
+            if not bits[position >> 3] & (1 << (position & 7)):
+                return False
+            h1 += h2
+        return True

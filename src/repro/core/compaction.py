@@ -97,18 +97,18 @@ class Compactor:
         tos: List[ToRecord] = []
         combined: List[CombinedRecord] = []
         records_in = 0
-        for record in self.run_manager.iter_table(partition, "from"):
-            records_in += 1
-            if not self.deletion_vector.is_suppressed(record):
-                froms.append(record)
-        for record in self.run_manager.iter_table(partition, "to"):
-            records_in += 1
-            if not self.deletion_vector.is_suppressed(record):
-                tos.append(record)
-        for record in self.run_manager.iter_table(partition, "combined"):
-            records_in += 1
-            if not self.deletion_vector.is_suppressed(record):
-                combined.append(record)
+        vector = self.deletion_vector
+        for table, sink in (("from", froms), ("to", tos), ("combined", combined)):
+            merged = self.run_manager.iter_table(partition, table)
+            if vector:
+                for record in merged:
+                    records_in += 1
+                    if not vector.is_suppressed(record):
+                        sink.append(record)
+            else:
+                # Nothing is suppressed: skip the per-record check entirely.
+                sink.extend(merged)
+                records_in += len(sink)
 
         complete, incomplete = join_tables(froms, tos, combined)
         kept, purged = self._purge(complete)

@@ -24,7 +24,7 @@ from repro.core.records import CombinedRecord, FromRecord, ToRecord
 from repro.fsim.blockdev import StorageBackend
 from repro.fsim.cache import PageCache
 
-__all__ = ["RunManager", "run_name", "merge_sorted_runs"]
+__all__ = ["RunManager", "run_name", "parse_run_name", "merge_sorted_runs"]
 
 TABLES = ("from", "to", "combined")
 
@@ -34,33 +34,36 @@ def run_name(partition: int, table: str, level: str, sequence: int) -> str:
     return f"p{partition:06d}/{table}/{level}_{sequence:010d}"
 
 
+def parse_run_name(name: str) -> Optional[Tuple[int, str, str, int]]:
+    """Parse a run file name into ``(partition, table, level, sequence)``.
+
+    The inverse of :func:`run_name`.  Returns ``None`` for files that are not
+    Backlog runs (a shared backend may contain other files).
+    """
+    parts = name.split("/")
+    if len(parts) != 3:
+        return None
+    partition_part, table, leaf = parts
+    if not partition_part.startswith("p") or not partition_part[1:].isdigit():
+        return None
+    if table not in TABLES:
+        return None
+    level, separator, sequence = leaf.rpartition("_")
+    if not separator or not level.isalnum() or not sequence.isdigit():
+        return None
+    return int(partition_part[1:]), table, level, int(sequence)
+
+
 def merge_sorted_runs(iterators: Sequence[Iterator]) -> Iterator:
     """Merge several already-sorted record iterators into one sorted stream.
 
     Merging is cheap because every run is sorted identically (§5.2); this is
-    the merge used by compaction.
+    the merge used by compaction.  Records are NamedTuples whose field order
+    *is* the sort-key order, so ``heapq.merge`` compares them natively --
+    no per-heap-operation ``sort_key()`` allocation, and ties preserve input
+    order (earlier iterators win), matching the old index tie-break.
     """
-    keyed = [((record.sort_key(), index), record, iterator)
-             for index, iterator in enumerate(iterators)
-             for record in _first(iterator)]
-    heap = [(key, record, iterator) for key, record, iterator in keyed]
-    heapq.heapify(heap)
-    while heap:
-        (sort_key, index), record, iterator = heap[0]
-        yield record
-        try:
-            nxt = next(iterator)
-        except StopIteration:
-            heapq.heappop(heap)
-        else:
-            heapq.heapreplace(heap, ((nxt.sort_key(), index), nxt, iterator))
-
-
-def _first(iterator: Iterator) -> List:
-    try:
-        return [next(iterator)]
-    except StopIteration:
-        return []
+    return heapq.merge(*iterators)
 
 
 @dataclass
@@ -156,12 +159,19 @@ class RunManager:
         return sum(len(self.runs_for(p, table)) for p in self.partitions())
 
     def level0_run_count(self) -> int:
-        """Number of runs written since the last compaction of their partition."""
+        """Number of runs written since the last compaction of their partition.
+
+        Matches on the parsed level component of the run name, so compacted
+        runs (level ``compact``) -- or any other level whose partition or
+        sequence digits merely *contain* ``L0`` -- are never miscounted.
+        """
         count = 0
         for partition in self.partitions():
             for table in ("from", "to"):
-                count += sum(1 for run in self.runs_for(partition, table)
-                             if "/L0_" in run.name or "L0_" in run.name)
+                for run in self.runs_for(partition, table):
+                    parsed = parse_run_name(run.name)
+                    if parsed is not None and parsed[2] == "L0":
+                        count += 1
         return count
 
     def total_size_bytes(self) -> int:

@@ -30,6 +30,7 @@ from repro.core.join import combine_for_query
 from repro.core.lsm import RunManager
 from repro.core.masking import VersionAuthority, mask_records
 from repro.core.partitioning import Partitioner
+from repro.core.read_store import RECORD_KINDS
 from repro.core.records import BackReference, CombinedRecord, FromRecord, ToRecord
 from repro.core.stats import QueryStats
 from repro.core.write_store import WriteStore
@@ -37,6 +38,10 @@ from repro.fsim.blockdev import StorageBackend
 from repro.util.intervals import merge_adjacent_ranges
 
 __all__ = ["QueryEngine"]
+
+FROM_KIND = RECORD_KINDS["from"]
+TO_KIND = RECORD_KINDS["to"]
+COMBINED_KIND = RECORD_KINDS["combined"]
 
 
 class QueryEngine:
@@ -120,16 +125,14 @@ class QueryEngine:
             candidate_runs = [run for p in partitions for run in self.run_manager.runs_for(p)]
         self.stats.runs_probed += len(candidate_runs)
 
+        # Dispatch on the numeric record kind: the ``table`` property does a
+        # name lookup per call, which adds up over many candidate runs.
+        sinks = {FROM_KIND: froms, TO_KIND: tos, COMBINED_KIND: combined}
         for run in candidate_runs:
             records = run.records_for_block_range(first_block, num_blocks)
             if self.deletion_vector:
                 records = list(self.deletion_vector.filter(records))
-            if run.table == "from":
-                froms.extend(records)
-            elif run.table == "to":
-                tos.extend(records)
-            else:
-                combined.extend(records)
+            sinks[run.record_kind].extend(records)
 
         ws_from_records = self.ws_from.records_for_block_range(first_block, num_blocks)
         ws_to_records = self.ws_to.records_for_block_range(first_block, num_blocks)

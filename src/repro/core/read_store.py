@@ -22,15 +22,19 @@ File layout (4 KB pages)::
 from __future__ import annotations
 
 import struct
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bloom import BloomFilter, DEFAULT_FILTER_BITS
 from repro.core.records import (
     COMBINED_RECORD_SIZE,
+    COMBINED_STRUCT,
     CombinedRecord,
     FROM_RECORD_SIZE,
+    FROM_STRUCT,
     FromRecord,
     TO_RECORD_SIZE,
+    TO_STRUCT,
     ToRecord,
 )
 from repro.fsim.blockdev import PAGE_SIZE, PageFile, StorageBackend
@@ -50,14 +54,16 @@ _HEADER = struct.Struct("<QQQQQQ" + "QQ" * _MAX_LEVELS + "QQQQ")
 RECORD_KINDS = {"from": 1, "to": 2, "combined": 3}
 _KIND_TO_CLASS = {1: FromRecord, 2: ToRecord, 3: CombinedRecord}
 _KIND_TO_SIZE = {1: FROM_RECORD_SIZE, 2: TO_RECORD_SIZE, 3: COMBINED_RECORD_SIZE}
+_KIND_TO_STRUCT = {1: FROM_STRUCT, 2: TO_STRUCT, 3: COMBINED_STRUCT}
 
 AnyRecord = Union[FromRecord, ToRecord, CombinedRecord]
 
 
 def _separator_key(record: AnyRecord) -> Tuple[int, int, int, int, int]:
     """First five sort-key components, used as index separators."""
-    key = record.sort_key()
-    return key[:5]
+    # Slicing a record NamedTuple yields a plain tuple of its leading fields,
+    # which are exactly the leading sort-key components.
+    return tuple(record[:5])
 
 
 class ReadStoreWriter:
@@ -72,6 +78,7 @@ class ReadStoreWriter:
         self.table = table
         self.record_kind = RECORD_KINDS[table]
         self.record_size = _KIND_TO_SIZE[self.record_kind]
+        self.record_struct = _KIND_TO_STRUCT[self.record_kind]
         self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
         self.entries_per_index_page = (PAGE_SIZE - _PAGE_HEADER.size) // _INDEX_ENTRY.size
         self.bloom_bits = bloom_bits
@@ -91,8 +98,6 @@ class ReadStoreWriter:
         page_file = self.backend.create(self.name)
         bloom = BloomFilter(self.bloom_bits)
         num_records = 0
-        min_block: Optional[int] = None
-        max_block: Optional[int] = None
         leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]] = []
 
         def record_stream() -> Iterator[AnyRecord]:
@@ -100,24 +105,23 @@ class ReadStoreWriter:
             yield from iterator
 
         buffer: List[AnyRecord] = []
-        previous_key = None
+        previous: Optional[AnyRecord] = None
         for record in record_stream():
-            key = record.sort_key()
-            if previous_key is not None and key < previous_key:
+            # Records are NamedTuples whose field order is the sort order, so
+            # they compare natively -- no per-record sort_key() allocation.
+            if previous is not None and record < previous:
                 raise ValueError("records passed to ReadStoreWriter must be sorted")
-            previous_key = key
+            previous = record
             buffer.append(record)
-            bloom.add(record.block)
             num_records += 1
-            if min_block is None or record.block < min_block:
-                min_block = record.block
-            if max_block is None or record.block > max_block:
-                max_block = record.block
             if len(buffer) == self.records_per_page:
-                self._flush_leaf(page_file, buffer, leaf_keys)
+                self._flush_leaf(page_file, buffer, leaf_keys, bloom)
                 buffer = []
         if buffer:
-            self._flush_leaf(page_file, buffer, leaf_keys)
+            self._flush_leaf(page_file, buffer, leaf_keys, bloom)
+        # Sorted input means the block bounds are just the ends of the stream.
+        min_block = first[0]
+        max_block = previous[0] if previous is not None else first[0]
 
         num_leaf_pages = len(leaf_keys)
 
@@ -171,18 +175,32 @@ class ReadStoreWriter:
     # ------------------------------------------------------------ internals
 
     def _flush_leaf(self, page_file: PageFile, records: Sequence[AnyRecord],
-                    leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]]) -> None:
-        payload = bytearray(_PAGE_HEADER.pack(len(records), 0))
+                    leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]],
+                    bloom: BloomFilter) -> None:
+        # One bulk Bloom insert per leaf keeps memory at O(page) while still
+        # letting add_many skip re-hashing consecutive duplicate blocks.
+        bloom.add_many([record[0] for record in records])
+        # Pack the whole leaf into one preallocated buffer instead of
+        # concatenating one 40/48-byte pack() result per record.
+        payload = bytearray(_PAGE_HEADER.size + len(records) * self.record_size)
+        _PAGE_HEADER.pack_into(payload, 0, len(records), 0)
+        pack_into = self.record_struct.pack_into
+        position = _PAGE_HEADER.size
         for record in records:
-            payload.extend(record.pack())
+            pack_into(payload, position, *record)
+            position += self.record_size
         page_index = page_file.append_page(bytes(payload))
         leaf_keys.append((_separator_key(records[0]), page_index))
 
     def _flush_index_page(self, page_file: PageFile,
                           entries: Sequence[Tuple[Tuple[int, int, int, int, int], int]]) -> int:
-        payload = bytearray(_PAGE_HEADER.pack(len(entries), 0))
+        payload = bytearray(_PAGE_HEADER.size + len(entries) * _INDEX_ENTRY.size)
+        _PAGE_HEADER.pack_into(payload, 0, len(entries), 0)
+        pack_into = _INDEX_ENTRY.pack_into
+        position = _PAGE_HEADER.size
         for key, child in entries:
-            payload.extend(_INDEX_ENTRY.pack(*key, child))
+            pack_into(payload, position, *key, child)
+            position += _INDEX_ENTRY.size
         return page_file.append_page(bytes(payload))
 
 
@@ -223,6 +241,7 @@ class ReadStoreReader:
         self.min_block = fields[offset + 2]
         self.max_block = fields[offset + 3]
         self._record_class = _KIND_TO_CLASS[self.record_kind]
+        self._record_struct = _KIND_TO_STRUCT[self.record_kind]
         self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
 
     # ------------------------------------------------------------ bloom
@@ -275,19 +294,29 @@ class ReadStoreReader:
             return
         target = (block, inode, offset, line, cp)
         leaf_index = self._find_leaf(target)
-        for page_index in range(leaf_index, self.num_leaf_pages):
-            for record in self._leaf_records(page_index):
-                if record.sort_key()[:5] >= target:
-                    yield record
+        # Records compare against the plain key tuple in sort-key order, so a
+        # binary search inside the first leaf skips everything below the
+        # target; subsequent leaves are entirely >= it.
+        records = self._leaf_records(leaf_index)
+        yield from records[bisect_left(records, target):]
+        for page_index in range(leaf_index + 1, self.num_leaf_pages):
+            yield from self._leaf_records(page_index)
 
     def records_for_block_range(self, first_block: int, num_blocks: int) -> List[AnyRecord]:
         """All records whose block falls in ``[first_block, first_block + num_blocks)``."""
+        if num_blocks <= 0 or self.num_leaf_pages == 0:
+            return []
+        start_key = (first_block,)
+        stop_key = (first_block + num_blocks,)
+        leaf_index = self._find_leaf((first_block, 0, 0, 0, 0))
         results: List[AnyRecord] = []
-        stop = first_block + num_blocks
-        for record in self.iter_from(first_block):
-            if record.block >= stop:
+        for page_index in range(leaf_index, self.num_leaf_pages):
+            records = self._leaf_records(page_index)
+            lo = bisect_left(records, start_key) if page_index == leaf_index else 0
+            hi = bisect_left(records, stop_key)
+            results.extend(records[lo:hi])
+            if hi < len(records):
                 break
-            results.append(record)
         return results
 
     def records_for_block(self, block: int) -> List[AnyRecord]:
@@ -300,43 +329,48 @@ class ReadStoreReader:
             return self.cache.read_page(self._page_file, index)
         return self._page_file.read_page(index)
 
-    def _leaf_records(self, leaf_page_index: int) -> Iterator[AnyRecord]:
+    def _leaf_records(self, leaf_page_index: int) -> List[AnyRecord]:
+        """Decode a whole leaf page in one batched ``iter_unpack`` pass."""
         data = self._read_page(leaf_page_index)
         count, _ = _PAGE_HEADER.unpack_from(data, 0)
-        position = _PAGE_HEADER.size
-        for _ in range(count):
-            yield self._record_class.unpack(data[position:position + self.record_size])
-            position += self.record_size
+        end = _PAGE_HEADER.size + count * self.record_size
+        make = self._record_class._make
+        return [make(fields)
+                for fields in self._record_struct.iter_unpack(data[_PAGE_HEADER.size:end])]
 
     def _find_leaf(self, target: Tuple[int, int, int, int, int]) -> int:
         """Descend the index to the leaf page that may contain ``target``."""
         if self.num_levels == 0:
             return 0
-        # Start at the root (the single page of the highest level).
+        # The writer stacks index levels until one fits in a single page, so
+        # the top level is always exactly one page: the root.
+        first_page, num_pages = self.levels[-1]
+        if num_pages != 1:
+            raise ValueError(
+                f"{self.name!r}: corrupt read store "
+                f"(top index level spans {num_pages} pages, expected 1)"
+            )
         level = self.num_levels - 1
-        first_page, num_pages = self.levels[level]
-        page_index = first_page + num_pages - 1 if num_pages == 1 else first_page
-        current_page = page_index
+        current_page = first_page
         while True:
-            entries = self._index_entries(current_page)
-            child = entries[0][1]
-            for key, child_page in entries:
-                if key <= target:
-                    child = child_page
-                else:
-                    break
+            keys, children = self._index_entries(current_page)
+            # Last separator <= target; fall back to the first child when the
+            # target sorts before every separator.
+            position = bisect_right(keys, target) - 1
+            child = children[position] if position >= 0 else children[0]
             if level == 0:
                 return child
             level -= 1
             current_page = child
 
-    def _index_entries(self, page_index: int) -> List[Tuple[Tuple[int, int, int, int, int], int]]:
+    def _index_entries(self, page_index: int) -> Tuple[List[Tuple[int, ...]], List[int]]:
+        """Separator keys and child page numbers of one index page."""
         data = self._read_page(page_index)
         count, _ = _PAGE_HEADER.unpack_from(data, 0)
-        entries = []
-        position = _PAGE_HEADER.size
-        for _ in range(count):
-            fields = _INDEX_ENTRY.unpack_from(data, position)
-            entries.append((tuple(fields[:5]), fields[5]))
-            position += _INDEX_ENTRY.size
-        return entries
+        end = _PAGE_HEADER.size + count * _INDEX_ENTRY.size
+        keys: List[Tuple[int, ...]] = []
+        children: List[int] = []
+        for fields in _INDEX_ENTRY.iter_unpack(data[_PAGE_HEADER.size:end]):
+            keys.append(fields[:5])
+            children.append(fields[5])
+        return keys, children

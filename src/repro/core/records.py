@@ -27,6 +27,9 @@ from repro.util.intervals import INFINITY
 
 __all__ = [
     "INFINITY",
+    "FROM_STRUCT",
+    "TO_STRUCT",
+    "COMBINED_STRUCT",
     "FROM_RECORD_SIZE",
     "TO_RECORD_SIZE",
     "COMBINED_RECORD_SIZE",
@@ -37,13 +40,13 @@ __all__ = [
     "BackReference",
 ]
 
-_FROM_STRUCT = struct.Struct("<5Q")
-_TO_STRUCT = struct.Struct("<5Q")
-_COMBINED_STRUCT = struct.Struct("<6Q")
+FROM_STRUCT = struct.Struct("<5Q")
+TO_STRUCT = struct.Struct("<5Q")
+COMBINED_STRUCT = struct.Struct("<6Q")
 
-FROM_RECORD_SIZE = _FROM_STRUCT.size       # 40 bytes
-TO_RECORD_SIZE = _TO_STRUCT.size           # 40 bytes
-COMBINED_RECORD_SIZE = _COMBINED_STRUCT.size  # 48 bytes
+FROM_RECORD_SIZE = FROM_STRUCT.size       # 40 bytes
+TO_RECORD_SIZE = TO_STRUCT.size           # 40 bytes
+COMBINED_RECORD_SIZE = COMBINED_STRUCT.size  # 48 bytes
 
 
 class ReferenceKey(NamedTuple):
@@ -72,11 +75,11 @@ class FromRecord(NamedTuple):
         return (self.block, self.inode, self.offset, self.line, self.from_cp)
 
     def pack(self) -> bytes:
-        return _FROM_STRUCT.pack(self.block, self.inode, self.offset, self.line, self.from_cp)
+        return FROM_STRUCT.pack(self.block, self.inode, self.offset, self.line, self.from_cp)
 
     @classmethod
     def unpack(cls, data: bytes) -> "FromRecord":
-        return cls(*_FROM_STRUCT.unpack(data))
+        return cls(*FROM_STRUCT.unpack(data))
 
 
 class ToRecord(NamedTuple):
@@ -96,11 +99,11 @@ class ToRecord(NamedTuple):
         return (self.block, self.inode, self.offset, self.line, self.to_cp)
 
     def pack(self) -> bytes:
-        return _TO_STRUCT.pack(self.block, self.inode, self.offset, self.line, self.to_cp)
+        return TO_STRUCT.pack(self.block, self.inode, self.offset, self.line, self.to_cp)
 
     @classmethod
     def unpack(cls, data: bytes) -> "ToRecord":
-        return cls(*_TO_STRUCT.unpack(data))
+        return cls(*TO_STRUCT.unpack(data))
 
 
 class CombinedRecord(NamedTuple):
@@ -131,13 +134,13 @@ class CombinedRecord(NamedTuple):
         return (self.block, self.inode, self.offset, self.line, self.from_cp, self.to_cp)
 
     def pack(self) -> bytes:
-        return _COMBINED_STRUCT.pack(
+        return COMBINED_STRUCT.pack(
             self.block, self.inode, self.offset, self.line, self.from_cp, self.to_cp
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "CombinedRecord":
-        return cls(*_COMBINED_STRUCT.unpack(data))
+        return cls(*COMBINED_STRUCT.unpack(data))
 
     def covers_version(self, version: int) -> bool:
         """True when the reference exists at CP number ``version``."""

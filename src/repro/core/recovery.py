@@ -18,38 +18,20 @@ This module provides the two halves of that story for the simulator:
 
 from __future__ import annotations
 
-import re
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.core.backlog import Backlog
 from repro.core.config import BacklogConfig
 from repro.core.masking import VersionAuthority
 from repro.core.read_store import ReadStoreReader
-from repro.core.lsm import RunManager
+from repro.core.lsm import RunManager, parse_run_name
 from repro.fsim.blockdev import StorageBackend
 from repro.fsim.cache import PageCache
 from repro.fsim.journal import Journal
 
+# parse_run_name is re-exported for backwards compatibility; it lives in
+# repro.core.lsm next to run_name, its inverse.
 __all__ = ["parse_run_name", "rebuild_run_manager", "recover_backlog"]
-
-_RUN_NAME = re.compile(r"^p(?P<partition>\d+)/(?P<table>from|to|combined)/(?P<level>[A-Za-z0-9]+)_(?P<sequence>\d+)$")
-
-
-def parse_run_name(name: str) -> Optional[Tuple[int, str, str, int]]:
-    """Parse a run file name into ``(partition, table, level, sequence)``.
-
-    Returns ``None`` for files that are not Backlog runs (a shared backend
-    may contain other files).
-    """
-    match = _RUN_NAME.match(name)
-    if match is None:
-        return None
-    return (
-        int(match.group("partition")),
-        match.group("table"),
-        match.group("level"),
-        int(match.group("sequence")),
-    )
 
 
 def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = None) -> RunManager:

@@ -1,0 +1,193 @@
+"""Equivalence tests for the hot-path rework.
+
+The memtable :class:`WriteStore` must be observationally identical to the
+retained red-black-tree back end (:class:`RBTreeWriteStore`): identical flush
+order, range-query results and pruning behaviour for any operation sequence.
+The Bloom filter must round-trip through both serialization format versions
+and keep its no-false-negative guarantee through the version-2 stride-based
+range probes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import (
+    BloomFilter,
+    FORMAT_V1,
+    FORMAT_V2,
+    STRIDE_SHIFT,
+)
+from repro.core.records import FromRecord
+from repro.core.write_store import RBTreeWriteStore, WriteStore
+
+
+# ----------------------------------------------------- write-store equivalence
+
+_record_fields = st.tuples(
+    st.integers(0, 40), st.integers(1, 8), st.integers(0, 8),
+    st.integers(0, 2), st.integers(1, 12),
+)
+
+# An op is (kind, payload): insert/remove carry record fields, flush/prune
+# probe states shared by both back ends.
+_op = st.one_of(
+    st.tuples(st.just("insert"), _record_fields),
+    st.tuples(st.just("remove"), _record_fields),
+    st.tuples(st.just("prune"), _record_fields),
+    st.tuples(st.just("flush"), st.none()),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, max_size=150), st.integers(0, 40), st.integers(1, 10))
+def test_memtable_matches_rbtree_store(ops, probe_block, probe_width):
+    """Property: both back ends agree on every observable behaviour."""
+    new_store = WriteStore("from")
+    old_store = RBTreeWriteStore("from")
+
+    for kind, payload in ops:
+        if kind == "insert":
+            record = FromRecord(*payload)
+            new_store.insert(record)
+            old_store.insert(record)
+        elif kind == "remove":
+            record = FromRecord(*payload)
+            assert new_store.remove(record) == old_store.remove(record)
+        elif kind == "prune":
+            assert (new_store.remove_key(*payload)
+                    == old_store.remove_key(*payload))
+        else:  # flush: drain in sorted order and start over
+            assert list(new_store) == list(old_store)
+            new_store.clear()
+            old_store.clear()
+            assert len(new_store) == len(old_store) == 0
+
+        # Invariants checked after every op keep shrunk failures small.
+        assert len(new_store) == len(old_store)
+
+    assert list(new_store) == list(old_store)
+    assert new_store.sorted_records() == old_store.sorted_records()
+    assert new_store.distinct_blocks() == old_store.distinct_blocks()
+    assert (new_store.records_for_block_range(probe_block, probe_width)
+            == old_store.records_for_block_range(probe_block, probe_width))
+    assert (new_store.records_for_block(probe_block)
+            == old_store.records_for_block(probe_block))
+    for kind, payload in ops:
+        if kind in ("insert", "remove", "prune"):
+            assert new_store.contains(*payload) == old_store.contains(*payload)
+            assert new_store.find(*payload) == old_store.find(*payload)
+
+
+def test_memtable_interleaved_queries_resort():
+    """The sort-on-demand snapshot must stay correct across mutations."""
+    store = WriteStore("from")
+    store.insert(FromRecord(5, 1, 0, 0, 1))
+    assert [r.block for r in store] == [5]
+    store.insert(FromRecord(2, 1, 0, 0, 1))  # dirties the snapshot
+    assert [r.block for r in store] == [2, 5]
+    store.remove_key(5, 1, 0, 0, 1)
+    assert [r.block for r in store.records_for_block_range(0, 10)] == [2]
+
+
+# ------------------------------------------------------ bloom format versions
+
+class TestBloomFormatVersions:
+    def test_v2_roundtrip_preserves_everything(self):
+        bloom = BloomFilter(8192, num_hashes=4)
+        bloom.add_many([1, 5, 9, 1000, 123456])
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        assert restored.hash_version == FORMAT_V2
+        assert restored.num_bits == bloom.num_bits
+        assert restored.num_hashes == bloom.num_hashes
+        assert restored.num_items == bloom.num_items
+        for item in [1, 5, 9, 1000, 123456]:
+            assert restored.might_contain(item)
+            # stride keys survive serialization: range probes stay FN-free
+            assert restored.might_contain_range(max(0, item - 50), 120)
+
+    def test_v1_roundtrip_uses_legacy_layout(self):
+        bloom = BloomFilter(8192, num_hashes=4, hash_version=FORMAT_V1)
+        bloom.add_many([3, 77, 4096])
+        blob = bloom.to_bytes()
+        # Legacy layout: header is exactly <QQQ> starting with num_bits.
+        num_bits, num_hashes, num_items = struct.unpack_from("<QQQ", blob, 0)
+        assert (num_bits, num_hashes, num_items) == (8192, 4, 3)
+        restored = BloomFilter.from_bytes(blob)
+        assert restored.hash_version == FORMAT_V1
+        assert all(restored.might_contain(i) for i in [3, 77, 4096])
+        # And a second round trip is stable.
+        assert BloomFilter.from_bytes(restored.to_bytes()).to_bytes() == blob
+
+    def test_cross_version_filters_disagree_only_in_bits(self):
+        """Same keys, both versions: membership holds in each."""
+        items = list(range(0, 512, 7))
+        for version in (FORMAT_V1, FORMAT_V2):
+            bloom = BloomFilter(4096, hash_version=version)
+            bloom.add_many(items)
+            assert all(bloom.might_contain(i) for i in items)
+
+    def test_trailing_page_padding_tolerated(self):
+        bloom = BloomFilter(1024)
+        bloom.add(42)
+        padded = bloom.to_bytes() + b"\x00" * 4096
+        assert BloomFilter.from_bytes(padded).might_contain(42)
+
+
+class TestBloomCorruptInput:
+    def test_short_blob_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"\x01\x02")
+
+    def test_non_power_of_two_bits_rejected(self):
+        blob = struct.pack("<QQQ", 1000, 4, 1) + b"\x00" * 125
+        with pytest.raises(ValueError, match="power of two"):
+            BloomFilter.from_bytes(blob)
+
+    def test_implausible_hash_count_rejected(self):
+        blob = struct.pack("<QQQ", 1024, 10_000, 1) + b"\x00" * 128
+        with pytest.raises(ValueError, match="num_hashes"):
+            BloomFilter.from_bytes(blob)
+
+    def test_truncated_payload_rejected(self):
+        bloom = BloomFilter(8192)
+        bloom.add(7)
+        with pytest.raises(ValueError, match="truncated"):
+            BloomFilter.from_bytes(bloom.to_bytes()[:-100])
+
+    def test_unknown_version_rejected(self):
+        good = BloomFilter(1024).to_bytes()
+        (magic,) = struct.unpack_from("<Q", good, 0)
+        bad = struct.pack("<Q", (magic & ~0xFF) | 0x63) + good[8:]
+        with pytest.raises(ValueError, match="version"):
+            BloomFilter.from_bytes(bad)
+
+    def test_constructor_rejects_unknown_hash_version(self):
+        with pytest.raises(ValueError):
+            BloomFilter(1024, hash_version=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, 1 << 20), min_size=1, max_size=150),
+       st.integers(0, 1 << 20), st.integers(1, 256))
+def test_v2_range_probe_has_no_false_negatives(blocks, first, width):
+    """Property: stride-based range probes never miss an inserted block."""
+    bloom = BloomFilter(32 * 1024)
+    bloom.add_many(sorted(blocks))
+    if any(first <= block < first + width for block in blocks):
+        assert bloom.might_contain_range(first, width)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, 1 << 20), min_size=1, max_size=100))
+def test_v2_range_probe_survives_halving(blocks):
+    bloom = BloomFilter(32 * 1024)
+    bloom.add_many(sorted(blocks))
+    bloom.shrink_to(4 * 1024)
+    for block in blocks:
+        start = max(0, block - (1 << STRIDE_SHIFT))
+        assert bloom.might_contain_range(start, 3 << STRIDE_SHIFT)

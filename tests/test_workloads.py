@@ -5,7 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.fsim.filesystem import FileSystem, FileSystemConfig
-from repro.workloads.apps import AppWorkload, AppWorkloadConfig, dbench_like, postmark_like, varmail_like
+from repro.workloads.apps import (
+    AppWorkload,
+    AppWorkloadConfig,
+    AppWorkloadResult,
+    dbench_like,
+    postmark_like,
+    varmail_like,
+)
 from repro.workloads.microbench import create_files, delete_files
 from repro.workloads.nfs_trace import (
     NFSTraceConfig,
@@ -179,7 +186,16 @@ class TestAppWorkloads:
     def test_overhead_vs_other_run(self):
         base = AppWorkload(postmark_like(num_ops=300)).run(_plain_fs())
         other = AppWorkload(postmark_like(num_ops=300)).run(_plain_fs())
-        assert -1.0 < other.overhead_vs(base) < 1.0
+        # Identical runs now finish in a few milliseconds, so scheduler
+        # jitter between the two wall-clock timings can be large in relative
+        # terms; only sanity-check the sign convention end to end and pin the
+        # arithmetic down with deterministic results instead.
+        assert other.overhead_vs(base) < 1.0  # a run is never infinitely slower
+        fast = AppWorkloadResult("a", operations=100, seconds=1.0, cps_taken=1, block_ops=10)
+        slow = AppWorkloadResult("b", operations=100, seconds=2.0, cps_taken=1, block_ops=10)
+        assert slow.overhead_vs(fast) == pytest.approx(0.5)
+        assert fast.overhead_vs(slow) == pytest.approx(-1.0)
+        assert fast.overhead_vs(fast) == pytest.approx(0.0)
 
     def test_varmail_takes_many_cps(self):
         fs = _plain_fs()
