@@ -1,10 +1,11 @@
 """Hot-path microbenchmark: legacy vs. current implementations, side by side.
 
-Measures the three paths this repository's perf work targets -- update
-(write-store insert/prune/flush), query prefilter (Bloom probes) and page
-codecs (leaf decode, sorted-run merge) -- by driving the *retained legacy
-implementations* and the current ones through identical inputs in the same
-process, and emits ``BENCH_hotpath.json`` recording µs/op and speedups.
+Measures the paths this repository's perf work targets -- update
+(write-store insert/prune/flush), query prefilter (Bloom probes), page
+codecs (leaf decode, sorted-run merge), the query-time join, compaction and
+the page cache -- by driving the *retained legacy implementations* and the
+current ones through identical inputs in the same process, and emits
+``BENCH_hotpath.json`` recording µs/op and speedups.
 
 The legacy back ends are first-class code, not museum pieces:
 
@@ -12,7 +13,15 @@ The legacy back ends are first-class code, not museum pieces:
   write store the seed shipped with;
 * ``BloomFilter(hash_version=1)`` -- the MD5 double-hashing scheme;
 * a local re-implementation of the seed's one-``unpack``-per-record leaf
-  decoder and of its tuple-keyed heap merge.
+  decoder and of its tuple-keyed heap merge;
+* :func:`repro.core.join.materialized_join` -- the dict re-grouping query
+  join, measured against the streaming merge-join on narrow, wide and
+  whole-device range queries;
+* ``BacklogConfig(streaming_compaction=False)`` -- the materialising
+  compactor, measured against the streaming generator chain in both wall
+  time and ``tracemalloc`` peak memory;
+* a scan-based re-implementation of ``PageCache.invalidate_file`` measured
+  against the per-file key index.
 
 Run with::
 
@@ -20,32 +29,41 @@ Run with::
                                                       [--output PATH]
 
 ``--quick`` shrinks the workloads (CI uses it), ``--check`` exits non-zero
-when the speedup targets (2x write store, 1.5x Bloom probe) are not met.
+when the speedup targets (2x write store, 1.5x Bloom probe, 1.5x wide-range
+join) are not met.
 """
 
 from __future__ import annotations
 
 import argparse
+import heapq
 import json
 import os
 import random
 import sys
 import time
+import tracemalloc
+from bisect import bisect_left
 from typing import Iterator, List, Sequence, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
+from repro.core.backlog import Backlog
 from repro.core.bloom import BloomFilter, DEFAULT_FILTER_BITS, FORMAT_V1, FORMAT_V2
+from repro.core.config import BacklogConfig
+from repro.core.join import materialized_join, merge_join_for_query
 from repro.core.lsm import merge_sorted_runs
 from repro.core.read_store import ReadStoreWriter, _PAGE_HEADER
-from repro.core.records import FromRecord
+from repro.core.records import FromRecord, ToRecord
 from repro.core.write_store import RBTreeWriteStore, WriteStore
-from repro.fsim.blockdev import MemoryBackend
+from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE
+from repro.fsim.cache import PageCache
 
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_hotpath.json")
 
-#: Acceptance targets for this PR's two headline paths.
-TARGETS = {"write_store_insert_flush": 2.0, "bloom_probe": 1.5}
+#: Acceptance targets for the headline paths (PR 1: write store and Bloom
+#: probe; PR 2: the streaming merge-join on wide range queries).
+TARGETS = {"write_store_insert_flush": 2.0, "bloom_probe": 1.5, "join_wide": 1.5}
 
 
 # --------------------------------------------------------------- write store
@@ -229,6 +247,212 @@ def bench_merge(num_runs: int, records_per_run: int) -> dict:
     return _entry(legacy_seconds, new_seconds, total)
 
 
+# ---------------------------------------------------------------------- join
+
+def _make_join_runs(num_keys: int, num_runs: int, seed: int
+                    ) -> Tuple[List[List[FromRecord]], List[List[ToRecord]]]:
+    """Sorted per-run From/To lists shaped like gathered Level-0 runs."""
+    rng = random.Random(seed)
+    from_runs: List[List[FromRecord]] = [[] for _ in range(num_runs)]
+    to_runs: List[List[ToRecord]] = [[] for _ in range(num_runs)]
+    for key_index in range(num_keys):
+        block = key_index * 2
+        inode = rng.randrange(1, 1 << 12)
+        offset = rng.randrange(256)
+        cp = 1
+        for _ in range(rng.randrange(1, 4)):
+            start = cp + rng.randrange(1, 5)
+            from_runs[rng.randrange(num_runs)].append(FromRecord(block, inode, offset, 0, start))
+            if rng.random() < 0.7:
+                end = start + rng.randrange(1, 5)
+                to_runs[rng.randrange(num_runs)].append(ToRecord(block, inode, offset, 0, end))
+                cp = end
+            else:
+                break
+    for runs in (from_runs, to_runs):
+        for run in runs:
+            run.sort()
+    return from_runs, to_runs
+
+
+def _run_slices(runs: Sequence[List], first_block: int, num_blocks: int) -> List[List]:
+    """Each run's records for the block range (what the gather step yields)."""
+    slices = []
+    stop = (first_block + num_blocks,)
+    start = (first_block,)
+    for run in runs:
+        slices.append(run[bisect_left(run, start):bisect_left(run, stop)])
+    return slices
+
+
+def bench_join(num_keys: int, num_runs: int) -> dict:
+    """Query-time join: dict re-grouping vs streaming merge-join.
+
+    Reported for narrow (64-block), wide (quarter-device) and whole-device
+    range queries; one operation = one range query over ``num_runs`` gathered
+    runs per table.
+    """
+    from_runs, to_runs = _make_join_runs(num_keys, num_runs, seed=99)
+    device_blocks = num_keys * 2
+    shapes = {
+        "join_narrow": (64, max(60, num_keys // 200)),
+        "join_wide": (device_blocks // 4, 10),
+        "join_device": (device_blocks, 3),
+    }
+    results = {}
+    for name, (width, num_queries) in shapes.items():
+        rng = random.Random(7)
+        positions = [rng.randrange(0, max(1, device_blocks - width))
+                     for _ in range(num_queries)]
+
+        start = time.perf_counter()
+        legacy_records = 0
+        for position in positions:
+            froms = [r for s in _run_slices(from_runs, position, width) for r in s]
+            tos = [r for s in _run_slices(to_runs, position, width) for r in s]
+            legacy_records += len(materialized_join(froms, tos))
+        legacy_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        new_records = 0
+        for position in positions:
+            from_stream = heapq.merge(*map(iter, _run_slices(from_runs, position, width)))
+            to_stream = heapq.merge(*map(iter, _run_slices(to_runs, position, width)))
+            new_records += sum(1 for _ in merge_join_for_query(from_stream, to_stream))
+        new_seconds = time.perf_counter() - start
+
+        if legacy_records != new_records:
+            raise AssertionError(f"join implementations disagree on {name}")
+        results[name] = _entry(legacy_seconds, new_seconds, num_queries)
+    return results
+
+
+# ---------------------------------------------------------------- compaction
+
+def _build_compaction_workload(streaming: bool, num_cps: int, refs_per_cp: int) -> Backlog:
+    config = BacklogConfig(partition_size_blocks=1 << 14,
+                           streaming_compaction=streaming, track_timing=False)
+    backlog = Backlog(backend=MemoryBackend(), config=config)
+    rng = random.Random(4321)
+    live: List[Tuple[int, int, int]] = []
+    for cp in range(num_cps):
+        for i in range(refs_per_cp):
+            if live and rng.random() < 0.3:
+                block, inode, offset = live.pop(rng.randrange(len(live)))
+                backlog.remove_reference(block, inode, offset)
+            else:
+                entry = (rng.randrange(1 << 16), 1 + i % 64, cp * refs_per_cp + i)
+                backlog.add_reference(*entry)
+                live.append(entry)
+        backlog.checkpoint()
+    return backlog
+
+
+def bench_compaction(num_cps: int, refs_per_cp: int) -> dict:
+    """Whole-database maintenance: materialising vs streaming compactor.
+
+    One operation = one input record merged from the Level-0 runs.  The
+    ``*_peak_bytes`` fields record the ``tracemalloc`` peak during
+    ``maintain()``; the streaming chain's peak stays bounded by the output
+    page buffers (plus the written pages themselves) instead of the
+    partition's full record lists.  To make the boundedness visible, the
+    transient working set is also measured at half the workload: the
+    streaming compactor's ``*_transient_growth`` stays ~1.0 (its working set
+    is the fixed page buffers and Bloom filters) while the materialising
+    compactor's tracks the record count.
+    """
+    half = _measure_compaction(num_cps, refs_per_cp // 2)
+    full = _measure_compaction(num_cps, refs_per_cp)
+    entry = full.pop("entry")
+    entry["legacy_transient_growth"] = (
+        round(full["transients"]["legacy"] / half["transients"]["legacy"], 2)
+        if half["transients"]["legacy"] else 0.0)
+    entry["new_transient_growth"] = (
+        round(full["transients"]["new"] / half["transients"]["new"], 2)
+        if half["transients"]["new"] else 0.0)
+    return entry
+
+
+def _measure_compaction(num_cps: int, refs_per_cp: int) -> dict:
+    legacy = _build_compaction_workload(False, num_cps, refs_per_cp)
+    streaming = _build_compaction_workload(True, num_cps, refs_per_cp)
+
+    peaks = {}
+    transients = {}
+    seconds = {}
+    results = {}
+    for label, backlog in (("legacy", legacy), ("new", streaming)):
+        tracemalloc.start()
+        start = time.perf_counter()
+        results[label] = backlog.maintain()
+        seconds[label] = time.perf_counter() - start
+        current, peaks[label] = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # ``current`` at the end is what compaction durably produced (the
+        # rewritten run pages, catalogue entries, Bloom filters) -- identical
+        # for both paths.  The transient excess over it is the working set
+        # the compactor itself needed: the materialised record lists on the
+        # legacy path, the per-table page buffers on the streaming one.
+        transients[label] = peaks[label] - current
+
+    if (results["legacy"].records_in, results["legacy"].records_out) != \
+            (results["new"].records_in, results["new"].records_out):
+        raise AssertionError("compactors disagree on record counts")
+    entry = _entry(seconds["legacy"], seconds["new"], results["new"].records_in)
+    entry["legacy_peak_bytes"] = peaks["legacy"]
+    entry["new_peak_bytes"] = peaks["new"]
+    entry["legacy_transient_bytes"] = transients["legacy"]
+    entry["new_transient_bytes"] = transients["new"]
+    entry["transient_memory_ratio"] = (
+        round(transients["legacy"] / transients["new"], 2) if transients["new"] else 0.0)
+    return {"entry": entry, "transients": transients}
+
+
+# --------------------------------------------------------------------- cache
+
+def _scan_invalidate(cache: PageCache, name: str) -> None:
+    """The seed's invalidate_file: a full scan over every cached entry."""
+    stale = [key for key in cache._entries if key[0] == name]
+    for key in stale:
+        del cache._entries[key]
+
+
+def bench_cache_invalidate(num_files: int, pages_per_file: int) -> dict:
+    """File invalidation after compaction: full-cache scan vs per-file index.
+
+    One operation = one ``invalidate_file`` call on a cache holding
+    ``num_files * pages_per_file`` pages.
+    """
+    backend = MemoryBackend()
+    page_files = []
+    for index in range(num_files):
+        page_file = backend.create(f"p{index:06d}/from/L0_{index:010d}")
+        for page in range(pages_per_file):
+            page_file.append_page(bytes([index % 256]) * 32)
+        page_files.append(page_file)
+
+    capacity = num_files * pages_per_file * PAGE_SIZE
+    caches = {"legacy": PageCache(capacity), "new": PageCache(capacity)}
+    for cache in caches.values():
+        for page_file in page_files:
+            for page in range(pages_per_file):
+                cache.read_page(page_file, page)
+
+    start = time.perf_counter()
+    for page_file in page_files:
+        _scan_invalidate(caches["legacy"], page_file.name)
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for page_file in page_files:
+        caches["new"].invalidate_file(page_file.name)
+    new_seconds = time.perf_counter() - start
+
+    if len(caches["legacy"]) != 0 or len(caches["new"]) != 0:
+        raise AssertionError("cache invalidation implementations disagree")
+    return _entry(legacy_seconds, new_seconds, num_files)
+
+
 # ------------------------------------------------------------------- harness
 
 def _entry(legacy_seconds: float, new_seconds: float, operations: int) -> dict:
@@ -250,6 +474,15 @@ def run(quick: bool) -> dict:
             num_records=20_000 * scale, num_passes=2),
         "merge_sorted_runs": bench_merge(
             num_runs=8, records_per_run=2_500 * scale),
+        # The join workload is not scaled down in quick mode: the merge-join's
+        # advantage over the dict+global-sort path grows with input size, so
+        # a shrunk workload would under-report the speedup the wide-range
+        # target is calibrated against.  The section costs only a few seconds.
+        **bench_join(num_keys=80_000, num_runs=8),
+        "compaction": bench_compaction(
+            num_cps=6, refs_per_cp=4_000 * scale),
+        "cache_invalidate": bench_cache_invalidate(
+            num_files=60 * scale, pages_per_file=48),
     }
     return results
 
@@ -273,7 +506,9 @@ def main(argv: Sequence[str] = None) -> int:
         "comparison": (
             "legacy = seed implementations retained in-tree "
             "(RBTreeWriteStore, MD5 Bloom hashing, per-record unpack, "
-            "tuple-keyed heap merge); new = current hot paths"
+            "tuple-keyed heap merge, materialized_join dict re-grouping, "
+            "materialising compactor, scan-based cache invalidation); "
+            "new = current hot paths"
         ),
         "targets": TARGETS,
         "results": results,

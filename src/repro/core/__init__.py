@@ -6,7 +6,13 @@ from repro.core.compaction import Compactor, PartitionCompactionResult
 from repro.core.config import BacklogConfig
 from repro.core.deletion_vector import DeletionVector
 from repro.core.inheritance import CloneGraph, expand_clones
-from repro.core.join import combine_for_query, join_tables
+from repro.core.join import (
+    combine_for_query,
+    join_tables,
+    materialized_join,
+    merge_join_for_query,
+    stream_join_tables,
+)
 from repro.core.lsm import RunManager, merge_sorted_runs, run_name
 from repro.core.masking import (
     AllVersionsAuthority,
@@ -65,7 +71,10 @@ __all__ = [
     "expand_clones",
     "join_tables",
     "mask_records",
+    "materialized_join",
+    "merge_join_for_query",
     "merge_sorted_runs",
+    "stream_join_tables",
     "parse_run_name",
     "rebuild_run_manager",
     "recover_backlog",

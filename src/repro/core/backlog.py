@@ -83,6 +83,7 @@ class Backlog(ReferenceListener):
         self._compactor = Compactor(
             self.run_manager, self.config, self.version_authority,
             self.clone_graph, self.deletion_vector,
+            streaming=self.config.streaming_compaction,
         )
         self._query_engine = QueryEngine(
             self.backend, self.run_manager, self.partitioner,

@@ -13,6 +13,17 @@ queries.  For each partition it:
 4. writes one compacted Combined run and one compacted From run (holding the
    still-incomplete, live records), replacing all previous runs.
 
+The default implementation is a streaming generator chain: the merged run
+iterators feed the deletion-vector filter, the sort-merge join
+(:func:`~repro.core.join.stream_join_tables`), the purge predicate and the
+two incremental run writers record by record, so a partition's compaction
+holds at most one unflushed output page per table (plus one decoded leaf
+page per input run) in memory -- never the partition's full record lists.
+The pre-streaming implementation, which materialises each table before
+joining, is retained behind ``BacklogConfig.streaming_compaction=False`` (or
+``Compactor(..., streaming=False)``); the differential tests prove both
+produce byte-identical compacted runs.
+
 Entries suppressed by the deletion vector are dropped during the rewrite, so
 a successful full compaction clears the vector.
 """
@@ -21,12 +32,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.config import BacklogConfig
 from repro.core.deletion_vector import DeletionVector
 from repro.core.inheritance import CloneGraph
-from repro.core.join import join_tables
+from repro.core.join import join_tables, stream_join_tables
 from repro.core.lsm import RunManager, run_name
 from repro.core.masking import VersionAuthority
 from repro.core.read_store import ReadStoreReader, ReadStoreWriter
@@ -50,7 +61,17 @@ class PartitionCompactionResult:
 
 
 class Compactor:
-    """Runs database maintenance over the read-store runs."""
+    """Runs database maintenance over the read-store runs.
+
+    Parameters
+    ----------
+    streaming:
+        When True (default), partitions are compacted through the streaming
+        generator chain; when False, through the retained materialising
+        implementation.  Both write byte-identical runs -- run names are
+        allocated identically up front -- so the flag only trades memory
+        footprint for the legacy list-based control flow.
+    """
 
     def __init__(
         self,
@@ -59,12 +80,14 @@ class Compactor:
         authority: VersionAuthority,
         clone_graph: CloneGraph,
         deletion_vector: DeletionVector,
+        streaming: bool = True,
     ) -> None:
         self.run_manager = run_manager
         self.config = config
         self.authority = authority
         self.clone_graph = clone_graph
         self.deletion_vector = deletion_vector
+        self.streaming = streaming
         self._sequence = 0
 
     # ------------------------------------------------------------------ API
@@ -93,6 +116,86 @@ class Compactor:
         """Merge, join and purge the runs of one partition."""
         bytes_before = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
 
+        # Allocate both output names up front, in a fixed order, so the
+        # streaming and materialising paths produce identical files even
+        # though they learn whether a table is empty at different times.  A
+        # sequence number consumed for an empty table is simply skipped.
+        combined_name = run_name(partition, "combined", "compact",
+                                 self.run_manager.next_sequence())
+        from_name = run_name(partition, "from", "compact",
+                             self.run_manager.next_sequence())
+
+        if self.streaming:
+            records_in, records_out, purged, new_runs = self._compact_streaming(
+                partition, combined_name, from_name)
+        else:
+            records_in, records_out, purged, new_runs = self._compact_materialized(
+                partition, combined_name, from_name)
+
+        self.run_manager.replace_partition(partition, new_runs)
+
+        bytes_after = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
+        return PartitionCompactionResult(
+            partition=partition,
+            records_in=records_in,
+            records_out=records_out,
+            records_purged=purged,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
+
+    # ------------------------------------------------------------ streaming
+
+    def _compact_streaming(
+        self, partition: int, combined_name: str, from_name: str,
+    ) -> tuple[int, int, int, Dict[str, List[ReadStoreReader]]]:
+        """One pass: merge -> filter -> join -> purge -> write, all lazy."""
+        counters = [0]  # records_in, shared by the three table streams
+        vector = self.deletion_vector
+
+        def table_stream(table: str) -> Iterator:
+            for record in self.run_manager.iter_table(partition, table):
+                counters[0] += 1
+                if vector and vector.is_suppressed(record):
+                    continue
+                yield record
+
+        combined_writer = ReadStoreWriter(
+            self.run_manager.backend, combined_name, "combined",
+            bloom_bits=self.config.combined_bloom_bits)
+        from_writer = ReadStoreWriter(
+            self.run_manager.backend, from_name, "from",
+            bloom_bits=self.config.run_bloom_bits)
+        combined_writer.begin()
+        from_writer.begin()
+
+        purged = 0
+        pinned_cache: Dict[int, Optional[Sequence[int]]] = {}
+        joined = stream_join_tables(
+            table_stream("from"), table_stream("to"), table_stream("combined"))
+        for table, record in joined:
+            if table == "combined":
+                if self._should_keep(record, pinned_cache):
+                    combined_writer.add(record)
+                else:
+                    purged += 1
+            else:
+                from_writer.add(record)
+
+        records_out = combined_writer.num_records_added + from_writer.num_records_added
+        new_runs: Dict[str, List[ReadStoreReader]] = {"combined": [], "from": [], "to": []}
+        for table, writer in (("combined", combined_writer), ("from", from_writer)):
+            built = writer.finish()
+            if built is not None:
+                new_runs[table].append(self._reopen_through_cache(built))
+        return counters[0], records_out, purged, new_runs
+
+    # -------------------------------------------------------- materialising
+
+    def _compact_materialized(
+        self, partition: int, combined_name: str, from_name: str,
+    ) -> tuple[int, int, int, Dict[str, List[ReadStoreReader]]]:
+        """The pre-streaming path: materialise, join, purge, then write."""
         froms: List[FromRecord] = []
         tos: List[ToRecord] = []
         combined: List[CombinedRecord] = []
@@ -114,25 +217,15 @@ class Compactor:
         kept, purged = self._purge(complete)
 
         new_runs: Dict[str, List[ReadStoreReader]] = {"combined": [], "from": [], "to": []}
-        combined_reader = self._write_compacted(partition, "combined", kept,
+        combined_reader = self._write_compacted(combined_name, "combined", kept,
                                                 self.config.combined_bloom_bits)
         if combined_reader is not None:
             new_runs["combined"].append(combined_reader)
-        from_reader = self._write_compacted(partition, "from", incomplete,
+        from_reader = self._write_compacted(from_name, "from", incomplete,
                                             self.config.run_bloom_bits)
         if from_reader is not None:
             new_runs["from"].append(from_reader)
-        self.run_manager.replace_partition(partition, new_runs)
-
-        bytes_after = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
-        return PartitionCompactionResult(
-            partition=partition,
-            records_in=records_in,
-            records_out=len(kept) + len(incomplete),
-            records_purged=purged,
-            bytes_before=bytes_before,
-            bytes_after=bytes_after,
-        )
+        return records_in, len(kept) + len(incomplete), purged, new_runs
 
     # ------------------------------------------------------------ internals
 
@@ -142,25 +235,28 @@ class Compactor:
         purged = 0
         pinned_cache: Dict[int, Optional[Sequence[int]]] = {}
         for record in records:
-            line = record.line
-            # Override records (from == 0) of a clone line are tombstones
-            # that suppress structural inheritance from the parent snapshot.
-            # Purging one would silently resurrect the inherited reference,
-            # so they are kept for as long as the clone line exists.
-            if record.is_override and self.clone_graph.parent_of(line) is not None:
-                kept.append(record)
-                continue
-            if line not in pinned_cache:
-                pinned_cache[line] = self._pinned_versions(line)
-            pinned = pinned_cache[line]
-            if pinned is None:
-                kept.append(record)
-                continue
-            if intersect_ranges([(record.from_cp, record.to_cp)], pinned):
+            if self._should_keep(record, pinned_cache):
                 kept.append(record)
             else:
                 purged += 1
         return kept, purged
+
+    def _should_keep(self, record: CombinedRecord,
+                     pinned_cache: Dict[int, Optional[Sequence[int]]]) -> bool:
+        """Purge predicate for one complete record (shared by both paths)."""
+        line = record.line
+        # Override records (from == 0) of a clone line are tombstones
+        # that suppress structural inheritance from the parent snapshot.
+        # Purging one would silently resurrect the inherited reference,
+        # so they are kept for as long as the clone line exists.
+        if record.is_override and self.clone_graph.parent_of(line) is not None:
+            return True
+        if line not in pinned_cache:
+            pinned_cache[line] = self._pinned_versions(line)
+        pinned = pinned_cache[line]
+        if pinned is None:
+            return True
+        return bool(intersect_ranges([(record.from_cp, record.to_cp)], pinned))
 
     def _pinned_versions(self, line: int) -> Optional[Sequence[int]]:
         """Versions that pin records of ``line`` against purging.
@@ -178,15 +274,18 @@ class Compactor:
         pinned.update(self.clone_graph.clone_versions(line))
         return sorted(pinned)
 
-    def _write_compacted(self, partition: int, table: str, records: Sequence,
+    def _write_compacted(self, name: str, table: str, records: Sequence,
                          bloom_bits: int) -> Optional[ReadStoreReader]:
         """Write a compacted run without registering it in the catalogue yet."""
         if not records:
             return None
-        name = run_name(partition, table, "compact", self.run_manager.next_sequence())
         writer = ReadStoreWriter(self.run_manager.backend, name, table, bloom_bits=bloom_bits)
         built = writer.build(iter(records))
         if built is None:
             return None
-        return ReadStoreReader(self.run_manager.backend, name,
+        return self._reopen_through_cache(built)
+
+    def _reopen_through_cache(self, built: ReadStoreReader) -> ReadStoreReader:
+        """Re-open a freshly written run through the shared page cache."""
+        return ReadStoreReader(self.run_manager.backend, built.name,
                                cache=self.run_manager.cache, bloom=built.bloom)

@@ -36,6 +36,12 @@ class BacklogConfig:
         maintenance runs only when the caller invokes :meth:`Backlog.maintain`.
     use_bloom_filters:
         Ablation switch: when False, queries probe every run.
+    streaming_compaction:
+        When True (the default), database maintenance runs the streaming
+        generator-chain compactor that holds at most one output page per
+        table in memory; when False, the retained materialising compactor is
+        used.  Both produce byte-identical runs (the differential tests in
+        ``tests/test_streaming_equivalence.py`` enforce this).
     track_timing:
         When True, the manager records wall-clock time spent in reference
         updates and flushes (used for the µs-per-operation figures).
@@ -48,6 +54,7 @@ class BacklogConfig:
     proactive_pruning: bool = True
     maintenance_interval_cps: Optional[int] = None
     use_bloom_filters: bool = True
+    streaming_compaction: bool = True
     track_timing: bool = True
 
     def __post_init__(self) -> None:

@@ -8,24 +8,50 @@ an implicit ``to = INFINITY``; a To tuple with no matching From is a
 structural-inheritance override (§4.2.2) and joins with an implicit
 ``from = 0``.
 
-Two entry points are provided:
+Because every source of records -- read-store runs and the write stores --
+is sorted by ``(block, inode, offset, line, cp)``, the join is a classic
+sort-merge join: walk the streams key by key, join each key's small CP lists,
+and emit output in sorted order without ever materialising the inputs.  The
+streaming entry points operate on such sorted iterators:
 
-* :func:`combine_for_query` -- used by the query engine on the (small) set of
-  records gathered for the queried blocks; live references appear as
-  Combined records with ``to = INFINITY``.
-* :func:`join_tables` -- used by compaction on whole runs; live references
-  are returned separately as leftover From records so they can stay in the
-  on-disk From table, exactly as the paper's maintenance process does.
+* :func:`merge_join_for_query` -- the query engine's join; yields the
+  Combined view in sort order, with live references as ``to = INFINITY``.
+* :func:`stream_join_tables` -- compaction's join; yields ``(table, record)``
+  pairs so that complete Combined records and the leftover live From records
+  can stream into their respective compacted runs, each in its table's sort
+  order.
+
+The pre-streaming implementations are retained as first-class code:
+
+* :func:`materialized_join` -- the dict re-grouping join the query path used
+  before the streaming rework; the differential tests and
+  ``benchmarks/bench_hotpath.py`` drive both implementations through
+  identical inputs.
+* :func:`join_tables` -- the whole-table list join used by the materialising
+  compaction path (kept behind ``BacklogConfig.streaming_compaction=False``).
+
+:func:`combine_for_query` remains the convenience entry point for callers
+holding unsorted record lists; it now sorts its inputs once and delegates to
+the merge-join instead of re-grouping through a dict.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.core.records import CombinedRecord, FromRecord, INFINITY, ReferenceKey, ToRecord
 
-__all__ = ["combine_for_query", "join_tables"]
+__all__ = [
+    "combine_for_query",
+    "materialized_join",
+    "merge_join_for_query",
+    "join_tables",
+    "stream_join_tables",
+]
+
+#: The shared join key: the first four record fields of every table.
+_KEY_WIDTH = 4
 
 
 def _join_one_key(key: ReferenceKey, froms: List[int], tos: List[int]
@@ -58,6 +84,137 @@ def _join_one_key(key: ReferenceKey, froms: List[int], tos: List[int]
     return complete, unmatched_from
 
 
+# --------------------------------------------------------- streaming join
+
+
+def _iter_key_groups(
+    froms: Iterable[FromRecord],
+    tos: Iterable[ToRecord],
+    combined: Iterable[CombinedRecord],
+) -> Iterator[Tuple[Tuple[int, int, int, int],
+                    List[FromRecord], List[ToRecord], List[CombinedRecord]]]:
+    """Walk three sorted streams in lock step, one join key at a time.
+
+    Yields ``(key, from_group, to_group, combined_group)`` for every key
+    present in at least one stream, in ascending key order.  The inputs must
+    each be sorted by their table's sort key (which shares the leading four
+    fields), as read-store runs and write-store snapshots are.
+
+    This sits on the per-record query hot path, hence the flat, inlined
+    shape: local iterator/lookahead variables and unpacked field comparisons
+    instead of per-record key-tuple slicing.
+    """
+    from_iter, to_iter, combined_iter = iter(froms), iter(tos), iter(combined)
+    from_head = next(from_iter, None)
+    to_head = next(to_iter, None)
+    combined_head = next(combined_iter, None)
+    while True:
+        key = None
+        if from_head is not None:
+            key = from_head[:_KEY_WIDTH]
+        if to_head is not None:
+            to_key = to_head[:_KEY_WIDTH]
+            if key is None or to_key < key:
+                key = to_key
+        if combined_head is not None:
+            combined_key = combined_head[:_KEY_WIDTH]
+            if key is None or combined_key < key:
+                key = combined_key
+        if key is None:
+            return
+        k0, k1, k2, k3 = key
+        from_group: List[FromRecord] = []
+        while (from_head is not None and from_head[0] == k0 and from_head[1] == k1
+               and from_head[2] == k2 and from_head[3] == k3):
+            from_group.append(from_head)
+            from_head = next(from_iter, None)
+        to_group: List[ToRecord] = []
+        while (to_head is not None and to_head[0] == k0 and to_head[1] == k1
+               and to_head[2] == k2 and to_head[3] == k3):
+            to_group.append(to_head)
+            to_head = next(to_iter, None)
+        combined_group: List[CombinedRecord] = []
+        while (combined_head is not None and combined_head[0] == k0 and combined_head[1] == k1
+               and combined_head[2] == k2 and combined_head[3] == k3):
+            combined_group.append(combined_head)
+            combined_head = next(combined_iter, None)
+        yield key, from_group, to_group, combined_group
+
+
+def merge_join_for_query(
+    froms: Iterable[FromRecord],
+    tos: Iterable[ToRecord],
+    combined: Iterable[CombinedRecord] = (),
+) -> Iterator[CombinedRecord]:
+    """Streaming Combined view over *sorted* record iterators.
+
+    Produces exactly the records :func:`materialized_join` would, in the same
+    (fully sorted) order, but holds only one join key's records in memory at
+    a time.  Live references appear with ``to = INFINITY``; pre-joined
+    Combined records pass through and are interleaved in sort order.
+    """
+    for key, from_group, to_group, combined_group in _iter_key_groups(froms, tos, combined):
+        if not to_group:
+            if not from_group:
+                # Pure pass-through key: pre-joined records, already sorted.
+                yield from combined_group
+                continue
+            if not combined_group:
+                # Pure live key (the common case for recent references):
+                # every From is unmatched, and the group is already sorted
+                # by from_cp, so the output needs no list and no sort.
+                k0, k1, k2, k3 = key
+                for record in from_group:
+                    yield CombinedRecord(k0, k1, k2, k3, record[4], INFINITY)
+                continue
+        complete, live = _join_one_key(
+            key, [r.from_cp for r in from_group], [r.to_cp for r in to_group]
+        )
+        output = list(combined_group)
+        output.extend(complete)
+        output.extend(CombinedRecord(*key, from_cp, INFINITY) for from_cp in live)
+        # Records compare natively in sort-key order; keys ascend across
+        # groups, so sorting within the group yields a globally sorted stream.
+        output.sort()
+        yield from output
+
+
+def stream_join_tables(
+    froms: Iterable[FromRecord],
+    tos: Iterable[ToRecord],
+    combined: Iterable[CombinedRecord] = (),
+) -> Iterator[Tuple[str, CombinedRecord | FromRecord]]:
+    """Streaming whole-table join for compaction over *sorted* iterators.
+
+    Yields ``("combined", record)`` for complete records (including pass-through
+    pre-joined Combined records) and ``("from", record)`` for the live
+    references that stay in the on-disk From table.  Within each tag the
+    records arrive in their table's sort order, so both compacted runs can be
+    written strictly sequentially while the join is still consuming input.
+    """
+    for key, from_group, to_group, combined_group in _iter_key_groups(froms, tos, combined):
+        if not to_group:
+            # No To entries: pre-joined records pass through complete and
+            # every From stays incomplete, both groups already sorted.
+            for record in combined_group:
+                yield "combined", record
+            for record in from_group:
+                yield "from", record
+            continue
+        complete, live = _join_one_key(
+            key, [r.from_cp for r in from_group], [r.to_cp for r in to_group]
+        )
+        complete.extend(combined_group)
+        complete.sort()
+        for record in complete:
+            yield "combined", record
+        for from_cp in live:
+            yield "from", FromRecord(*key, from_cp)
+
+
+# ------------------------------------------------------- materialising join
+
+
 def _group_by_key(froms: Iterable[FromRecord], tos: Iterable[ToRecord]
                   ) -> Dict[ReferenceKey, Tuple[List[int], List[int]]]:
     grouped: Dict[ReferenceKey, Tuple[List[int], List[int]]] = defaultdict(lambda: ([], []))
@@ -68,16 +225,15 @@ def _group_by_key(froms: Iterable[FromRecord], tos: Iterable[ToRecord]
     return grouped
 
 
-def combine_for_query(
+def materialized_join(
     froms: Iterable[FromRecord],
     tos: Iterable[ToRecord],
     combined: Iterable[CombinedRecord] = (),
 ) -> List[CombinedRecord]:
-    """Produce the Combined view of the given records for query processing.
+    """The pre-streaming query join: dict re-grouping plus a global sort.
 
-    ``combined`` records (from already-compacted runs) pass through untouched;
-    From/To records are joined, and unmatched From records appear with
-    ``to = INFINITY``.  The result is sorted by the Combined sort key.
+    Accepts records in any order.  Retained as the reference implementation
+    for the differential equivalence tests and the hot-path benchmark.
     """
     results: List[CombinedRecord] = list(combined)
     for key, (from_cps, to_cps) in _group_by_key(froms, tos).items():
@@ -89,12 +245,27 @@ def combine_for_query(
     return results
 
 
+def combine_for_query(
+    froms: Iterable[FromRecord],
+    tos: Iterable[ToRecord],
+    combined: Iterable[CombinedRecord] = (),
+) -> List[CombinedRecord]:
+    """Produce the Combined view of the given records for query processing.
+
+    Convenience wrapper for callers holding (possibly unsorted) record
+    collections: sorts each input once and runs the streaming merge-join.
+    The query engine itself feeds :func:`merge_join_for_query` directly with
+    the already-sorted run iterators and never pays for these sorts.
+    """
+    return list(merge_join_for_query(sorted(froms), sorted(tos), sorted(combined)))
+
+
 def join_tables(
     froms: Iterable[FromRecord],
     tos: Iterable[ToRecord],
     combined: Iterable[CombinedRecord] = (),
 ) -> Tuple[List[CombinedRecord], List[FromRecord]]:
-    """Join whole tables during compaction.
+    """Join whole tables as lists (the materialising compaction path).
 
     Returns ``(complete_records, incomplete_from_records)``.  Complete records
     include any pre-existing Combined records passed in (compaction merges old

@@ -9,8 +9,9 @@ fixed, contiguous range of physical block numbers.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = ["Partitioner"]
 
@@ -56,9 +57,36 @@ class Partitioner:
         """Group block-sorted records into per-partition lists.
 
         The input must be sorted by block number (the write store guarantees
-        this); the generator yields ``(partition_id, records)`` pairs in
-        partition order without buffering more than one partition at a time.
+        this).  Yields ``(partition_id, records)`` pairs in ascending
+        partition order; empty partitions -- including gaps of more than one
+        partition between consecutive records -- are never yielded, so every
+        emitted bucket is non-empty.
+
+        A sequence input (the flush path hands over the write store's sorted
+        snapshot list) is split by bisecting on the partition boundary keys:
+        O(partitions-touched x log n) comparisons instead of one
+        ``partition_of`` call per record.  Other iterables fall back to a
+        single-pass scan that buffers at most one partition at a time.
         """
+        if isinstance(records, Sequence):
+            yield from self._split_sequence(records)
+        else:
+            yield from self._split_scan(records)
+
+    def _split_sequence(self, records: Sequence) -> Iterator[Tuple[int, List]]:
+        size = self.partition_size_blocks
+        index = 0
+        total = len(records)
+        while index < total:
+            partition = self.partition_of(records[index].block)
+            # Records are NamedTuples ordered by block first, so the plain
+            # 1-tuple of the next partition boundary is a valid bisect key.
+            boundary = ((partition + 1) * size,)
+            next_index = bisect_left(records, boundary, index, total)
+            yield partition, records[index:next_index]
+            index = next_index
+
+    def _split_scan(self, records: Iterable) -> Iterator[Tuple[int, List]]:
         current_partition = None
         bucket: List = []
         for record in records:

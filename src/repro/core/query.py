@@ -19,14 +19,15 @@ of version ranges in which the owner references the block.
 
 from __future__ import annotations
 
+import heapq
 import time
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import BacklogConfig
 from repro.core.deletion_vector import DeletionVector
 from repro.core.inheritance import CloneGraph, expand_clones
-from repro.core.join import combine_for_query
+from repro.core.join import merge_join_for_query
 from repro.core.lsm import RunManager
 from repro.core.masking import VersionAuthority, mask_records
 from repro.core.partitioning import Partitioner
@@ -85,7 +86,10 @@ class QueryEngine:
         reads_before = self.backend.stats.pages_read
 
         raw = self._gather(first_block, num_blocks)
-        combined_view = combine_for_query(*raw)
+        # The gathered streams are already sorted, so the Combined view is a
+        # streaming merge-join; expand_clones drains it without an
+        # intermediate list.
+        combined_view = merge_join_for_query(*raw)
         expanded = expand_clones(combined_view, self.clone_graph)
         masked = mask_records(expanded, self.authority)
         results = self._group(masked)
@@ -108,12 +112,15 @@ class QueryEngine:
 
     def _gather(
         self, first_block: int, num_blocks: int
-    ) -> Tuple[List[FromRecord], List[ToRecord], List[CombinedRecord]]:
-        """Collect raw records for the block range from runs and write stores."""
-        froms: List[FromRecord] = []
-        tos: List[ToRecord] = []
-        combined: List[CombinedRecord] = []
+    ) -> Tuple[Iterator[FromRecord], Iterator[ToRecord], Iterator[CombinedRecord]]:
+        """Sorted, lazily merged record streams for the block range.
 
+        Each run contributes a lazy per-page iterator and each write store its
+        sorted snapshot slice; per table the sources are merged with
+        ``heapq.merge`` (every source is sorted identically), so the join can
+        consume one sorted stream per table without the old per-query
+        re-grouping or any whole-range record lists.
+        """
         partitions = self.partitioner.partitions_for_range(first_block, num_blocks)
         if self.config.use_bloom_filters:
             candidate_runs = self.run_manager.runs_for_block_range(
@@ -127,21 +134,30 @@ class QueryEngine:
 
         # Dispatch on the numeric record kind: the ``table`` property does a
         # name lookup per call, which adds up over many candidate runs.
-        sinks = {FROM_KIND: froms, TO_KIND: tos, COMBINED_KIND: combined}
+        sources: Dict[int, List[Iterator]] = {FROM_KIND: [], TO_KIND: [], COMBINED_KIND: []}
         for run in candidate_runs:
-            records = run.records_for_block_range(first_block, num_blocks)
-            if self.deletion_vector:
-                records = list(self.deletion_vector.filter(records))
-            sinks[run.record_kind].extend(records)
-
+            sources[run.record_kind].append(run.iter_block_range(first_block, num_blocks))
         ws_from_records = self.ws_from.records_for_block_range(first_block, num_blocks)
+        if ws_from_records:
+            sources[FROM_KIND].append(iter(ws_from_records))
         ws_to_records = self.ws_to.records_for_block_range(first_block, num_blocks)
+        if ws_to_records:
+            sources[TO_KIND].append(iter(ws_to_records))
+
+        return (
+            self._merge_sources(sources[FROM_KIND]),
+            self._merge_sources(sources[TO_KIND]),
+            self._merge_sources(sources[COMBINED_KIND]),
+        )
+
+    def _merge_sources(self, iterators: List[Iterator]) -> Iterator:
+        """Merge sorted record sources and filter deletion-vector suppressions."""
+        if not iterators:
+            return iter(())
+        merged = iterators[0] if len(iterators) == 1 else heapq.merge(*iterators)
         if self.deletion_vector:
-            ws_from_records = list(self.deletion_vector.filter(ws_from_records))
-            ws_to_records = list(self.deletion_vector.filter(ws_to_records))
-        froms.extend(ws_from_records)
-        tos.extend(ws_to_records)
-        return froms, tos, combined
+            return self.deletion_vector.filter(merged)
+        return merged
 
     def _group(self, records: Sequence[CombinedRecord]) -> List[BackReference]:
         """Fold Combined records into one BackReference per owner."""

@@ -67,7 +67,19 @@ def _separator_key(record: AnyRecord) -> Tuple[int, int, int, int, int]:
 
 
 class ReadStoreWriter:
-    """Builds one read-store run from an iterator of sorted records."""
+    """Builds one read-store run from sorted records.
+
+    Two equivalent interfaces produce byte-identical files:
+
+    * :meth:`build` consumes a whole iterator at once (flush path);
+    * :meth:`begin` / :meth:`add` / :meth:`finish` accept records one at a
+      time, so a streaming producer (the compaction join) can route records
+      into several writers without materialising any table.  At most one
+      unflushed leaf page of records is buffered at any moment.
+
+    Either way, no file is created until the first record arrives -- quiet
+    consistency points do not produce empty runs.
+    """
 
     def __init__(self, backend: StorageBackend, name: str, table: str,
                  bloom_bits: int = DEFAULT_FILTER_BITS) -> None:
@@ -82,46 +94,74 @@ class ReadStoreWriter:
         self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
         self.entries_per_index_page = (PAGE_SIZE - _PAGE_HEADER.size) // _INDEX_ENTRY.size
         self.bloom_bits = bloom_bits
+        self._page_file: Optional[PageFile] = None
+        self._open = False
 
     def build(self, records: Iterable[AnyRecord]) -> Optional["ReadStoreReader"]:
         """Write all ``records`` (which must be pre-sorted) and return a reader.
 
-        Returns ``None`` without creating a file when the iterator is empty --
-        quiet consistency points do not produce empty runs.
+        Returns ``None`` without creating a file when the iterator is empty.
         """
-        iterator = iter(records)
-        try:
-            first = next(iterator)
-        except StopIteration:
+        self.begin()
+        for record in records:
+            self.add(record)
+        return self.finish()
+
+    # ------------------------------------------------------- streaming API
+
+    def begin(self) -> None:
+        """Start (or restart) an incremental build."""
+        self._page_file = None
+        self._bloom = BloomFilter(self.bloom_bits)
+        self._num_records = 0
+        self._leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]] = []
+        self._buffer: List[AnyRecord] = []
+        self._previous: Optional[AnyRecord] = None
+        self._open = True
+
+    def add(self, record: AnyRecord) -> None:
+        """Append one record; records must arrive in sort order."""
+        if not self._open:
+            # Auto-beginning here would silently truncate a finished run of
+            # the same name on the next create(); make the misuse loud.
+            raise ValueError("add() without begin() (or after finish())")
+        # Records are NamedTuples whose field order is the sort order, so
+        # they compare natively -- no per-record sort_key() allocation.
+        if self._previous is not None and record < self._previous:
+            raise ValueError("records passed to ReadStoreWriter must be sorted")
+        self._previous = record
+        if self._page_file is None:
+            self._page_file = self.backend.create(self.name)
+        self._buffer.append(record)
+        self._num_records += 1
+        if len(self._buffer) == self.records_per_page:
+            self._flush_leaf(self._page_file, self._buffer, self._leaf_keys, self._bloom)
+            self._buffer = []
+
+    @property
+    def num_records_added(self) -> int:
+        """Records accepted so far in the current incremental build."""
+        return self._num_records if self._open else 0
+
+    def finish(self) -> Optional["ReadStoreReader"]:
+        """Write the index, Bloom and header pages; return a reader.
+
+        Returns ``None`` (and creates no file) when no record was added.
+        """
+        if not self._open:
+            raise ValueError("finish() without begin()")
+        self._open = False
+        page_file = self._page_file
+        if page_file is None:
             return None
-
-        page_file = self.backend.create(self.name)
-        bloom = BloomFilter(self.bloom_bits)
-        num_records = 0
-        leaf_keys: List[Tuple[Tuple[int, int, int, int, int], int]] = []
-
-        def record_stream() -> Iterator[AnyRecord]:
-            yield first
-            yield from iterator
-
-        buffer: List[AnyRecord] = []
-        previous: Optional[AnyRecord] = None
-        for record in record_stream():
-            # Records are NamedTuples whose field order is the sort order, so
-            # they compare natively -- no per-record sort_key() allocation.
-            if previous is not None and record < previous:
-                raise ValueError("records passed to ReadStoreWriter must be sorted")
-            previous = record
-            buffer.append(record)
-            num_records += 1
-            if len(buffer) == self.records_per_page:
-                self._flush_leaf(page_file, buffer, leaf_keys, bloom)
-                buffer = []
-        if buffer:
-            self._flush_leaf(page_file, buffer, leaf_keys, bloom)
+        bloom = self._bloom
+        leaf_keys = self._leaf_keys
+        if self._buffer:
+            self._flush_leaf(page_file, self._buffer, leaf_keys, bloom)
+            self._buffer = []
         # Sorted input means the block bounds are just the ends of the stream.
-        min_block = first[0]
-        max_block = previous[0] if previous is not None else first[0]
+        min_block = leaf_keys[0][0][0]
+        max_block = self._previous[0]
 
         num_leaf_pages = len(leaf_keys)
 
@@ -160,14 +200,14 @@ class ReadStoreWriter:
             _MAGIC,
             self.record_kind,
             self.record_size,
-            num_records,
+            self._num_records,
             num_leaf_pages,
             len(levels),
             *level_fields,
             bloom_first_page,
             bloom_num_pages,
-            min_block if min_block is not None else 0,
-            max_block if max_block is not None else 0,
+            min_block,
+            max_block,
         )
         page_file.append_page(header)
         return ReadStoreReader(self.backend, self.name, bloom=bloom)
@@ -221,6 +261,10 @@ class ReadStoreReader:
         self.cache = cache
         self._page_file = backend.open(name)
         self._bloom = bloom
+        if self._page_file.num_pages == 0:
+            # An empty file cannot even hold a header: it is the remnant of a
+            # writer that crashed before its first leaf page reached disk.
+            raise ValueError(f"{name!r} is empty, not a Backlog read store")
         header_page = self._read_page(self._page_file.num_pages - 1)
         fields = _HEADER.unpack_from(header_page, 0)
         if fields[0] != _MAGIC:
@@ -304,20 +348,27 @@ class ReadStoreReader:
 
     def records_for_block_range(self, first_block: int, num_blocks: int) -> List[AnyRecord]:
         """All records whose block falls in ``[first_block, first_block + num_blocks)``."""
+        return list(self.iter_block_range(first_block, num_blocks))
+
+    def iter_block_range(self, first_block: int, num_blocks: int) -> Iterator[AnyRecord]:
+        """Lazily yield the records of ``records_for_block_range``.
+
+        Decodes one leaf page at a time, so a wide range query merging many
+        runs holds O(pages currently open) records instead of every run's
+        full result list.
+        """
         if num_blocks <= 0 or self.num_leaf_pages == 0:
-            return []
+            return
         start_key = (first_block,)
         stop_key = (first_block + num_blocks,)
         leaf_index = self._find_leaf((first_block, 0, 0, 0, 0))
-        results: List[AnyRecord] = []
         for page_index in range(leaf_index, self.num_leaf_pages):
             records = self._leaf_records(page_index)
             lo = bisect_left(records, start_key) if page_index == leaf_index else 0
             hi = bisect_left(records, stop_key)
-            results.extend(records[lo:hi])
+            yield from records[lo:hi]
             if hi < len(records):
-                break
-        return results
+                return
 
     def records_for_block(self, block: int) -> List[AnyRecord]:
         return self.records_for_block_range(block, 1)

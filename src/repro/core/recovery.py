@@ -18,6 +18,7 @@ This module provides the two halves of that story for the simulator:
 
 from __future__ import annotations
 
+import struct
 from typing import Optional
 
 from repro.core.backlog import Backlog
@@ -34,13 +35,22 @@ from repro.fsim.journal import Journal
 __all__ = ["parse_run_name", "rebuild_run_manager", "recover_backlog"]
 
 
-def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = None) -> RunManager:
+def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = None,
+                        remove_invalid: bool = False) -> RunManager:
     """Reconstruct the run catalogue by scanning the backend's files.
 
     Runs are re-registered in sequence order so that the catalogue's notion
     of creation order (which matters for nothing functional, but keeps
     diagnostics stable) matches the original.  The sequence counter is
     advanced past the highest sequence seen so new runs get fresh names.
+
+    A run file that cannot be opened -- empty, truncated mid-write, or with a
+    corrupt header -- is the remnant of a compaction that crashed before
+    registering its output.  Such a file was never part of the database (the
+    catalogue swap happens only after every page is on disk), so it is
+    skipped; with ``remove_invalid=True`` it is also deleted to reclaim the
+    space.  Its sequence number still advances the counter so a fresh run
+    can never collide with the leftover name.
     """
     manager = RunManager(backend, cache=cache)
     runs = []
@@ -52,9 +62,14 @@ def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = No
         runs.append((sequence, partition, table, name))
     max_sequence = 0
     for sequence, partition, table, name in sorted(runs):
-        reader = ReadStoreReader(backend, name, cache=cache)
-        manager.add_run(partition, table, reader)
         max_sequence = max(max_sequence, sequence)
+        try:
+            reader = ReadStoreReader(backend, name, cache=cache)
+        except (ValueError, IndexError, struct.error):
+            if remove_invalid:
+                backend.delete(name)
+            continue
+        manager.add_run(partition, table, reader)
     # Advance the sequence counter so future runs do not collide.
     while manager.next_sequence() < max_sequence:
         pass
@@ -87,7 +102,8 @@ def recover_backlog(
         explicitly whenever it is known.
     """
     backlog = Backlog(backend=backend, config=config, version_authority=version_authority)
-    backlog.run_manager = rebuild_run_manager(backend, cache=backlog.cache)
+    backlog.run_manager = rebuild_run_manager(backend, cache=backlog.cache,
+                                              remove_invalid=True)
     # Re-wire the components that hold a reference to the run manager.
     backlog._compactor.run_manager = backlog.run_manager
     backlog._query_engine.run_manager = backlog.run_manager

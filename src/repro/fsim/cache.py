@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.fsim.blockdev import PAGE_SIZE, PageFile
 
@@ -60,6 +60,9 @@ class PageCache:
         self.capacity_bytes = capacity_bytes
         self.capacity_pages = capacity_bytes // PAGE_SIZE
         self._entries: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        # Per-file index of cached page numbers, so invalidating a file is
+        # O(pages invalidated) instead of a scan over the whole cache.
+        self._file_pages: Dict[str, Set[int]] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -90,21 +93,38 @@ class PageCache:
         """Drop every cached page belonging to ``name``.
 
         Called when compaction deletes a read-store run so stale pages cannot
-        be served for a recreated file of the same name.
+        be served for a recreated file of the same name.  The per-file page
+        index makes this O(pages invalidated); compaction cleanup no longer
+        scans the whole cache once per deleted run.
         """
-        stale = [key for key in self._entries if key[0] == name]
-        for key in stale:
-            del self._entries[key]
+        pages = self._file_pages.pop(name, None)
+        if not pages:
+            return
+        entries = self._entries
+        for index in pages:
+            del entries[(name, index)]
 
     def clear(self) -> None:
-        """Drop the entire cache contents (used before query benchmarks)."""
+        """Drop the entire cache contents (used before query benchmarks).
+
+        Statistics are deliberately preserved -- benchmarks clear the cache
+        between batches but report hit ratios across them; use
+        ``stats.reset()`` to zero the counters.
+        """
         self._entries.clear()
+        self._file_pages.clear()
 
     def _insert(self, key: Tuple[str, int], data: bytes) -> None:
         if self.capacity_pages == 0:
             return
         self._entries[key] = data
         self._entries.move_to_end(key)
+        self._file_pages.setdefault(key[0], set()).add(key[1])
         while len(self._entries) > self.capacity_pages:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            pages = self._file_pages.get(evicted_key[0])
+            if pages is not None:
+                pages.discard(evicted_key[1])
+                if not pages:
+                    del self._file_pages[evicted_key[0]]
             self.stats.evictions += 1

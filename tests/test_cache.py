@@ -78,3 +78,125 @@ class TestPageCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             PageCache(-1)
+
+
+class TestInvalidateFileIndex:
+    """`invalidate_file` behaviour after the per-file key-index refactor."""
+
+    def test_invalidate_drops_only_that_file(self):
+        backend = MemoryBackend()
+        files = []
+        for name in ("a", "b", "c"):
+            page_file = backend.create(name)
+            for index in range(4):
+                page_file.append_page(name.encode() * (index + 1))
+            files.append(page_file)
+        cache = PageCache(1024 * 1024)
+        for page_file in files:
+            for index in range(4):
+                cache.read_page(page_file, index)
+        cache.invalidate_file("b")
+        assert len(cache) == 8
+        for index in range(4):
+            assert cache.peek("a", index) is not None
+            assert cache.peek("b", index) is None
+            assert cache.peek("c", index) is not None
+
+    def test_invalidate_unknown_file_is_noop(self):
+        backend, page_file = _backend_with_file()
+        cache = PageCache(1024 * 1024)
+        cache.read_page(page_file, 0)
+        cache.invalidate_file("never-cached")
+        assert len(cache) == 1
+
+    def test_index_survives_evictions(self):
+        """Pages evicted by LRU must leave the file index consistent."""
+        backend, page_file = _backend_with_file(pages=10)
+        cache = PageCache(3 * PAGE_SIZE)
+        for index in range(10):
+            cache.read_page(page_file, index)
+        # Pages 0..6 were evicted; invalidation must only touch 7, 8, 9 and
+        # must not fail on the evicted ones.
+        cache.invalidate_file(page_file.name)
+        assert len(cache) == 0
+        # The cache still works afterwards.
+        cache.read_page(page_file, 0)
+        assert cache.peek(page_file.name, 0) is not None
+
+    def test_invalidate_then_reread_misses(self):
+        backend, page_file = _backend_with_file()
+        cache = PageCache(1024 * 1024)
+        cache.read_page(page_file, 2)
+        cache.invalidate_file(page_file.name)
+        cache.read_page(page_file, 2)
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+
+    def test_interleaved_invalidations_and_evictions(self):
+        """Stress the index: many files, invalidations between evictions."""
+        backend = MemoryBackend()
+        files = []
+        for n in range(6):
+            page_file = backend.create(f"f{n}")
+            for index in range(5):
+                page_file.append_page(bytes([n, index]))
+            files.append(page_file)
+        cache = PageCache(8 * PAGE_SIZE)
+        for round_number in range(3):
+            for page_file in files:
+                for index in range(5):
+                    cache.read_page(page_file, index)
+                if round_number == 1:
+                    cache.invalidate_file(page_file.name)
+        assert len(cache) <= 8
+        # Internal consistency: every cached entry is tracked by the index
+        # and vice versa.
+        indexed = {(name, page) for name, pages in cache._file_pages.items()
+                   for page in pages}
+        assert indexed == set(cache._entries)
+
+    def test_capacity_zero_invalidate_passthrough(self):
+        backend, page_file = _backend_with_file()
+        cache = PageCache(0)
+        cache.read_page(page_file, 0)
+        cache.invalidate_file(page_file.name)  # nothing cached: no-op
+        assert len(cache) == 0
+        assert cache.stats.misses == 2 - 1  # only the one read so far
+
+
+class TestCacheStatsAccounting:
+    def test_clear_preserves_stats(self):
+        """Benchmarks clear the cache between batches but keep the counters."""
+        backend, page_file = _backend_with_file()
+        cache = PageCache(1024 * 1024)
+        cache.read_page(page_file, 0)
+        cache.read_page(page_file, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        # After clear() the same page misses again and the index repopulates.
+        cache.read_page(page_file, 0)
+        assert cache.stats.misses == 2
+        assert cache.peek(page_file.name, 0) is not None
+
+    def test_reset_zeroes_all_counters(self):
+        backend, page_file = _backend_with_file(pages=5)
+        cache = PageCache(2 * PAGE_SIZE)
+        for index in range(5):
+            cache.read_page(page_file, index)
+        assert cache.stats.evictions == 3
+        cache.stats.reset()
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.evictions) == (0, 0, 0)
+        assert cache.stats.accesses == 0
+        assert cache.stats.hit_ratio == 0.0
+        # Entries survive a stats reset; only counters are zeroed.
+        assert len(cache) == 2
+
+    def test_eviction_counter_tracks_lru_evictions(self):
+        backend, page_file = _backend_with_file(pages=6)
+        cache = PageCache(2 * PAGE_SIZE)
+        for index in range(6):
+            cache.read_page(page_file, index)
+        assert cache.stats.evictions == 4
+        assert cache.stats.misses == 6
+        assert cache.stats.hits == 0

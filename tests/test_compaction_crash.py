@@ -1,0 +1,188 @@
+"""Crash-injection tests for the streaming compactor.
+
+The durability story (§5.4) requires that a compaction interrupted at any
+point leaves the database recoverable: the catalogue swap happens only after
+every output page is on disk, so a crash mid-write leaves the old runs fully
+intact plus, at worst, unregistered partial output files.  Recovery must
+skip (and clean up) those partial files, answer every query exactly as
+before the crash, and a re-run of compaction must succeed.
+
+The fault is injected through a ``PageFile`` wrapper that raises after a
+configurable number of page writes, so the test can interrupt the streaming
+compactor after *every single* write position it ever performs.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core.backlog import Backlog
+from repro.core.config import BacklogConfig
+from repro.core.lsm import parse_run_name
+from repro.core.read_store import ReadStoreReader
+from repro.core.recovery import recover_backlog
+from repro.fsim.blockdev import MemoryBackend, PageFile, StorageBackend
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the fault injector in place of a power failure."""
+
+
+class _FaultPageFile(PageFile):
+    """Delegates to a real page file, crashing when the write budget runs out."""
+
+    def __init__(self, backend: "FaultInjectingBackend", inner: PageFile) -> None:
+        super().__init__(backend, inner.name)
+        self._inner = inner
+
+    def _append(self, data: bytes) -> int:
+        self._backend.consume_write_budget()
+        return self._inner._append(data)
+
+    def _read(self, index: int) -> bytes:
+        return self._inner._read(index)
+
+    def _num_pages(self) -> int:
+        return self._inner._num_pages()
+
+
+class FaultInjectingBackend(StorageBackend):
+    """Wraps a backend; every page write decrements an optional crash budget."""
+
+    def __init__(self, inner: StorageBackend) -> None:
+        super().__init__()
+        self._inner = inner
+        self.stats = inner.stats  # share accounting with the wrapped backend
+        self.writes_until_crash: Optional[int] = None
+
+    def arm(self, writes_until_crash: int) -> None:
+        self.writes_until_crash = writes_until_crash
+
+    def disarm(self) -> None:
+        self.writes_until_crash = None
+
+    def consume_write_budget(self) -> None:
+        if self.writes_until_crash is not None:
+            if self.writes_until_crash <= 0:
+                raise SimulatedCrash("page write failed")
+            self.writes_until_crash -= 1
+
+    def create(self, name: str) -> PageFile:
+        return _FaultPageFile(self, self._inner.create(name))
+
+    def open(self, name: str) -> PageFile:
+        return _FaultPageFile(self, self._inner.open(name))
+
+    def delete(self, name: str) -> None:
+        self._inner.delete(name)
+
+    def exists(self, name: str) -> bool:
+        return self._inner.exists(name)
+
+    def list_files(self) -> List[str]:
+        return self._inner.list_files()
+
+
+def _build_workload(backend: StorageBackend) -> Backlog:
+    """Several checkpoints of adds/removes across two partitions, no compaction."""
+    config = BacklogConfig(partition_size_blocks=32)
+    backlog = Backlog(backend=backend, config=config)
+    for cp in range(3):
+        for i in range(25):
+            block = (i * 5 + cp) % 60
+            backlog.add_reference(block=block, inode=1 + i % 3, offset=cp * 25 + i)
+        if cp:
+            backlog.remove_reference(block=(cp * 5) % 60, inode=1, offset=(cp - 1) * 25)
+        backlog.checkpoint()
+    return backlog
+
+
+def _answers(backlog: Backlog, num_blocks: int = 60) -> Dict[int, list]:
+    return {block: backlog.query(block) for block in range(num_blocks)}
+
+
+def _assert_no_partial_runs(backend: StorageBackend) -> None:
+    """Every run file the catalogue could ever see must open cleanly."""
+    for name in backend.list_files():
+        if parse_run_name(name) is None:
+            continue
+        ReadStoreReader(backend, name)  # raises on truncated/empty files
+
+
+def test_compaction_crash_at_every_write_position():
+    """Interrupt the streaming compactor after each page write, then recover."""
+    seed_backend = MemoryBackend()
+    seed_backlog = _build_workload(seed_backend)
+    baseline = _answers(seed_backlog)
+    pristine_files = copy.deepcopy(seed_backend._files)
+
+    # Measure how many pages an uninterrupted compaction writes in total.
+    probe = copy.deepcopy(seed_backend)
+    writes_before = probe.stats.pages_written
+    recover_backlog(probe, config=BacklogConfig(partition_size_blocks=32)).maintain()
+    total_writes = probe.stats.pages_written - writes_before
+    assert total_writes > 4  # the workload must exercise several positions
+
+    config = BacklogConfig(partition_size_blocks=32)
+    for crash_after in range(total_writes):
+        inner = MemoryBackend()
+        inner._files = copy.deepcopy(pristine_files)
+        backend = FaultInjectingBackend(inner)
+
+        crashed = recover_backlog(backend, config=config)
+        backend.arm(crash_after)
+        with pytest.raises(SimulatedCrash):
+            crashed.maintain()
+        backend.disarm()
+
+        # Restart: the partial output must be invisible (and cleaned up),
+        # and every answer must match the pre-crash database.
+        recovered = recover_backlog(backend, config=config)
+        _assert_no_partial_runs(backend)
+        assert _answers(recovered) == baseline
+
+        # Re-running maintenance must now succeed and change no answer.
+        recovered.maintain()
+        assert recovered.run_manager.level0_run_count() == 0
+        assert _answers(recovered) == baseline
+
+
+def test_partial_run_file_removed_on_recovery():
+    """A crash leaves an unregistered partial file; recovery deletes it."""
+    inner = MemoryBackend()
+    backend = FaultInjectingBackend(inner)
+    backlog = _build_workload(backend)
+    files_before_crash = set(backend.list_files())
+
+    backend.arm(2)  # let two pages through, then fail mid-run
+    with pytest.raises(SimulatedCrash):
+        backlog.maintain()
+    backend.disarm()
+
+    leftovers = set(backend.list_files()) - files_before_crash
+    assert leftovers, "the crash should have left a partial output file"
+
+    recover_backlog(backend, config=BacklogConfig(partition_size_blocks=32))
+    assert set(backend.list_files()) == files_before_crash
+
+
+def test_crash_before_first_page_leaves_empty_file():
+    """Budget 0: the file exists with zero pages and recovery still works."""
+    inner = MemoryBackend()
+    backend = FaultInjectingBackend(inner)
+    backlog = _build_workload(backend)
+    baseline = _answers(backlog)
+
+    backend.arm(0)
+    with pytest.raises(SimulatedCrash):
+        backlog.maintain()
+    backend.disarm()
+
+    recovered = recover_backlog(backend, config=BacklogConfig(partition_size_blocks=32))
+    _assert_no_partial_runs(backend)
+    assert _answers(recovered) == baseline
+    recovered.maintain()
+    assert _answers(recovered) == baseline

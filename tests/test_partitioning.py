@@ -61,6 +61,48 @@ class TestSplitSortedRecords:
         partitioner = Partitioner()
         assert list(partitioner.split_sorted_records([])) == []
 
+    def test_records_straddling_many_boundaries(self):
+        """One record per partition across many partitions, plus boundary hits."""
+        partitioner = Partitioner(partition_size_blocks=10)
+        blocks = [0, 9, 10, 19, 20, 30, 40, 50, 59, 60]
+        records = [FromRecord(b, 1, 0, 0, 1) for b in blocks]
+        groups = list(partitioner.split_sorted_records(records))
+        assert [(p, [r.block for r in bucket]) for p, bucket in groups] == [
+            (0, [0, 9]), (1, [10, 19]), (2, [20]), (3, [30]),
+            (4, [40]), (5, [50, 59]), (6, [60]),
+        ]
+
+    def test_gap_of_multiple_empty_partitions_yields_no_empty_buckets(self):
+        """A >1-partition gap between records must not emit empty buckets."""
+        partitioner = Partitioner(partition_size_blocks=10)
+        records = [FromRecord(b, 1, 0, 0, 1) for b in [5, 95]]
+        groups = list(partitioner.split_sorted_records(records))
+        assert [(p, [r.block for r in bucket]) for p, bucket in groups] == [
+            (0, [5]), (9, [95]),
+        ]
+        assert all(bucket for _, bucket in groups)
+
+    def test_single_partition_far_from_origin(self):
+        partitioner = Partitioner(partition_size_blocks=100)
+        records = [FromRecord(b, 1, 0, 0, 1) for b in [1234, 1250, 1299]]
+        groups = list(partitioner.split_sorted_records(records))
+        assert [(p, len(bucket)) for p, bucket in groups] == [(12, 3)]
+
+    def test_iterator_input_matches_sequence_input(self):
+        """The bisect fast path and the scan fallback must agree."""
+        partitioner = Partitioner(partition_size_blocks=7)
+        blocks = [0, 1, 6, 7, 13, 14, 15, 49, 50, 91]
+        records = [FromRecord(b, 1, 0, 0, 1) for b in blocks]
+        from_list = list(partitioner.split_sorted_records(records))
+        from_iterator = list(partitioner.split_sorted_records(iter(records)))
+        assert from_iterator == from_list
+
+    def test_negative_block_rejected(self):
+        partitioner = Partitioner(partition_size_blocks=10)
+        records = [FromRecord(-1, 1, 0, 0, 1)]
+        with pytest.raises(ValueError):
+            list(partitioner.split_sorted_records(records))
+
 
 @settings(max_examples=60, deadline=None)
 @given(st.lists(st.integers(0, 5_000), max_size=200), st.integers(1, 500))
@@ -72,4 +114,11 @@ def test_split_preserves_records_and_grouping(blocks, partition_size):
     recombined = [record for _, bucket in groups for record in bucket]
     assert recombined == records
     for partition, bucket in groups:
+        assert bucket, "empty partitions must never be yielded"
         assert all(partitioner.partition_of(r.block) == partition for r in bucket)
+    # Partitions ascend strictly: each one appears at most once.
+    partitions = [partition for partition, _ in groups]
+    assert partitions == sorted(set(partitions))
+    # The bisect fast path (sequence input) and the streaming scan fallback
+    # (iterator input) must produce identical groupings.
+    assert list(partitioner.split_sorted_records(iter(records))) == groups
