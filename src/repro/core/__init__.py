@@ -5,7 +5,7 @@ from repro.core.bloom import BloomFilter
 from repro.core.compaction import Compactor, PartitionCompactionResult
 from repro.core.config import BacklogConfig
 from repro.core.deletion_vector import DeletionVector
-from repro.core.inheritance import CloneGraph, expand_clones
+from repro.core.inheritance import CloneGraph, expand_clones, materialized_expand
 from repro.core.join import (
     combine_for_query,
     join_tables,
@@ -19,6 +19,7 @@ from repro.core.masking import (
     ExplicitVersionAuthority,
     SnapshotManagerAuthority,
     VersionAuthority,
+    iter_mask_records,
     mask_records,
 )
 from repro.core.partitioning import Partitioner
@@ -69,8 +70,10 @@ __all__ = [
     "WriteStore",
     "combine_for_query",
     "expand_clones",
+    "iter_mask_records",
     "join_tables",
     "mask_records",
+    "materialized_expand",
     "materialized_join",
     "merge_join_for_query",
     "merge_sorted_runs",

@@ -16,7 +16,11 @@ used in two ways:
 During normal operation Backlog never reads from disk: updates are buffered
 in the in-memory write stores and flushed at each consistency point as new
 Level-0 read-store runs.  Disk reads happen only during queries and during
-database maintenance (:meth:`maintain`).
+database maintenance (:meth:`maintain`).  Queries run as a streaming
+pipeline -- lazily merged run iterators, sort-merge join, incremental clone
+expansion, single-pass grouping -- with a size-dispatched materialised fast
+path for narrow queries (see :mod:`repro.core.query` and
+``docs/ARCHITECTURE.md`` for the full walk of the record lifecycle).
 
 Example
 -------

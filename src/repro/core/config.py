@@ -36,6 +36,19 @@ class BacklogConfig:
         maintenance runs only when the caller invokes :meth:`Backlog.maintain`.
     use_bloom_filters:
         Ablation switch: when False, queries probe every run.
+    narrow_dispatch_max_runs:
+        Size dispatch for the query read path: when the Bloom prefilter
+        leaves at most this many candidate runs, the query engine answers
+        through the retained materialising pipeline (gather lists,
+        ``materialized_join``, ``materialized_expand``, dict grouping)
+        instead of the streaming generator chain, whose fixed per-query cost
+        is not worth paying for one or two tiny run slices.  The fast path
+        additionally applies only to ranges of at most
+        :data:`repro.core.query.NARROW_QUERY_MAX_BLOCKS` blocks, so wide
+        queries keep the streaming pipeline's flat-memory guarantee even
+        over a freshly compacted (few-run) database.  ``0`` disables the
+        fast path and forces every query through the streaming pipeline
+        (both return identical answers; the differential suite enforces it).
     streaming_compaction:
         When True (the default), database maintenance runs the streaming
         generator-chain compactor that holds at most one output page per
@@ -54,6 +67,7 @@ class BacklogConfig:
     proactive_pruning: bool = True
     maintenance_interval_cps: Optional[int] = None
     use_bloom_filters: bool = True
+    narrow_dispatch_max_runs: int = 2
     streaming_compaction: bool = True
     track_timing: bool = True
 
@@ -66,3 +80,5 @@ class BacklogConfig:
             raise ValueError("cache_bytes must be non-negative")
         if self.maintenance_interval_cps is not None and self.maintenance_interval_cps <= 0:
             raise ValueError("maintenance_interval_cps must be positive when set")
+        if self.narrow_dispatch_max_runs < 0:
+            raise ValueError("narrow_dispatch_max_runs must be non-negative")

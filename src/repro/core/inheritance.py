@@ -14,15 +14,59 @@ override is present, and recurse, because clones can themselves be cloned.
 The expansion is guaranteed to see every relevant override because the
 initial extraction is per physical block: all records for the block,
 whatever their line, are already in the input.
+
+Two expansion implementations are provided:
+
+* :func:`expand_clones` -- the production path: an incremental generator
+  over the clone DAG.  It consumes a stream of Combined records **sorted by
+  the record sort key** (exactly what
+  :func:`repro.core.join.merge_join_for_query` emits), resolves inheritance
+  one ``(block, inode, offset)`` reference group at a time as the groups
+  stream past, and yields a fully sorted, deduplicated output stream.  Its
+  transient working set is one reference group -- independent of the query
+  width -- so deep clone chains over wide ranges expand in flat memory.
+
+* :func:`materialized_expand` -- the pre-streaming implementation: collects
+  the entire result, runs the iterative fixpoint over it and re-sorts the
+  whole list per query.  Retained as first-class code so the differential
+  suite (``tests/test_clone_chains.py``, ``tests/test_streaming_equivalence``)
+  and ``benchmarks/bench_hotpath.py`` can drive both implementations through
+  identical inputs and prove they return identical answers.
+
+Splitting the expansion per reference group is exact, not an approximation:
+the algorithm only ever synthesizes records with the *same* ``(block, inode,
+offset)`` as the record it expands, and overrides are keyed by ``(block,
+inode, offset, line)``, so no information flows between groups.
+
+Streaming contract of :func:`expand_clones`
+-------------------------------------------
+
+* **Input ordering** -- records must arrive sorted by their natural sort key
+  ``(block, inode, offset, line, from, to)``.  Adjacent duplicates (the same
+  record gathered twice, e.g. buffered and flushed copies within one CP) are
+  deduplicated; behaviour on unsorted input is undefined.
+* **Output ordering** -- the yielded stream is globally sorted by the same
+  key and duplicate-free; it is byte-for-byte the list
+  :func:`materialized_expand` would return.
+* **Exhaustion** -- the generator is single-use and lazily driven: it reads
+  just past the current reference group, never the whole input.  Abandoning
+  it early is safe and releases the group buffer.
+* **Clone visibility** -- a record of line ``l`` covering version ``v`` makes
+  the reference visible in every clone taken from ``(l, v)`` -- and
+  transitively in clones of those clones -- as the full range
+  ``[0, INFINITY)``, unless the initial result carries an override record
+  (``from = 0``) for that clone line.  Overrides are consulted from the
+  *initial* records of the group only, exactly as in §4.2.2: synthesized
+  records never suppress further inheritance.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.records import CombinedRecord, INFINITY
 
-__all__ = ["CloneGraph", "expand_clones"]
+__all__ = ["CloneGraph", "expand_clones", "materialized_expand"]
 
 
 class CloneGraph:
@@ -40,6 +84,11 @@ class CloneGraph:
         #: parent line -> list of (child line, cloned version)
         self._children: Dict[int, List[Tuple[int, int]]] = {}
 
+    def __bool__(self) -> bool:
+        """True when at least one clone exists (expansion can be skipped
+        entirely otherwise)."""
+        return bool(self._parents)
+
     def add_clone(self, child_line: int, parent_line: int, parent_version: int) -> None:
         """Record that ``child_line`` was cloned from ``(parent_line, parent_version)``."""
         if child_line in self._parents:
@@ -55,9 +104,11 @@ class CloneGraph:
         if parent is not None:
             parent_line, parent_version = parent
             children = self._children.get(parent_line, [])
-            self._children[parent_line] = [
-                (child, version) for child, version in children if child != line
-            ]
+            remaining = [(child, version) for child, version in children if child != line]
+            if remaining:
+                self._children[parent_line] = remaining
+            else:
+                del self._children[parent_line]
 
     def parent_of(self, line: int) -> Tuple[int, int] | None:
         return self._parents.get(line)
@@ -65,6 +116,15 @@ class CloneGraph:
     def children_of(self, line: int) -> List[Tuple[int, int]]:
         """``(child_line, cloned_version)`` pairs cloned from ``line``."""
         return list(self._children.get(line, ()))
+
+    def children_map(self) -> Dict[int, List[Tuple[int, int]]]:
+        """The live parent-line -> children mapping, *not* a copy.
+
+        The expansion hot loop probes this dict once per record; handing out
+        the mapping itself avoids a list copy per probe.  Callers must not
+        mutate it.
+        """
+        return self._children
 
     def clone_versions(self, line: int) -> List[int]:
         """Versions of ``line`` at which clones were taken (pins for purge)."""
@@ -90,17 +150,106 @@ class CloneGraph:
         return sorted(result)
 
 
+def _expand_group(
+    group: List[CombinedRecord],
+    children_map: Dict[int, List[Tuple[int, int]]],
+) -> List[CombinedRecord]:
+    """Run the §4.2.2 fixpoint over one ``(block, inode, offset)`` group.
+
+    ``group`` must be sorted and duplicate-free; the returned list is sorted
+    and duplicate-free.  When no line in the group has clone children the
+    group is returned unchanged (the common case: most blocks are not
+    referenced by cloned snapshots).
+    """
+    if not any(record[3] in children_map for record in group):
+        return group
+    # Overrides are taken from the *initial* records only (from = 0); within
+    # a group the identity collapses to the line number.
+    overrides = {record[3] for record in group if record[4] == 0}
+    seen: Set[CombinedRecord] = set(group)
+    out = list(group)
+    queue = list(group)
+    added = False
+    while queue:
+        record = queue.pop()
+        children = children_map.get(record[3])
+        if not children:
+            continue
+        block, inode, offset, _, from_cp, to_cp = record
+        for child_line, cloned_version in children:
+            if not from_cp <= cloned_version < to_cp:
+                continue
+            if child_line in overrides:
+                continue
+            inherited = CombinedRecord(block, inode, offset, child_line, 0, INFINITY)
+            if inherited in seen:
+                continue
+            seen.add(inherited)
+            out.append(inherited)
+            queue.append(inherited)
+            added = True
+    if added:
+        # Records compare natively in sort-key order; the group prefix is
+        # shared, so an in-group sort keeps the overall stream sorted.
+        out.sort()
+    return out
+
+
 def expand_clones(
+    records: Iterable[CombinedRecord],
+    clone_graph: CloneGraph,
+) -> Iterator[CombinedRecord]:
+    """Incrementally expand a *sorted* Combined stream with inherited records.
+
+    The streaming counterpart of :func:`materialized_expand` (see the module
+    docstring for the full contract): groups the input by ``(block, inode,
+    offset)`` as it streams past -- the sort order makes each group
+    contiguous -- runs the iterative inheritance algorithm of §4.2.2 on one
+    group at a time and yields the expanded groups in order.  Holds one
+    group, never the whole result; output is sorted and deduplicated.
+    """
+    if not clone_graph:
+        # No clones anywhere: the expansion is a pure dedup pass-through.
+        previous = None
+        for record in records:
+            if record != previous:
+                yield record
+                previous = record
+        return
+    children_map = clone_graph.children_map()
+    group: List[CombinedRecord] = []
+    g_block = g_inode = g_offset = None
+    previous = None
+    for record in records:
+        if record[0] != g_block or record[1] != g_inode or record[2] != g_offset:
+            if group:
+                yield from _expand_group(group, children_map)
+            group = [record]
+            g_block, g_inode, g_offset = record[0], record[1], record[2]
+        elif record != previous:
+            group.append(record)
+        previous = record
+    if group:
+        yield from _expand_group(group, children_map)
+
+
+def materialized_expand(
     records: Sequence[CombinedRecord],
     clone_graph: CloneGraph,
 ) -> List[CombinedRecord]:
     """Expand an initial per-block result with inherited clone records.
 
-    Implements the iterative algorithm of §4.2.2: for every result record
-    that covers a version from which a clone was taken, add an implicit
-    record for the clone line (range ``[0, INFINITY)``) unless the initial
-    result already contains an override record for that ``(block, inode,
-    offset, clone line)``; repeat until no new records are added.
+    The pre-streaming implementation of the iterative algorithm of §4.2.2:
+    deduplicate the whole input, run the fixpoint over one global work queue
+    (for every result record that covers a version from which a clone was
+    taken, add an implicit record for the clone line unless an override is
+    present, and repeat), then re-sort the entire result.  Accepts records in
+    any order.
+
+    Retained as the reference implementation for the differential equivalence
+    tests and the ``clone_expand`` hot-path benchmark; the query engine's
+    narrow-query fast path also uses it, where the result is small enough
+    that materialising beats the generator chain.
     """
     # Deduplicate while preserving order: the same record can be gathered
     # more than once (e.g. buffered and flushed copies seen within one CP).

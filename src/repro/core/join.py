@@ -14,6 +14,21 @@ sort-merge join: walk the streams key by key, join each key's small CP lists,
 and emit output in sorted order without ever materialising the inputs.  The
 streaming entry points operate on such sorted iterators:
 
+Streaming contract (shared by both streaming joins):
+
+* **Input ordering** -- each input iterable must be sorted by its table's
+  sort key; behaviour on unsorted input is undefined.  Duplicate records
+  are legal and pass through (the downstream clone expansion deduplicates).
+* **Output ordering** -- output is emitted in ascending join-key order; the
+  records of one join key are emitted together, fully sorted, before the
+  next key's.  :func:`merge_join_for_query` therefore yields a globally
+  sorted Combined stream, which is what lets the query pipeline expand
+  clones and fold BackReferences in the same pass.
+* **Exhaustion** -- the generators read at most one record ahead per input
+  stream beyond the join key currently being emitted, and exhaust their
+  inputs exactly once; abandoning the generator early is safe and stops
+  pulling from the inputs.
+
 * :func:`merge_join_for_query` -- the query engine's join; yields the
   Combined view in sort order, with live references as ``to = INFINITY``.
 * :func:`stream_join_tables` -- compaction's join; yields ``(table, record)``

@@ -20,7 +20,7 @@ snapshots at all).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.core.records import CombinedRecord
 from repro.util.intervals import intersect_ranges
@@ -30,6 +30,7 @@ __all__ = [
     "AllVersionsAuthority",
     "ExplicitVersionAuthority",
     "SnapshotManagerAuthority",
+    "iter_mask_records",
     "mask_records",
 ]
 
@@ -94,25 +95,34 @@ class SnapshotManagerAuthority(VersionAuthority):
         return self._fs.snapshots.retained_versions(line, current_cp)
 
 
-def mask_records(
+def iter_mask_records(
     records: Iterable[CombinedRecord],
     authority: VersionAuthority,
-) -> List[CombinedRecord]:
-    """Drop records whose entire lifetime refers to deleted versions.
+) -> Iterator[CombinedRecord]:
+    """Lazily drop records whose entire lifetime refers to deleted versions.
 
     Records keep their original ``[from, to)`` boundaries (callers may care
     about the true allocation lifetime); a record survives if at least one
     valid version of its line falls inside the range.
+
+    A pure filter: the relative order of surviving records is the input
+    order, so a sorted stream (as the streaming query pipeline produces)
+    stays sorted.  The authority is consulted once per distinct line, not
+    once per record; the generator reads exactly one record ahead of what it
+    has yielded.
     """
-    survivors: List[CombinedRecord] = []
     cache: Dict[int, Optional[Sequence[int]]] = {}
     for record in records:
         if record.line not in cache:
             cache[record.line] = authority.valid_versions(record.line)
         valid = cache[record.line]
-        if valid is None:
-            survivors.append(record)
-            continue
-        if intersect_ranges([(record.from_cp, record.to_cp)], valid):
-            survivors.append(record)
-    return survivors
+        if valid is None or intersect_ranges([(record.from_cp, record.to_cp)], valid):
+            yield record
+
+
+def mask_records(
+    records: Iterable[CombinedRecord],
+    authority: VersionAuthority,
+) -> List[CombinedRecord]:
+    """Materialised form of :func:`iter_mask_records` (same filtering rule)."""
+    return list(iter_mask_records(records, authority))

@@ -10,11 +10,38 @@ which snapshot versions?".  The engine (§5.1, §4.2):
 3. filters out tuples suppressed by the deletion vector;
 4. joins From/To/Combined records into the Combined view;
 5. expands structural inheritance for writable clones; and
-6. masks away versions that belong to deleted snapshots.
+6. masks away versions that belong to deleted snapshots, folding the
+   survivors into one :class:`~repro.core.records.BackReference` per owner.
 
 Results are returned as :class:`~repro.core.records.BackReference` tuples,
 one per ``(block, inode, offset, line)`` owner, each carrying the merged list
 of version ranges in which the owner references the block.
+
+Two execution strategies answer every query, selected by a size dispatch on
+the candidate run count (``BacklogConfig.narrow_dispatch_max_runs``):
+
+* **Streaming** (wide ranges, many runs): steps 2-6 form one generator
+  chain.  Every source is sorted identically, so the gather step lazily
+  merges per-run page iterators (``heapq.merge``), the join is a sort-merge
+  join (:func:`~repro.core.join.merge_join_for_query`), clone expansion is
+  incremental per reference group (:func:`~repro.core.inheritance.
+  expand_clones`), masking is a pure filter, and -- because records arrive
+  key-adjacent -- the final grouping folds each owner's version ranges in
+  the same single pass (:meth:`QueryEngine._group_sorted`).  No step
+  materialises the intermediate result; transient memory is bounded by one
+  reference group plus one open page per probed run.
+
+* **Materialised** (narrow ranges, at most a couple of candidate runs): the
+  generator chain's fixed cost is not worth paying for a handful of
+  records, so the engine falls back to the retained pre-streaming pipeline:
+  gather whole run slices as lists, :func:`~repro.core.join.
+  materialized_join`, :func:`~repro.core.inheritance.materialized_expand`,
+  and the dict-based :meth:`QueryEngine._group`.
+
+Both strategies return identical answers; the differential suite
+(``tests/test_streaming_equivalence.py``) locks them together and
+``benchmarks/bench_hotpath.py`` (``narrow_dispatch`` section) tracks the
+reclaimed constant factor.
 """
 
 from __future__ import annotations
@@ -22,27 +49,35 @@ from __future__ import annotations
 import heapq
 import time
 from collections import defaultdict
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import BacklogConfig
 from repro.core.deletion_vector import DeletionVector
-from repro.core.inheritance import CloneGraph, expand_clones
-from repro.core.join import merge_join_for_query
+from repro.core.inheritance import CloneGraph, expand_clones, materialized_expand
+from repro.core.join import materialized_join, merge_join_for_query
 from repro.core.lsm import RunManager
-from repro.core.masking import VersionAuthority, mask_records
+from repro.core.masking import VersionAuthority, iter_mask_records, mask_records
 from repro.core.partitioning import Partitioner
-from repro.core.read_store import RECORD_KINDS
+from repro.core.read_store import RECORD_KINDS, ReadStoreReader
 from repro.core.records import BackReference, CombinedRecord, FromRecord, ToRecord
 from repro.core.stats import QueryStats
 from repro.core.write_store import WriteStore
 from repro.fsim.blockdev import StorageBackend
 from repro.util.intervals import merge_adjacent_ranges
 
-__all__ = ["QueryEngine"]
+__all__ = ["QueryEngine", "NARROW_QUERY_MAX_BLOCKS"]
 
 FROM_KIND = RECORD_KINDS["from"]
 TO_KIND = RECORD_KINDS["to"]
 COMBINED_KIND = RECORD_KINDS["combined"]
+
+#: Widest block range the materialised fast path may serve.  The run-count
+#: dispatch alone would let a *wide* query over a freshly compacted database
+#: (one or two runs holding everything) materialise its entire result,
+#: forfeiting the streaming pipeline's flat-memory guarantee; bounding the
+#: width keeps the fast path to the narrow queries it exists for while
+#: capping its transient memory at a few leaf pages per run.
+NARROW_QUERY_MAX_BLOCKS = 1024
 
 
 class QueryEngine:
@@ -79,20 +114,27 @@ class QueryEngine:
         return self.query_range(block, 1)
 
     def query_range(self, first_block: int, num_blocks: int) -> List[BackReference]:
-        """All owners of blocks in ``[first_block, first_block + num_blocks)``."""
+        """All owners of blocks in ``[first_block, first_block + num_blocks)``.
+
+        Returns one :class:`~repro.core.records.BackReference` per owner,
+        sorted by ``(block, inode, offset, line)``, with each owner's version
+        ranges merged and sorted.  Dispatches on the candidate run count (see
+        the module docstring); both execution strategies return identical
+        results.
+        """
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
         start_time = time.perf_counter()
         reads_before = self.backend.stats.pages_read
 
-        raw = self._gather(first_block, num_blocks)
-        # The gathered streams are already sorted, so the Combined view is a
-        # streaming merge-join; expand_clones drains it without an
-        # intermediate list.
-        combined_view = merge_join_for_query(*raw)
-        expanded = expand_clones(combined_view, self.clone_graph)
-        masked = mask_records(expanded, self.authority)
-        results = self._group(masked)
+        candidate_runs = self._candidate_runs(first_block, num_blocks)
+        max_runs = self.config.narrow_dispatch_max_runs
+        if max_runs and len(candidate_runs) <= max_runs \
+                and num_blocks <= NARROW_QUERY_MAX_BLOCKS:
+            self.stats.narrow_fast_path_queries += 1
+            results = self._query_materialized(candidate_runs, first_block, num_blocks)
+        else:
+            results = self._query_streaming(candidate_runs, first_block, num_blocks)
 
         self.stats.queries += 1
         self.stats.back_references_returned += len(results)
@@ -110,17 +152,8 @@ class QueryEngine:
 
     # ------------------------------------------------------------ internals
 
-    def _gather(
-        self, first_block: int, num_blocks: int
-    ) -> Tuple[Iterator[FromRecord], Iterator[ToRecord], Iterator[CombinedRecord]]:
-        """Sorted, lazily merged record streams for the block range.
-
-        Each run contributes a lazy per-page iterator and each write store its
-        sorted snapshot slice; per table the sources are merged with
-        ``heapq.merge`` (every source is sorted identically), so the join can
-        consume one sorted stream per table without the old per-query
-        re-grouping or any whole-range record lists.
-        """
+    def _candidate_runs(self, first_block: int, num_blocks: int) -> List[ReadStoreReader]:
+        """The runs whose Bloom filters admit the block range (step 1)."""
         partitions = self.partitioner.partitions_for_range(first_block, num_blocks)
         if self.config.use_bloom_filters:
             candidate_runs = self.run_manager.runs_for_block_range(
@@ -131,7 +164,31 @@ class QueryEngine:
         else:
             candidate_runs = [run for p in partitions for run in self.run_manager.runs_for(p)]
         self.stats.runs_probed += len(candidate_runs)
+        return candidate_runs
 
+    # ------------------------------------------------------ streaming path
+
+    def _query_streaming(
+        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int
+    ) -> List[BackReference]:
+        """Steps 2-6 as one generator chain (see the module docstring)."""
+        froms, tos, combined = self._gather(candidate_runs, first_block, num_blocks)
+        combined_view = merge_join_for_query(froms, tos, combined)
+        expanded = expand_clones(combined_view, self.clone_graph)
+        masked = iter_mask_records(expanded, self.authority)
+        return self._group_sorted(masked)
+
+    def _gather(
+        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int
+    ) -> Tuple[Iterator[FromRecord], Iterator[ToRecord], Iterator[CombinedRecord]]:
+        """Sorted, lazily merged record streams for the block range.
+
+        Each run contributes a lazy per-page iterator and each write store its
+        sorted snapshot slice; per table the sources are merged with
+        ``heapq.merge`` (every source is sorted identically), so the join can
+        consume one sorted stream per table without the old per-query
+        re-grouping or any whole-range record lists.
+        """
         # Dispatch on the numeric record kind: the ``table`` property does a
         # name lookup per call, which adds up over many candidate runs.
         sources: Dict[int, List[Iterator]] = {FROM_KIND: [], TO_KIND: [], COMBINED_KIND: []}
@@ -159,8 +216,69 @@ class QueryEngine:
             return self.deletion_vector.filter(merged)
         return merged
 
+    def _group_sorted(self, records: Iterable[CombinedRecord]) -> List[BackReference]:
+        """Fold a *sorted* Combined stream into BackReferences in one pass.
+
+        The streaming pipeline keeps records sorted end to end, so all
+        records of one ``(block, inode, offset, line)`` owner are adjacent
+        and their ``(from, to)`` ranges arrive pre-sorted: each owner is
+        emitted the moment the identity changes, without the legacy
+        :meth:`_group` dict or its final sort.
+        """
+        results: List[BackReference] = []
+        append = results.append
+        identity = None
+        ranges: List[Tuple[int, int]] = []
+        for record in records:
+            record_identity = record[:4]
+            if record_identity != identity:
+                if identity is not None:
+                    append(BackReference(*identity, tuple(merge_adjacent_ranges(ranges))))
+                identity = record_identity
+                ranges = []
+            ranges.append((record[4], record[5]))
+        if identity is not None:
+            append(BackReference(*identity, tuple(merge_adjacent_ranges(ranges))))
+        return results
+
+    # --------------------------------------------------- materialised path
+
+    def _query_materialized(
+        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int
+    ) -> List[BackReference]:
+        """The retained pre-streaming pipeline, used below the dispatch bound.
+
+        Gathers each source's range slice as a list and runs the
+        materialising join / expansion / grouping.  With one or two candidate
+        runs the whole intermediate result is a handful of records, and the
+        flat list code beats the generator chain's per-record overhead (the
+        ``narrow_dispatch`` benchmark section quantifies this).
+        """
+        froms: List[FromRecord] = []
+        tos: List[ToRecord] = []
+        combined: List[CombinedRecord] = []
+        sinks: Dict[int, List] = {FROM_KIND: froms, TO_KIND: tos, COMBINED_KIND: combined}
+        for run in candidate_runs:
+            sinks[run.record_kind].extend(run.records_for_block_range(first_block, num_blocks))
+        froms.extend(self.ws_from.records_for_block_range(first_block, num_blocks))
+        tos.extend(self.ws_to.records_for_block_range(first_block, num_blocks))
+        if self.deletion_vector:
+            froms = list(self.deletion_vector.filter(froms))
+            tos = list(self.deletion_vector.filter(tos))
+            combined = list(self.deletion_vector.filter(combined))
+        combined_view = materialized_join(froms, tos, combined)
+        expanded = materialized_expand(combined_view, self.clone_graph)
+        masked = mask_records(expanded, self.authority)
+        return self._group(masked)
+
     def _group(self, records: Sequence[CombinedRecord]) -> List[BackReference]:
-        """Fold Combined records into one BackReference per owner."""
+        """Fold Combined records into one BackReference per owner.
+
+        The legacy grouping: a dict pass keyed by owner identity plus a final
+        sort, accepting records in any order.  The materialised fast path
+        uses it (its inputs are tiny); the streaming pipeline replaces it
+        with the single-pass :meth:`_group_sorted`.
+        """
         grouped: Dict[Tuple[int, int, int, int], List[Tuple[int, int]]] = defaultdict(list)
         for record in records:
             grouped[(record.block, record.inode, record.offset, record.line)].append(

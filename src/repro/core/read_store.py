@@ -347,8 +347,31 @@ class ReadStoreReader:
             yield from self._leaf_records(page_index)
 
     def records_for_block_range(self, first_block: int, num_blocks: int) -> List[AnyRecord]:
-        """All records whose block falls in ``[first_block, first_block + num_blocks)``."""
-        return list(self.iter_block_range(first_block, num_blocks))
+        """All records whose block falls in ``[first_block, first_block + num_blocks)``.
+
+        Materialised counterpart of :meth:`iter_block_range`, and the entry
+        point the query engine's narrow-query fast path uses: a narrow range
+        almost always lands inside a single leaf page, which this returns as
+        one list slice with no generator frames at all.
+        """
+        if num_blocks <= 0 or self.num_leaf_pages == 0:
+            return []
+        start_key = (first_block,)
+        stop_key = (first_block + num_blocks,)
+        leaf_index = self._find_leaf((first_block, 0, 0, 0, 0))
+        records = self._leaf_records(leaf_index)
+        lo = bisect_left(records, start_key)
+        hi = bisect_left(records, stop_key)
+        if hi < len(records) or leaf_index + 1 == self.num_leaf_pages:
+            return records[lo:hi]
+        result = records[lo:]
+        for page_index in range(leaf_index + 1, self.num_leaf_pages):
+            records = self._leaf_records(page_index)
+            hi = bisect_left(records, stop_key)
+            result.extend(records[:hi])
+            if hi < len(records):
+                break
+        return result
 
     def iter_block_range(self, first_block: int, num_blocks: int) -> Iterator[AnyRecord]:
         """Lazily yield the records of ``records_for_block_range``.

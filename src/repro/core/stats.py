@@ -65,6 +65,9 @@ class QueryStats:
     pages_read: int = 0
     runs_probed: int = 0
     runs_skipped_by_bloom: int = 0
+    #: Queries answered through the materialising narrow-query fast path
+    #: (candidate run count <= BacklogConfig.narrow_dispatch_max_runs).
+    narrow_fast_path_queries: int = 0
     seconds: float = 0.0
 
     @property
@@ -85,6 +88,7 @@ class QueryStats:
         self.pages_read = 0
         self.runs_probed = 0
         self.runs_skipped_by_bloom = 0
+        self.narrow_fast_path_queries = 0
         self.seconds = 0.0
 
 

@@ -1,0 +1,229 @@
+"""Deep clone-chain coverage: equivalence and memory behaviour.
+
+The incremental :func:`~repro.core.inheritance.expand_clones` generator is
+locked to the retained :func:`~repro.core.inheritance.materialized_expand`
+over randomly generated clone DAGs (hypothesis), over deep linear chains and
+branching trees, and through the full Backlog query path.  The tracemalloc
+tests assert the property the streaming rework exists for: the generator's
+transient working set stays flat as the query result grows, while the
+materialised expansion's grows linearly with it.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backlog import Backlog
+from repro.core.config import BacklogConfig
+from repro.core.inheritance import CloneGraph, expand_clones, materialized_expand
+from repro.core.records import CombinedRecord, INFINITY
+from repro.fsim.blockdev import MemoryBackend
+
+
+# --------------------------------------------------- hypothesis equivalence
+
+
+@st.composite
+def clone_graphs(draw):
+    """A random clone forest: every child clones some earlier line."""
+    num_clones = draw(st.integers(0, 6))
+    graph = CloneGraph()
+    for child in range(1, num_clones + 1):
+        parent = draw(st.integers(0, child - 1))
+        version = draw(st.integers(0, 15))
+        graph.add_clone(child, parent, version)
+    return graph
+
+
+_records = st.lists(
+    st.builds(
+        CombinedRecord,
+        st.integers(0, 8),           # block
+        st.integers(1, 3),           # inode
+        st.integers(0, 2),           # offset
+        st.integers(0, 6),           # line
+        st.integers(0, 10),          # from (0 = override)
+        st.one_of(st.integers(11, 20), st.just(INFINITY)),  # to
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(clone_graphs(), _records)
+def test_streaming_expansion_matches_materialized(graph, records):
+    """Property: identical output over random clone DAGs and record sets."""
+    expected = materialized_expand(records, graph)
+    streamed = list(expand_clones(sorted(records), graph))
+    assert streamed == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(clone_graphs(), _records, _records)
+def test_streaming_expansion_handles_duplicate_gathers(graph, records, extra):
+    """Duplicated input records (re-gathered copies) change nothing."""
+    doubled = records + records + extra
+    expected = materialized_expand(doubled, graph)
+    streamed = list(expand_clones(sorted(doubled), graph))
+    assert streamed == expected
+
+
+# ------------------------------------------------------ deep, wide chains
+
+
+def _linear_chain(depth: int, version: int = 5) -> CloneGraph:
+    graph = CloneGraph()
+    for child in range(1, depth + 1):
+        graph.add_clone(child, child - 1, version)
+    return graph
+
+
+def _parent_records(num_blocks: int) -> list:
+    return [CombinedRecord(block, 1 + block % 7, block % 3, 0, 1, INFINITY)
+            for block in range(num_blocks)]
+
+
+def test_deep_linear_chain_inherits_to_every_line():
+    depth = 32
+    graph = _linear_chain(depth)
+    records = _parent_records(10)
+    out = list(expand_clones(records, graph))
+    assert out == materialized_expand(records, graph)
+    assert len(out) == len(records) * (depth + 1)
+    assert {r.line for r in out} == set(range(depth + 1))
+
+
+def test_deep_chain_with_overrides_at_every_other_level():
+    depth = 16
+    graph = _linear_chain(depth)
+    records = [CombinedRecord(9, 1, 0, 0, 1, INFINITY)]
+    records += [CombinedRecord(9, 1, 0, line, 0, 8) for line in range(2, depth + 1, 2)]
+    out = list(expand_clones(sorted(records), graph))
+    assert out == materialized_expand(records, graph)
+    # Overridden lines keep only their override record; others inherit.
+    for line in range(2, depth + 1, 2):
+        assert CombinedRecord(9, 1, 0, line, 0, INFINITY) not in out
+    for line in range(1, depth + 1, 2):
+        assert CombinedRecord(9, 1, 0, line, 0, INFINITY) in out
+
+
+def test_branching_clone_tree():
+    """A full binary tree of clones: every leaf-to-root path inherits."""
+    graph = CloneGraph()
+    depth = 5
+    lines = 2 ** (depth + 1) - 1  # complete binary tree, line 0 is the root
+    for child in range(1, lines):
+        graph.add_clone(child, (child - 1) // 2, 5)
+    records = _parent_records(20)
+    out = list(expand_clones(records, graph))
+    assert out == materialized_expand(records, graph)
+    assert len(out) == len(records) * lines
+
+
+# ----------------------------------------------------- memory flatness
+
+
+def _streaming_peak(records, graph) -> int:
+    tracemalloc.start()
+    count = sum(1 for _ in expand_clones(iter(records), graph))
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert count == len(records) * (len(graph.all_lines()))
+    return peak
+
+
+def _materialized_peak(records, graph) -> int:
+    tracemalloc.start()
+    result = materialized_expand(records, graph)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(result) == len(records) * (len(graph.all_lines()))
+    return peak
+
+
+def test_incremental_expansion_memory_stays_flat():
+    """Streaming transient memory is flat in query width; materialised grows.
+
+    This is the acceptance property of the incremental rewrite: quadrupling
+    the number of expanded reference groups must not grow the generator's
+    working set (it holds one group at a time), while the materialised
+    expansion's peak tracks the full result size.
+    """
+    depth = 12
+    graph = _linear_chain(depth)
+    narrow = _parent_records(1500)
+    wide = _parent_records(6000)
+
+    # The generator's peak is a few KB of group state at *any* width -- far
+    # too small for its own growth ratio to be a stable signal (allocator
+    # noise dominates), so compare it against the materialised peak of the
+    # *narrower* query instead: even at 4x the width, the generator must
+    # stay well under a fraction of the smaller materialised working set.
+    # The materialised peak is megabytes and grows with the result, so its
+    # growth ratio is meaningful directly.
+    materialized_narrow = _materialized_peak(narrow, graph)
+    for records in (narrow, wide):
+        peak = _streaming_peak(records, graph)
+        assert peak * 20 < materialized_narrow, (
+            f"streaming expansion peaked at {peak} bytes "
+            f"(materialised narrow peak: {materialized_narrow})"
+        )
+    materialized_growth = _materialized_peak(wide, graph) / materialized_narrow
+    assert materialized_growth > 2.5, f"materialised expansion grew only {materialized_growth:.2f}x"
+
+
+def test_incremental_expansion_peak_is_group_sized():
+    """The generator's peak is orders of magnitude below the result size."""
+    graph = _linear_chain(12)
+    records = _parent_records(6000)
+    streaming_peak = _streaming_peak(records, graph)
+    materialized_peak = _materialized_peak(records, graph)
+    assert streaming_peak * 10 < materialized_peak, (
+        f"streaming peak {streaming_peak} vs materialised {materialized_peak}"
+    )
+
+
+# ------------------------------------------------- through the query path
+
+
+def test_backlog_query_sees_every_chain_descendant():
+    """End to end: a 20-deep clone chain answers with 21 owners per block."""
+    depth = 20
+    backlog = Backlog(backend=MemoryBackend(),
+                      config=BacklogConfig(track_timing=False))
+    backlog.add_reference(block=100, inode=2, offset=0)
+    cp = backlog.checkpoint()
+    for child in range(1, depth + 1):
+        backlog.register_clone(child, child - 1, cp)
+    refs = backlog.query(100)
+    assert len(refs) == depth + 1
+    assert {ref.line for ref in refs} == set(range(depth + 1))
+    # Inherited references cover the full version range.
+    for ref in refs:
+        if ref.line > 0:
+            assert ref.ranges == ((0, INFINITY),)
+
+
+@pytest.mark.parametrize("narrow_dispatch_max_runs", [0, 2], ids=["streaming", "dispatched"])
+def test_backlog_deep_chain_queries_agree_across_strategies(narrow_dispatch_max_runs):
+    """Both execution strategies answer deep-chain range queries identically."""
+    config = BacklogConfig(track_timing=False,
+                           narrow_dispatch_max_runs=narrow_dispatch_max_runs)
+    backlog = Backlog(backend=MemoryBackend(), config=config)
+    for block in range(64):
+        backlog.add_reference(block=block, inode=1 + block % 5, offset=block % 4)
+    cp = backlog.checkpoint()
+    for child in range(1, 16):
+        backlog.register_clone(child, child - 1, cp)
+    backlog.remove_reference(block=3, inode=1 + 3 % 5, offset=3 % 4, line=0)
+    backlog.checkpoint()
+
+    refs = backlog.query_range(0, 64)
+    assert {ref.line for ref in refs} == set(range(16))
+    # The same answer computed through the retained materialised pipeline.
+    from tests.test_streaming_equivalence import _legacy_query
+    assert refs == _legacy_query(backlog, 0, 64)

@@ -1,0 +1,72 @@
+"""The documentation suite stays executable and internally consistent.
+
+Wires ``tools/check_docs.py`` into the tier-1 suite: every ``>>>`` example
+in README.md and docs/ARCHITECTURE.md must run (the same check CI's docs
+job performs with ``python -m doctest``), and every intra-repo markdown
+link must resolve to an existing file.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402  (needs the tools/ path above)
+
+DOCUMENTS = [os.path.join(REPO_ROOT, name) for name in check_docs.DEFAULT_DOCUMENTS]
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=check_docs.DEFAULT_DOCUMENTS)
+def test_document_exists(document):
+    assert os.path.isfile(document)
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=check_docs.DEFAULT_DOCUMENTS)
+def test_doctest_examples_run(document):
+    assert check_docs.check_doctests(document) == []
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=check_docs.DEFAULT_DOCUMENTS)
+def test_intra_repo_links_resolve(document):
+    assert check_docs.check_links(document) == []
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=check_docs.DEFAULT_DOCUMENTS)
+def test_documents_have_examples_and_links(document):
+    """Guard against docs silently losing their executable examples."""
+    assert check_docs.iter_links(document), "expected intra-repo links"
+
+
+def test_checker_cli_passes_on_the_repo():
+    """The exact command CI runs must succeed from a clean environment."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_docs.py")],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_checker_flags_dead_links(tmp_path):
+    document = tmp_path / "doc.md"
+    document.write_text(
+        "[ok](doc.md) and [dead](missing/file.py)\n\n"
+        "```python\n>>> 1 + 1\n2\n\n```\n",
+        encoding="utf-8",
+    )
+    problems = check_docs.check_links(str(document))
+    assert len(problems) == 1 and "missing/file.py" in problems[0]
+    assert check_docs.check_doctests(str(document)) == []
+
+
+def test_checker_flags_broken_examples(tmp_path):
+    document = tmp_path / "doc.md"
+    document.write_text("```python\n>>> 1 + 1\n3\n\n```\n", encoding="utf-8")
+    problems = check_docs.check_doctests(str(document))
+    assert problems and "failed" in problems[0]

@@ -34,7 +34,7 @@ from repro.core.join import (
     stream_join_tables,
 )
 from repro.core.masking import ExplicitVersionAuthority, mask_records
-from repro.core.inheritance import expand_clones
+from repro.core.inheritance import materialized_expand
 from repro.core.records import CombinedRecord, FromRecord, ToRecord
 from repro.fsim.blockdev import MemoryBackend
 
@@ -179,11 +179,14 @@ def _replay(backlog: Backlog, authority: ExplicitVersionAuthority, ops: List[Tup
             raise AssertionError(f"unknown op {kind!r}")
 
 
-def _fresh_backlog(streaming_compaction: bool) -> Tuple[Backlog, ExplicitVersionAuthority]:
+def _fresh_backlog(streaming_compaction: bool,
+                   narrow_dispatch_max_runs: int = 2
+                   ) -> Tuple[Backlog, ExplicitVersionAuthority]:
     authority = ExplicitVersionAuthority()
     config = BacklogConfig(
         partition_size_blocks=64,  # small partitions: flush + compaction split
         streaming_compaction=streaming_compaction,
+        narrow_dispatch_max_runs=narrow_dispatch_max_runs,
     )
     backlog = Backlog(backend=MemoryBackend(), config=config, version_authority=authority)
     return backlog, authority
@@ -228,16 +231,24 @@ def _legacy_query(backlog: Backlog, first_block: int, num_blocks: int):
             records = list(backlog.deletion_vector.filter(records))
         sink.extend(records)
     combined_view = materialized_join(froms, tos, combined)
-    expanded = expand_clones(combined_view, backlog.clone_graph)
+    expanded = materialized_expand(combined_view, backlog.clone_graph)
     masked = mask_records(expanded, backlog.version_authority)
     return engine._group(masked)
 
 
 @pytest.mark.parametrize("seed", [1, 7, 23, 99])
-def test_streaming_query_matches_legacy_pipeline(seed):
-    """Same answers for point, narrow, wide and whole-device queries."""
+@pytest.mark.parametrize("narrow_dispatch_max_runs", [0, 2], ids=["streaming", "dispatched"])
+def test_streaming_query_matches_legacy_pipeline(seed, narrow_dispatch_max_runs):
+    """Same answers for point, narrow, wide and whole-device queries.
+
+    Run once with the narrow-query fast path disabled (every query goes
+    through the streaming generator chain) and once with the default size
+    dispatch, so both execution strategies are differentially checked
+    against the reimplemented pre-streaming pipeline.
+    """
     ops = _random_ops(seed)
-    backlog, authority = _fresh_backlog(streaming_compaction=True)
+    backlog, authority = _fresh_backlog(
+        streaming_compaction=True, narrow_dispatch_max_runs=narrow_dispatch_max_runs)
     _replay(backlog, authority, ops)
 
     blocks = _all_blocks(ops)
@@ -252,6 +263,39 @@ def test_streaming_query_matches_legacy_pipeline(seed):
     check_everywhere()           # mixed run + write-store state
     backlog.maintain()
     check_everywhere()           # pure compacted (Combined pass-through) state
+    if narrow_dispatch_max_runs == 0:
+        assert backlog.query_stats.narrow_fast_path_queries == 0
+    else:
+        # After compaction each partition holds at most a couple of runs, so
+        # at least the point queries must have taken the fast path.
+        assert backlog.query_stats.narrow_fast_path_queries > 0
+
+
+@pytest.mark.parametrize("seed", [2, 13, 57])
+def test_narrow_dispatch_matches_forced_streaming(seed):
+    """The size-dispatched engine answers exactly like a streaming-only one."""
+    ops = _random_ops(seed)
+    dispatched, auth_d = _fresh_backlog(True, narrow_dispatch_max_runs=2)
+    streaming_only, auth_s = _fresh_backlog(True, narrow_dispatch_max_runs=0)
+    _replay(dispatched, auth_d, ops)
+    _replay(streaming_only, auth_s, ops)
+
+    blocks = _all_blocks(ops)
+    queries = [(block, 1) for block in blocks] + [(0, max(blocks) + 1)]
+    for first, width in queries:
+        assert dispatched.query_range(first, width) == \
+            streaming_only.query_range(first, width)
+    assert streaming_only.query_stats.narrow_fast_path_queries == 0
+
+    dispatched.maintain()
+    streaming_only.maintain()
+    for first, width in queries:
+        assert dispatched.query_range(first, width) == \
+            streaming_only.query_range(first, width)
+    assert dispatched.query_stats.narrow_fast_path_queries > 0
+    # The per-batch reset must zero the dispatch counter with the rest.
+    dispatched.query_stats.reset()
+    assert dispatched.query_stats.narrow_fast_path_queries == 0
 
 
 # --------------------------------------------- compaction-path equivalence

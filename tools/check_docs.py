@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Documentation checker: executable snippets and intra-repo links.
+
+Runs ``doctest`` over the markdown documentation (README.md and everything
+under ``docs/``) and verifies that every relative markdown link
+``[text](path)`` points at a file or directory that actually exists.  CI's
+``docs`` job runs this (plus ``python -m doctest`` directly) and fails on
+broken examples or dead links; ``tests/test_docs.py`` wires the same checks
+into the tier-1 suite.
+
+Run with::
+
+    PYTHONPATH=src python tools/check_docs.py [FILE.md ...]
+
+With no arguments the default document set is checked.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_DOCUMENTS = ["README.md", "docs/ARCHITECTURE.md"]
+
+#: Inline markdown links; images excluded by the leading (?<!!).
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link targets that are not intra-repo file references.
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def iter_links(markdown_path: str) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` for every intra-repo link in the file."""
+    links: List[Tuple[int, str]] = []
+    with open(markdown_path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL):
+                    continue
+                links.append((line_number, target.split("#", 1)[0]))
+    return links
+
+
+def check_links(markdown_path: str) -> List[str]:
+    """Human-readable problems for every dead intra-repo link."""
+    problems = []
+    base = os.path.dirname(os.path.abspath(markdown_path))
+    for line_number, target in iter_links(markdown_path):
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            problems.append(
+                f"{markdown_path}:{line_number}: dead link -> {target}"
+            )
+    return problems
+
+
+def check_doctests(markdown_path: str) -> List[str]:
+    """Run the file's ``>>>`` examples; problems as readable strings."""
+    failures, tests = doctest.testfile(
+        os.path.abspath(markdown_path),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    if failures:
+        return [f"{markdown_path}: {failures} of {tests} doctest example(s) failed"]
+    if tests == 0:
+        # The documentation suite is expected to stay executable; a document
+        # losing all of its examples is almost certainly an editing accident.
+        return [f"{markdown_path}: no doctest examples found"]
+    return []
+
+
+def main(argv: List[str] | None = None) -> int:
+    documents = argv if argv else DEFAULT_DOCUMENTS
+    problems: List[str] = []
+    for document in documents:
+        path = document if os.path.isabs(document) else os.path.join(REPO_ROOT, document)
+        if not os.path.exists(path):
+            problems.append(f"{document}: file not found")
+            continue
+        problems.extend(check_links(path))
+        problems.extend(check_doctests(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"docs ok: {len(documents)} file(s), examples ran, links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
