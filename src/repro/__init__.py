@@ -44,10 +44,14 @@ from repro.core import (
     FromRecord,
     INFINITY,
     Partitioner,
+    QueryResult,
+    QuerySpec,
     SnapshotManagerAuthority,
     ToRecord,
     VersionAuthority,
     WriteStore,
+    decode_resume_token,
+    encode_resume_token,
     recover_backlog,
     verify_backlog,
 )
@@ -61,7 +65,7 @@ from repro.fsim import (
     SnapshotPolicy,
 )
 
-__version__ = "1.0.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "AllVersionsAuthority",
@@ -82,12 +86,16 @@ __all__ = [
     "INFINITY",
     "MemoryBackend",
     "Partitioner",
+    "QueryResult",
+    "QuerySpec",
     "ReferenceListener",
     "SnapshotManagerAuthority",
     "SnapshotPolicy",
     "ToRecord",
     "VersionAuthority",
     "WriteStore",
+    "decode_resume_token",
+    "encode_resume_token",
     "recover_backlog",
     "verify_backlog",
     "__version__",

@@ -14,19 +14,25 @@ Three metric families are produced here:
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.backlog import Backlog
+from repro.core.cursor import QuerySpec
 from repro.fsim.filesystem import FileSystem
 
 __all__ = [
     "OverheadSample",
     "SpaceSample",
     "QueryPerformancePoint",
+    "EarlyExitPoint",
+    "PaginatedScanPoint",
     "collect_overhead_series",
     "sample_space_overhead",
     "measure_query_performance",
+    "measure_early_exit",
+    "measure_paginated_scan",
 ]
 
 
@@ -166,4 +172,123 @@ def measure_query_performance(
         back_references_per_query=(
             stats.back_references_returned / queries_issued if queries_issued else 0.0
         ),
+    )
+
+
+@dataclass(frozen=True)
+class EarlyExitPoint:
+    """Full materialisation vs ``.first()`` early exit on one block range."""
+
+    queries: int
+    full_seconds: float
+    first_seconds: float
+    back_references_full: int
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the early exit answered than ``.all()``."""
+        if self.first_seconds <= 0.0:
+            return float("inf")
+        return self.full_seconds / self.first_seconds
+
+
+@dataclass(frozen=True)
+class PaginatedScanPoint:
+    """One resumable paginated scan over a block range."""
+
+    page_size: int
+    pages: int
+    back_references: int
+    seconds: float
+    max_page_length: int
+
+    @property
+    def back_references_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.back_references / self.seconds
+
+
+def measure_early_exit(
+    backlog: Backlog,
+    first_block: int,
+    num_blocks: int,
+    num_queries: int = 3,
+    clear_caches: bool = True,
+) -> EarlyExitPoint:
+    """Time ``select(spec).first()`` against full materialisation.
+
+    The cursor benchmark's existence-check shape: a maintenance utility
+    asking "is *anything* referencing this range?" should pay for one
+    reference group, not for assembling the whole answer.  Both sides run
+    the same spec; caches are cleared before each side so the comparison is
+    I/O-fair.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    spec = QuerySpec(first_block=first_block, num_blocks=num_blocks)
+
+    if clear_caches:
+        backlog.clear_caches()
+    start = time.perf_counter()
+    back_references = 0
+    for _ in range(num_queries):
+        back_references = len(backlog.select(spec).all())
+    full_seconds = time.perf_counter() - start
+
+    if clear_caches:
+        backlog.clear_caches()
+    start = time.perf_counter()
+    for _ in range(num_queries):
+        backlog.select(spec).first()
+    first_seconds = time.perf_counter() - start
+
+    return EarlyExitPoint(
+        queries=num_queries,
+        full_seconds=full_seconds,
+        first_seconds=first_seconds,
+        back_references_full=back_references,
+    )
+
+
+def measure_paginated_scan(
+    backlog: Backlog,
+    first_block: int,
+    num_blocks: int,
+    page_size: int,
+    clear_caches: bool = True,
+) -> PaginatedScanPoint:
+    """Drive a whole-range scan through resume-token pagination.
+
+    Issues ``limit=page_size`` cursors in a resume loop until exhaustion --
+    the access pattern a multi-user API front end produces -- and reports
+    page counts and throughput.  Transient memory stays flat in the range
+    width because no page ever exceeds ``page_size`` back references (the
+    ``cursor`` benchmark section measures that directly with tracemalloc).
+    """
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    if clear_caches:
+        backlog.clear_caches()
+    base = QuerySpec(first_block=first_block, num_blocks=num_blocks, limit=page_size)
+    pages = 0
+    back_references = 0
+    max_page_length = 0
+    token: Optional[str] = None
+    start = time.perf_counter()
+    while True:
+        result = backlog.select(base.after(token))
+        page_length = result.count()
+        pages += 1
+        back_references += page_length
+        max_page_length = max(max_page_length, page_length)
+        token = result.resume_token
+        if token is None:
+            break
+    return PaginatedScanPoint(
+        page_size=page_size,
+        pages=pages,
+        back_references=back_references,
+        seconds=time.perf_counter() - start,
+        max_page_length=max_page_length,
     )

@@ -7,6 +7,7 @@ command line tool for quick, ad-hoc runs::
     python -m repro synthetic --cps 50 --ops-per-cp 2000
     python -m repro nfs --hours 24
     python -m repro query-bench --cps 30 --run-length 64
+    python -m repro query --first-block 0 --num-blocks 4096 --live-only --limit 20
     python -m repro verify --cps 10
 
 Each subcommand builds a fresh simulated file system with Backlog attached,
@@ -25,8 +26,10 @@ from repro import (
     BacklogConfig,
     FileSystem,
     FileSystemConfig,
+    QuerySpec,
     SnapshotManagerAuthority,
 )
+from repro.core.records import INFINITY
 from repro.analysis.metrics import (
     collect_overhead_series,
     measure_query_performance,
@@ -144,6 +147,69 @@ def _cmd_query_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_ranges(ranges) -> str:
+    """Render version ranges compactly; INFINITY prints as ``live``."""
+    return ", ".join(
+        f"[{start}, {'live' if stop == INFINITY else stop})" for start, stop in ranges
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Run a workload, then answer one cursor query over the result.
+
+    The workload is seeded and deterministic, so a resume token printed by
+    one invocation can be passed back via ``--resume`` to the next one with
+    the same workload flags -- the CLI equivalent of a paginated API client.
+    """
+    fs, backlog = _build_system()
+    workload = SyntheticWorkload(SyntheticWorkloadConfig(
+        num_cps=args.cps, ops_per_cp=args.ops_per_cp, seed=args.seed,
+    ))
+    workload.run(fs)
+    if args.maintain:
+        backlog.maintain()
+
+    try:
+        spec = QuerySpec(
+            first_block=args.first_block,
+            num_blocks=args.num_blocks,
+            live_only=args.live_only,
+            lines=frozenset(args.line) if args.line else None,
+            inodes=frozenset(args.inode) if args.inode else None,
+            limit=args.limit,
+            resume_token=args.resume,
+        )
+        if args.at_version is not None:
+            spec = spec.at_version(args.at_version)
+    except ValueError as error:
+        print(f"invalid query: {error}", file=sys.stderr)
+        return 2
+
+    result = backlog.select(spec)
+    if args.count:
+        print(f"back references: {result.count()}")
+    else:
+        rows = [
+            [ref.block, ref.inode, ref.offset, ref.line,
+             "yes" if ref.is_live else "no", _format_ranges(ref.ranges)]
+            for ref in result
+        ]
+        print(format_table(
+            f"Owners of blocks [{args.first_block}, "
+            f"{args.first_block + args.num_blocks})",
+            ["block", "inode", "offset", "line", "live", "version ranges"],
+            rows,
+        ))
+        print(f"\n{len(rows)} back reference(s)"
+              + (f" (limit {args.limit})" if args.limit else ""))
+    token = result.resume_token
+    if token is not None:
+        print(f"resume token: {token}")
+    elif result.exhausted:
+        print("scan exhausted: no further pages")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     fs, backlog = _build_system()
     workload = SyntheticWorkload(SyntheticWorkloadConfig(
@@ -194,6 +260,31 @@ def build_parser() -> argparse.ArgumentParser:
     query_bench.add_argument("--run-length", type=int, default=64)
     query_bench.add_argument("--queries", type=int, default=512)
     query_bench.set_defaults(func=_cmd_query_bench)
+
+    query = subparsers.add_parser(
+        "query", help="run one cursor query (filters, limit, resumable pagination)")
+    common(query, cps_default=10, ops_default=500)
+    query.add_argument("--first-block", type=int, default=0,
+                       help="first physical block of the queried range")
+    query.add_argument("--num-blocks", type=int, default=1,
+                       help="number of physical blocks in the range")
+    query.add_argument("--at-version", type=int, default=None,
+                       help="only owners whose reference existed at this CP")
+    query.add_argument("--live-only", action="store_true",
+                       help="only owners still referencing the block(s) live")
+    query.add_argument("--line", type=int, action="append", default=None,
+                       help="restrict to this line (repeatable)")
+    query.add_argument("--inode", type=int, action="append", default=None,
+                       help="restrict to this inode (repeatable)")
+    query.add_argument("--limit", type=int, default=None,
+                       help="page size: stop after N owners and print a resume token")
+    query.add_argument("--resume", type=str, default=None,
+                       help="resume token from a previous page")
+    query.add_argument("--count", action="store_true",
+                       help="print only the number of matching owners")
+    query.add_argument("--maintain", action="store_true",
+                       help="run database maintenance before querying")
+    query.set_defaults(func=_cmd_query)
 
     verify = subparsers.add_parser("verify", help="run a workload and verify the database")
     common(verify, cps_default=10, ops_default=500)

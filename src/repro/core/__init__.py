@@ -4,6 +4,12 @@ from repro.core.backlog import Backlog
 from repro.core.bloom import BloomFilter
 from repro.core.compaction import Compactor, PartitionCompactionResult
 from repro.core.config import BacklogConfig
+from repro.core.cursor import (
+    QueryResult,
+    QuerySpec,
+    decode_resume_token,
+    encode_resume_token,
+)
 from repro.core.deletion_vector import DeletionVector
 from repro.core.inheritance import CloneGraph, expand_clones, materialized_expand
 from repro.core.join import (
@@ -58,6 +64,8 @@ __all__ = [
     "PartitionCompactionResult",
     "Partitioner",
     "QueryEngine",
+    "QueryResult",
+    "QuerySpec",
     "QueryStats",
     "ReadStoreReader",
     "ReadStoreWriter",
@@ -69,6 +77,8 @@ __all__ = [
     "VersionAuthority",
     "WriteStore",
     "combine_for_query",
+    "decode_resume_token",
+    "encode_resume_token",
     "expand_clones",
     "iter_mask_records",
     "join_tables",

@@ -22,6 +22,13 @@ expansion, single-pass grouping -- with a size-dispatched materialised fast
 path for narrow queries (see :mod:`repro.core.query` and
 ``docs/ARCHITECTURE.md`` for the full walk of the record lifecycle).
 
+The primary query entry point is :meth:`select`: a declarative
+:class:`~repro.core.cursor.QuerySpec` in, a lazy
+:class:`~repro.core.cursor.QueryResult` cursor out, with filters and limits
+pushed into the pipeline and resumable pagination via opaque tokens.  The
+four legacy list methods (:meth:`query`, :meth:`query_range`,
+:meth:`owners_at_version`, :meth:`live_owners`) are thin shims over it.
+
 Example
 -------
 >>> from repro import Backlog
@@ -44,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.compaction import Compactor
 from repro.core.config import BacklogConfig
+from repro.core.cursor import QueryResult, QuerySpec
 from repro.core.deletion_vector import DeletionVector
 from repro.core.inheritance import CloneGraph
 from repro.core.lsm import RunManager
@@ -217,21 +225,39 @@ class Backlog(ReferenceListener):
 
     # ------------------------------------------------------------- queries
 
+    def select(self, spec: Optional[QuerySpec] = None, /, **kwargs) -> QueryResult:
+        """Open a lazy cursor over the owners described by ``spec``.
+
+        The primary query entry point: pass a prebuilt
+        :class:`~repro.core.cursor.QuerySpec`, or its fields as keyword
+        arguments (``backlog.select(first_block=0, num_blocks=64,
+        live_only=True)``).  Nothing is read until the returned
+        :class:`~repro.core.cursor.QueryResult` is driven; see
+        :mod:`repro.core.cursor` for iteration, the terminal helpers and the
+        resume-token pagination contract.  The four legacy list methods below
+        are thin shims over this.
+        """
+        if spec is None:
+            spec = QuerySpec(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a QuerySpec or keyword fields, not both")
+        return QueryResult(self._query_engine, spec)
+
     def query(self, block: int) -> List[BackReference]:
         """All owners of one physical block (across snapshots and clones)."""
-        return self._query_engine.query_block(block)
+        return self.select(QuerySpec(block)).all()
 
     def query_range(self, first_block: int, num_blocks: int) -> List[BackReference]:
         """All owners of a contiguous range of physical blocks."""
-        return self._query_engine.query_range(first_block, num_blocks)
+        return self.select(QuerySpec(first_block, num_blocks)).all()
 
     def owners_at_version(self, block: int, version: int) -> List[BackReference]:
         """Owners of ``block`` at a specific consistency point."""
-        return self._query_engine.owners_at_version(block, version)
+        return self.select(QuerySpec(block).at_version(version)).all()
 
     def live_owners(self, block: int) -> List[BackReference]:
         """Owners of ``block`` in the live file system."""
-        return self._query_engine.live_owners(block)
+        return self.select(QuerySpec(block).live()).all()
 
     @property
     def query_stats(self):
@@ -257,9 +283,16 @@ class Backlog(ReferenceListener):
         ``add_reference`` updates for the new location (a file system does
         this naturally when it rewrites the pointers); ``new_block`` is
         accepted for symmetry and documentation purposes only.
+
+        Suppression streams through the cursor surface: each owner identity
+        is suppressed as the pipeline yields it, so no result list is ever
+        materialised.  (Mutating the deletion vector mid-iteration is safe:
+        the pipeline only consults it for records it has not yet gathered,
+        and every identity is suppressed strictly *after* all of its records
+        have been consumed and folded.)
         """
         suppressed = 0
-        for ref in self.query(old_block):
+        for ref in self.select(QuerySpec(old_block)):
             self.deletion_vector.suppress(ref.block, ref.inode, ref.offset, ref.line)
             suppressed += 1
         return suppressed

@@ -62,7 +62,7 @@ Streaming contract of :func:`expand_clones`
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import AbstractSet, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.records import CombinedRecord, INFINITY
 
@@ -198,6 +198,8 @@ def _expand_group(
 def expand_clones(
     records: Iterable[CombinedRecord],
     clone_graph: CloneGraph,
+    *,
+    line_filter: Optional[AbstractSet[int]] = None,
 ) -> Iterator[CombinedRecord]:
     """Incrementally expand a *sorted* Combined stream with inherited records.
 
@@ -207,13 +209,22 @@ def expand_clones(
     contiguous -- runs the iterative inheritance algorithm of §4.2.2 on one
     group at a time and yields the expanded groups in order.  Holds one
     group, never the whole result; output is sorted and deduplicated.
+
+    ``line_filter`` is the cursor API's filter pushdown: only records whose
+    line is in the set are *yielded*, so filtered lines never reach the
+    masking and grouping stages.  The filter cannot be applied any earlier:
+    every record of a group still participates in inheritance resolution
+    (a filtered parent line may make a reference visible in a clone line the
+    caller did ask for), so the fixpoint always runs over the full group and
+    the filter cuts the emitted stream only.
     """
     if not clone_graph:
         # No clones anywhere: the expansion is a pure dedup pass-through.
         previous = None
         for record in records:
             if record != previous:
-                yield record
+                if line_filter is None or record[3] in line_filter:
+                    yield record
                 previous = record
         return
     children_map = clone_graph.children_map()
@@ -223,14 +234,23 @@ def expand_clones(
     for record in records:
         if record[0] != g_block or record[1] != g_inode or record[2] != g_offset:
             if group:
-                yield from _expand_group(group, children_map)
+                yield from _filtered(_expand_group(group, children_map), line_filter)
             group = [record]
             g_block, g_inode, g_offset = record[0], record[1], record[2]
         elif record != previous:
             group.append(record)
         previous = record
     if group:
-        yield from _expand_group(group, children_map)
+        yield from _filtered(_expand_group(group, children_map), line_filter)
+
+
+def _filtered(
+    group: List[CombinedRecord], line_filter: Optional[AbstractSet[int]]
+) -> Iterable[CombinedRecord]:
+    """Apply the line pushdown to one expanded group (no-op when unset)."""
+    if line_filter is None:
+        return group
+    return [record for record in group if record[3] in line_filter]
 
 
 def materialized_expand(

@@ -53,7 +53,7 @@ the merge-join instead of re-grouping through a dict.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import AbstractSet, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.records import CombinedRecord, FromRecord, INFINITY, ReferenceKey, ToRecord
 
@@ -160,6 +160,8 @@ def merge_join_for_query(
     froms: Iterable[FromRecord],
     tos: Iterable[ToRecord],
     combined: Iterable[CombinedRecord] = (),
+    *,
+    inode_filter: Optional[AbstractSet[int]] = None,
 ) -> Iterator[CombinedRecord]:
     """Streaming Combined view over *sorted* record iterators.
 
@@ -167,8 +169,17 @@ def merge_join_for_query(
     (fully sorted) order, but holds only one join key's records in memory at
     a time.  Live references appear with ``to = INFINITY``; pre-joined
     Combined records pass through and are interleaved in sort order.
+
+    ``inode_filter`` is the cursor API's filter pushdown: join keys whose
+    inode is not in the set are dropped *before* any CP-list joining, clone
+    expansion, masking or grouping happens.  Dropping whole keys here is
+    exact -- clone expansion groups by ``(block, inode, offset)`` and never
+    synthesizes records for a different inode, so a filtered key cannot
+    influence any surviving owner.
     """
     for key, from_group, to_group, combined_group in _iter_key_groups(froms, tos, combined):
+        if inode_filter is not None and key[1] not in inode_filter:
+            continue
         if not to_group:
             if not from_group:
                 # Pure pass-through key: pre-joined records, already sorted.

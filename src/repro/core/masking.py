@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.core.records import CombinedRecord
-from repro.util.intervals import intersect_ranges
+from repro.util.intervals import any_version_in
 
 __all__ = [
     "VersionAuthority",
@@ -109,14 +109,17 @@ def iter_mask_records(
     order, so a sorted stream (as the streaming query pipeline produces)
     stays sorted.  The authority is consulted once per distinct line, not
     once per record; the generator reads exactly one record ahead of what it
-    has yielded.
+    has yielded.  The per-record survival test is a direct bisect over the
+    line's valid versions (:func:`repro.util.intervals.any_version_in`) --
+    no per-record list allocation on the query hot path.
     """
     cache: Dict[int, Optional[Sequence[int]]] = {}
     for record in records:
-        if record.line not in cache:
-            cache[record.line] = authority.valid_versions(record.line)
-        valid = cache[record.line]
-        if valid is None or intersect_ranges([(record.from_cp, record.to_cp)], valid):
+        line = record[3]
+        if line not in cache:
+            cache[line] = authority.valid_versions(line)
+        valid = cache[line]
+        if valid is None or any_version_in(valid, record[4], record[5]):
             yield record
 
 

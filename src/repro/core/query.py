@@ -42,20 +42,45 @@ Both strategies return identical answers; the differential suite
 (``tests/test_streaming_equivalence.py``) locks them together and
 ``benchmarks/bench_hotpath.py`` (``narrow_dispatch`` section) tracks the
 reclaimed constant factor.
+
+On top of both sits the cursor surface (:meth:`QueryEngine.open_cursor`,
+described by :class:`repro.core.cursor.QuerySpec`): a lazy generator of
+:class:`~repro.core.records.BackReference` results with the spec's filters
+pushed into the pipeline stages --
+
+* the **inode filter** below the merge-join (whole join keys skipped before
+  any joining), the **line filter** into clone expansion (filtered lines
+  never reach masking or grouping);
+* the **version window** and **live-only** predicates into the single
+  grouping pass, where an owner's ranges first exist -- owners are decided
+  and dropped one at a time instead of post-filtering a materialised list;
+* the **limit** and terminal helpers such as ``.first()`` ride the chain's
+  laziness: abandoning the generator stops the gather step mid-run, so an
+  early exit reads only the pages behind the results actually emitted;
+* a **resume token** re-enters the key-ordered pipeline at the interrupted
+  reference group (``start_key`` pushdown into the per-run page iterators),
+  never re-reading partitions or leaves before it.
+
+The same dispatch applies: a narrow resumed/filtered cursor is answered by
+filtering the materialised fast path's small list, and the differential
+suite holds cursor answers identical to the legacy list surface.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
+from bisect import bisect_left
 from collections import defaultdict
+from itertools import chain
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import BacklogConfig
+from repro.core.cursor import QuerySpec
 from repro.core.deletion_vector import DeletionVector
 from repro.core.inheritance import CloneGraph, expand_clones, materialized_expand
 from repro.core.join import materialized_join, merge_join_for_query
-from repro.core.lsm import RunManager
+from repro.core.lsm import RunManager, parse_run_name
 from repro.core.masking import VersionAuthority, iter_mask_records, mask_records
 from repro.core.partitioning import Partitioner
 from repro.core.read_store import RECORD_KINDS, ReadStoreReader
@@ -128,10 +153,7 @@ class QueryEngine:
         reads_before = self.backend.stats.pages_read
 
         candidate_runs = self._candidate_runs(first_block, num_blocks)
-        max_runs = self.config.narrow_dispatch_max_runs
-        if max_runs and len(candidate_runs) <= max_runs \
-                and num_blocks <= NARROW_QUERY_MAX_BLOCKS:
-            self.stats.narrow_fast_path_queries += 1
+        if self._dispatch_narrow(candidate_runs, num_blocks):
             results = self._query_materialized(candidate_runs, first_block, num_blocks)
         else:
             results = self._query_streaming(candidate_runs, first_block, num_blocks)
@@ -150,7 +172,149 @@ class QueryEngine:
         """Owners of ``block`` in the live file system (any line)."""
         return [ref for ref in self.query_block(block) if ref.is_live]
 
+    # -------------------------------------------------------------- cursors
+
+    def open_cursor(self, spec: QuerySpec, *,
+                    reopened: bool = False) -> Iterator[BackReference]:
+        """A lazy generator of the owners described by ``spec``.
+
+        The entry point behind :meth:`repro.core.backlog.Backlog.select`:
+        results stream out in ``(block, inode, offset, line)`` order with the
+        spec's filters pushed into the pipeline (see the module docstring).
+        Abandoning the generator (``close()``, or just dropping it) is the
+        early exit -- nothing past the last emitted owner is read.  Query
+        statistics are finalised when the generator finishes or is closed;
+        ``reopened`` marks a re-entry of a logical cursor that was already
+        counted (a :class:`~repro.core.cursor.QueryResult` continuing after
+        an early release), so it accumulates work done -- results, pages,
+        seconds -- without counting another query.
+        """
+        resume_key = spec.resume_key
+        if resume_key is None:
+            first_block, num_blocks = spec.first_block, spec.num_blocks
+            start_key = None
+        else:
+            # Resume pushdown: re-enter at the interrupted owner's reference
+            # group.  The group boundary -- not the owner itself -- is the
+            # correct seek target because clone expansion resolves
+            # inheritance from the *whole* ``(block, inode, offset)`` group;
+            # owners at or before the resume identity are skipped after
+            # expansion, in the grouping pass.
+            first_block = resume_key.block
+            num_blocks = spec.first_block + spec.num_blocks - resume_key.block
+            start_key = (resume_key.block, resume_key.inode, resume_key.offset, 0, 0)
+        return self._cursor_iter(spec, resume_key, first_block, num_blocks,
+                                 start_key, reopened)
+
+    def _cursor_iter(
+        self,
+        spec: QuerySpec,
+        resume_key: Optional[Tuple[int, int, int, int]],
+        first_block: int,
+        num_blocks: int,
+        start_key: Optional[Tuple[int, ...]],
+        reopened: bool,
+    ) -> Iterator[BackReference]:
+        """The cursor generator: dispatch, owner filters, limit, stats.
+
+        Wall-clock accounting covers only the time spent *inside* the
+        generator (the interval between a pull and its yield), so a consumer
+        that thinks between pages does not inflate ``QueryStats.seconds``.
+        Page-read accounting samples the backend counter at open and at
+        finalisation; interleaving other queries while a cursor is open
+        attributes their reads to whichever finishes last.
+        """
+        stats = self.stats
+        backend_stats = self.backend.stats
+        reads_before = backend_stats.pages_read
+        emitted = 0
+        elapsed = 0.0
+        window = spec.version_window
+        started = time.perf_counter()
+        try:
+            candidate_runs = self._candidate_runs(first_block, num_blocks)
+            if self._dispatch_narrow(candidate_runs, num_blocks, count=not reopened):
+                # The materialised fast path already returns a small, fully
+                # grouped list; the record-level pushdowns would not pay for
+                # themselves, so the spec's filters apply per owner below.
+                refs: Iterable[BackReference] = self._query_materialized(
+                    candidate_runs, first_block, num_blocks
+                )
+            else:
+                refs = self._iter_group_sorted(self._cursor_records(
+                    candidate_runs, first_block, num_blocks, start_key, spec
+                ))
+            for ref in refs:
+                if resume_key is not None and ref[:4] <= resume_key:
+                    continue
+                if spec.inodes is not None and ref[1] not in spec.inodes:
+                    continue
+                if spec.lines is not None and ref[3] not in spec.lines:
+                    continue
+                if spec.live_only and not ref.is_live:
+                    continue
+                if window is not None and not any(
+                    start < window[1] and window[0] < stop for start, stop in ref.ranges
+                ):
+                    continue
+                emitted += 1
+                elapsed += time.perf_counter() - started
+                # ``None`` marks the generator as suspended at the yield: if
+                # the consumer closes (or drops) the cursor while it sits
+                # there, the finally block must not charge the time the
+                # consumer spent holding it.
+                started = None
+                yield ref
+                started = time.perf_counter()
+                if spec.limit is not None and emitted >= spec.limit:
+                    return
+        finally:
+            if started is not None:
+                elapsed += time.perf_counter() - started
+            if not reopened:
+                stats.queries += 1
+                stats.cursors_opened += 1
+            stats.back_references_returned += emitted
+            stats.pages_read += backend_stats.pages_read - reads_before
+            stats.seconds += elapsed
+
+    def _cursor_records(
+        self,
+        candidate_runs: List[ReadStoreReader],
+        first_block: int,
+        num_blocks: int,
+        start_key: Optional[Tuple[int, ...]],
+        spec: QuerySpec,
+    ) -> Iterator[CombinedRecord]:
+        """The streaming record pipeline with the spec's pushdowns applied."""
+        froms, tos, combined = self._gather(
+            candidate_runs, first_block, num_blocks, start_key
+        )
+        combined_view = merge_join_for_query(
+            froms, tos, combined, inode_filter=spec.inodes
+        )
+        expanded = expand_clones(combined_view, self.clone_graph, line_filter=spec.lines)
+        return iter_mask_records(expanded, self.authority)
+
     # ------------------------------------------------------------ internals
+
+    def _dispatch_narrow(self, candidate_runs: List[ReadStoreReader],
+                         num_blocks: int, count: bool = True) -> bool:
+        """The size dispatch, shared by the list and cursor surfaces.
+
+        True sends the query to the materialised fast path; False keeps it
+        on the streaming chain.  One definition on purpose: the two surfaces
+        must never dispatch the same range differently.  ``count=False``
+        suppresses the fast-path counter for pipeline re-entries that were
+        already counted (a reopened cursor), mirroring the query counter.
+        """
+        max_runs = self.config.narrow_dispatch_max_runs
+        if max_runs and len(candidate_runs) <= max_runs \
+                and num_blocks <= NARROW_QUERY_MAX_BLOCKS:
+            if count:
+                self.stats.narrow_fast_path_queries += 1
+            return True
+        return False
 
     def _candidate_runs(self, first_block: int, num_blocks: int) -> List[ReadStoreReader]:
         """The runs whose Bloom filters admit the block range (step 1)."""
@@ -179,7 +343,8 @@ class QueryEngine:
         return self._group_sorted(masked)
 
     def _gather(
-        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int
+        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int,
+        start_key: Optional[Tuple[int, ...]] = None,
     ) -> Tuple[Iterator[FromRecord], Iterator[ToRecord], Iterator[CombinedRecord]]:
         """Sorted, lazily merged record streams for the block range.
 
@@ -188,30 +353,72 @@ class QueryEngine:
         ``heapq.merge`` (every source is sorted identically), so the join can
         consume one sorted stream per table without the old per-query
         re-grouping or any whole-range record lists.
+
+        ``start_key`` (cursor resume pushdown) begins every source at the
+        first record at or past the key instead of the start of the range.
+
+        Runs are merged *per partition* and the partition merges are chained
+        lazily: partitions cover disjoint, ascending block ranges, so the
+        chain is globally sorted, and a later partition's runs are not even
+        opened until the scan reaches them.  That is what keeps an early exit
+        (``.first()``, a page-limited cursor) from decoding one leaf of every
+        run on the device just to prime a single whole-range heap, and what
+        bounds the streaming pipeline's transient memory by one open page per
+        probed run *of the active partition*.
         """
         # Dispatch on the numeric record kind: the ``table`` property does a
         # name lookup per call, which adds up over many candidate runs.
-        sources: Dict[int, List[Iterator]] = {FROM_KIND: [], TO_KIND: [], COMBINED_KIND: []}
+        # Candidate runs arrive partition-ordered (the run manager walks the
+        # ascending partition list), so grouping is a linear scan.
+        sources: Dict[int, List[List[Iterator]]] = \
+            {FROM_KIND: [], TO_KIND: [], COMBINED_KIND: []}
+        last_partition: Optional[int] = None
         for run in candidate_runs:
-            sources[run.record_kind].append(run.iter_block_range(first_block, num_blocks))
+            parsed = parse_run_name(run.name)
+            partition = parsed[0] if parsed is not None else None
+            if partition != last_partition or not sources[run.record_kind]:
+                for buckets in sources.values():
+                    buckets.append([])
+                last_partition = partition
+            sources[run.record_kind][-1].append(
+                run.iter_block_range(first_block, num_blocks, start_key)
+            )
         ws_from_records = self.ws_from.records_for_block_range(first_block, num_blocks)
-        if ws_from_records:
-            sources[FROM_KIND].append(iter(ws_from_records))
+        if start_key is not None and ws_from_records:
+            ws_from_records = ws_from_records[bisect_left(ws_from_records, start_key):]
         ws_to_records = self.ws_to.records_for_block_range(first_block, num_blocks)
-        if ws_to_records:
-            sources[TO_KIND].append(iter(ws_to_records))
+        if start_key is not None and ws_to_records:
+            ws_to_records = ws_to_records[bisect_left(ws_to_records, start_key):]
 
         return (
-            self._merge_sources(sources[FROM_KIND]),
-            self._merge_sources(sources[TO_KIND]),
-            self._merge_sources(sources[COMBINED_KIND]),
+            self._merge_sources(sources[FROM_KIND], ws_from_records),
+            self._merge_sources(sources[TO_KIND], ws_to_records),
+            self._merge_sources(sources[COMBINED_KIND], None),
         )
 
-    def _merge_sources(self, iterators: List[Iterator]) -> Iterator:
-        """Merge sorted record sources and filter deletion-vector suppressions."""
-        if not iterators:
-            return iter(())
-        merged = iterators[0] if len(iterators) == 1 else heapq.merge(*iterators)
+    def _merge_sources(self, partition_buckets: List[List[Iterator]],
+                       write_store_records: Optional[List]) -> Iterator:
+        """One sorted stream per table: lazily chained per-partition merges.
+
+        Each partition's run iterators merge through ``heapq.merge``; the
+        per-partition streams are concatenated with ``chain.from_iterable``
+        (sound because partitions hold disjoint ascending block ranges) and
+        the write store's snapshot slice -- which can span partitions -- is
+        folded in with one binary merge on top.  Deletion-vector
+        suppressions are filtered on the combined stream.
+        """
+        merged_partitions = [
+            bucket[0] if len(bucket) == 1 else heapq.merge(*bucket)
+            for bucket in partition_buckets if bucket
+        ]
+        if not merged_partitions:
+            merged: Iterator = iter(())
+        elif len(merged_partitions) == 1:
+            merged = merged_partitions[0]
+        else:
+            merged = chain.from_iterable(merged_partitions)
+        if write_store_records:
+            merged = heapq.merge(merged, iter(write_store_records))
         if self.deletion_vector:
             return self.deletion_vector.filter(merged)
         return merged
@@ -240,6 +447,32 @@ class QueryEngine:
         if identity is not None:
             append(BackReference(*identity, tuple(merge_adjacent_ranges(ranges))))
         return results
+
+    def _iter_group_sorted(
+        self, records: Iterable[CombinedRecord]
+    ) -> Iterator[BackReference]:
+        """Generator form of :meth:`_group_sorted` for the cursor pipeline.
+
+        Same single-pass fold over a sorted Combined stream, but each
+        BackReference is *yielded* the moment its owner's records end instead
+        of being appended to a result list -- which is what lets a cursor's
+        limit or an abandoned ``.first()`` stop the whole generator chain
+        after one reference group.  (:meth:`_group_sorted` stays a plain loop
+        because the wide-query list path is benchmarked without the per-owner
+        generator overhead; the differential suite locks the two together.)
+        """
+        identity = None
+        ranges: List[Tuple[int, int]] = []
+        for record in records:
+            record_identity = record[:4]
+            if record_identity != identity:
+                if identity is not None:
+                    yield BackReference(*identity, tuple(merge_adjacent_ranges(ranges)))
+                identity = record_identity
+                ranges = []
+            ranges.append((record[4], record[5]))
+        if identity is not None:
+            yield BackReference(*identity, tuple(merge_adjacent_ranges(ranges)))
 
     # --------------------------------------------------- materialised path
 

@@ -373,21 +373,33 @@ class ReadStoreReader:
                 break
         return result
 
-    def iter_block_range(self, first_block: int, num_blocks: int) -> Iterator[AnyRecord]:
+    def iter_block_range(self, first_block: int, num_blocks: int,
+                         start_key: Optional[Tuple[int, ...]] = None) -> Iterator[AnyRecord]:
         """Lazily yield the records of ``records_for_block_range``.
 
         Decodes one leaf page at a time, so a wide range query merging many
         runs holds O(pages currently open) records instead of every run's
         full result list.
+
+        ``start_key`` (a record sort-key prefix ``>= (first_block,)``) begins
+        the scan at the first record at or past that key instead of the start
+        of the block range; the cursor API's resume pushdown uses it to
+        re-enter a paginated scan at the interrupted reference group without
+        re-reading the leaves before it.
         """
         if num_blocks <= 0 or self.num_leaf_pages == 0:
             return
-        start_key = (first_block,)
+        if start_key is None:
+            seek = (first_block, 0, 0, 0, 0)
+            lo_key: Tuple[int, ...] = (first_block,)
+        else:
+            seek = tuple(start_key) + (0,) * (5 - len(start_key))
+            lo_key = start_key
         stop_key = (first_block + num_blocks,)
-        leaf_index = self._find_leaf((first_block, 0, 0, 0, 0))
+        leaf_index = self._find_leaf(seek)
         for page_index in range(leaf_index, self.num_leaf_pages):
             records = self._leaf_records(page_index)
-            lo = bisect_left(records, start_key) if page_index == leaf_index else 0
+            lo = bisect_left(records, lo_key) if page_index == leaf_index else 0
             hi = bisect_left(records, stop_key)
             yield from records[lo:hi]
             if hi < len(records):

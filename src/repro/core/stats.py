@@ -68,6 +68,9 @@ class QueryStats:
     #: Queries answered through the materialising narrow-query fast path
     #: (candidate run count <= BacklogConfig.narrow_dispatch_max_runs).
     narrow_fast_path_queries: int = 0
+    #: Queries answered through the cursor surface (``Backlog.select`` /
+    #: ``QueryEngine.open_cursor``); each cursor counts as one query.
+    cursors_opened: int = 0
     seconds: float = 0.0
 
     @property
@@ -89,6 +92,7 @@ class QueryStats:
         self.runs_probed = 0
         self.runs_skipped_by_bloom = 0
         self.narrow_fast_path_queries = 0
+        self.cursors_opened = 0
         self.seconds = 0.0
 
 

@@ -23,6 +23,7 @@ from typing import Iterable, List, Sequence, Tuple
 __all__ = [
     "INFINITY",
     "VersionRange",
+    "any_version_in",
     "intersect_ranges",
     "merge_adjacent_ranges",
     "subtract_versions",
@@ -102,13 +103,19 @@ def intersect_ranges(
         # start <= v < stop.  We keep the original boundaries (the caller may
         # want to know the true allocation lifetime) but drop fully dead
         # ranges.
-        if _any_version_in(versions, start, stop):
+        if any_version_in(versions, start, stop):
             result.append((start, stop))
     return result
 
 
-def _any_version_in(versions: Sequence[int], start: int, stop: int) -> bool:
-    """Binary search: is there a retained version v with start <= v < stop?"""
+def any_version_in(versions: Sequence[int], start: int, stop: int) -> bool:
+    """Binary search: is there a retained version v with start <= v < stop?
+
+    The single-range masking primitive: the streaming query pipeline calls
+    this once per record (via :func:`repro.core.masking.iter_mask_records`)
+    instead of wrapping each record's range in a one-element list for
+    :func:`intersect_ranges`.
+    """
     lo, hi = 0, len(versions)
     while lo < hi:
         mid = (lo + hi) // 2
@@ -117,6 +124,10 @@ def _any_version_in(versions: Sequence[int], start: int, stop: int) -> bool:
         else:
             hi = mid
     return lo < len(versions) and versions[lo] < stop
+
+
+#: Backwards-compatible private alias (pre-cursor-API name).
+_any_version_in = any_version_in
 
 
 def merge_adjacent_ranges(ranges: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:

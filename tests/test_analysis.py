@@ -8,6 +8,8 @@ import pytest
 
 from repro.analysis.metrics import (
     collect_overhead_series,
+    measure_early_exit,
+    measure_paginated_scan,
     measure_query_performance,
     sample_space_overhead,
 )
@@ -67,6 +69,36 @@ class TestQueryPerformance:
             measure_query_performance(backlog, [1], run_length=0, num_queries=1)
         with pytest.raises(ValueError):
             measure_query_performance(backlog, [], run_length=1, num_queries=1)
+
+
+class TestCursorMetrics:
+    def _populated(self, system):
+        fs, backlog = system
+        for _ in range(3):
+            fs.create_file(num_blocks=40)
+            fs.take_consistency_point()
+        return fs, backlog
+
+    def test_measure_early_exit(self, system):
+        _, backlog = self._populated(system)
+        point = measure_early_exit(backlog, 0, 1 << 16, num_queries=2)
+        assert point.queries == 2
+        assert point.back_references_full > 0
+        assert point.full_seconds > 0 and point.first_seconds > 0
+        assert point.speedup > 0
+        with pytest.raises(ValueError):
+            measure_early_exit(backlog, 0, 4, num_queries=0)
+
+    def test_measure_paginated_scan(self, system):
+        _, backlog = self._populated(system)
+        full = backlog.query_range(0, 1 << 16)
+        point = measure_paginated_scan(backlog, 0, 1 << 16, page_size=16)
+        assert point.back_references == len(full)
+        assert point.max_page_length <= 16
+        assert point.pages >= len(full) // 16
+        assert point.back_references_per_second > 0
+        with pytest.raises(ValueError):
+            measure_paginated_scan(backlog, 0, 4, page_size=0)
 
 
 class TestReporting:

@@ -1,0 +1,60 @@
+"""The public API surface stays documented and behaviourally stable.
+
+Wires ``tools/check_api.py`` into the tier-1 suite: ``repro.__all__`` must
+match the "Public API surface" section of docs/ARCHITECTURE.md in both
+directions, every exported name must be importable, and the four legacy
+query methods must keep answering identically to their ``Backlog.select``
+shims (the same checks CI's docs job runs from the command line).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_api  # noqa: E402  (needs the tools/ path above)
+
+
+def test_exported_names_are_documented():
+    assert check_api.check_surface() == []
+
+
+def test_legacy_methods_match_select_shims():
+    assert check_api.check_legacy_behaviour() == []
+
+
+def test_documented_names_parser_sees_the_section():
+    names = check_api.documented_names()
+    assert {"Backlog", "QuerySpec", "QueryResult", "SnapshotManagerAuthority"} <= names
+
+
+def test_checker_cli_passes_on_the_repo():
+    """The exact command CI runs must succeed from a clean environment."""
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "check_api.py")],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "api ok" in result.stdout
+
+
+def test_checker_flags_undocumented_export(tmp_path):
+    """Surface drift in either direction must produce a problem line."""
+    doc = tmp_path / "ARCHITECTURE.md"
+    doc.write_text(
+        "# x\n\n## Public API surface\n\n- `Backlog` — the manager\n"
+        "- `NotARealName` — ghost\n\n## next\n",
+        encoding="utf-8",
+    )
+    names = check_api.documented_names(str(doc))
+    assert names == {"Backlog", "NotARealName"}
+
+    import repro
+
+    missing_doc = {n for n in repro.__all__ if not n.startswith("_")} - names
+    assert missing_doc, "the fake doc should under-document the real surface"

@@ -24,6 +24,15 @@ class TestParser:
         )
         assert (args.cps, args.run_length, args.queries) == (5, 16, 64)
 
+    def test_query_arguments(self):
+        args = build_parser().parse_args(
+            ["query", "--first-block", "10", "--num-blocks", "64", "--live-only",
+             "--inode", "3", "--inode", "7", "--limit", "5", "--resume", "tok"]
+        )
+        assert (args.first_block, args.num_blocks) == (10, 64)
+        assert args.live_only and args.inode == [3, 7]
+        assert (args.limit, args.resume) == (5, "tok")
+
 
 class TestCommands:
     def test_synthetic_command_prints_summary(self, capsys):
@@ -55,3 +64,45 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "OK" in output
+
+    WORKLOAD = ["--cps", "3", "--ops-per-cp", "120", "--seed", "7"]
+
+    def test_query_command_lists_owners(self, capsys):
+        exit_code = main(["query", *self.WORKLOAD,
+                          "--first-block", "0", "--num-blocks", "100000"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Owners of blocks [0, 100000)" in output
+        assert "back reference(s)" in output
+        assert "scan exhausted" in output
+
+    def test_query_command_paginates_with_resume_tokens(self, capsys):
+        exit_code = main(["query", *self.WORKLOAD,
+                          "--first-block", "0", "--num-blocks", "100000", "--limit", "4"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        token_lines = [line for line in output.splitlines()
+                       if line.startswith("resume token: ")]
+        assert len(token_lines) == 1
+        token = token_lines[0].split(": ", 1)[1]
+
+        # Same deterministic workload + the printed token = the next page.
+        exit_code = main(["query", *self.WORKLOAD, "--first-block", "0",
+                          "--num-blocks", "100000", "--limit", "4", "--resume", token])
+        second = capsys.readouterr().out
+        assert exit_code == 0
+        assert second != output
+
+    def test_query_command_count_and_filters(self, capsys):
+        exit_code = main(["query", *self.WORKLOAD, "--first-block", "0",
+                          "--num-blocks", "100000", "--count", "--live-only",
+                          "--maintain"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "back references:" in output
+
+    def test_query_command_rejects_bad_token(self, capsys):
+        exit_code = main(["query", *self.WORKLOAD, "--resume", "garbage"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "invalid query" in captured.err

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""API-surface guard: documented names match the code, shims match legacy.
+
+Two classes of drift this catches:
+
+1. **Surface drift** — ``repro.__all__`` is the package's public API and
+   ``docs/ARCHITECTURE.md`` documents it in the "Public API surface"
+   section.  Adding an export without documenting it, or documenting a name
+   that is not exported (or not actually importable), fails the check in
+   either direction.
+
+2. **Behaviour drift** — the four legacy query methods (``query``,
+   ``query_range``, ``owners_at_version``, ``live_owners``) are thin shims
+   over the cursor surface (``Backlog.select``).  A seeded workload is
+   replayed and every legacy method is differentially compared against the
+   equivalent explicit ``QuerySpec`` — with the narrow-query dispatch both
+   enabled and disabled — so a pipeline change that altered legacy answers
+   cannot land silently.
+
+Run with::
+
+    PYTHONPATH=src python tools/check_api.py
+
+CI's ``docs`` job runs this next to ``tools/check_docs.py``;
+``tests/test_api_surface.py`` wires the same checks into the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import sys
+from typing import List, Set
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+ARCHITECTURE_MD = os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md")
+SECTION_HEADING = "## Public API surface"
+
+#: Backticked identifiers inside the section's bullet lines.
+_NAME = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def documented_names(markdown_path: str = ARCHITECTURE_MD) -> Set[str]:
+    """The names listed in ARCHITECTURE.md's "Public API surface" section."""
+    with open(markdown_path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        section = text.split(SECTION_HEADING, 1)[1]
+    except IndexError:
+        raise SystemExit(
+            f"{markdown_path}: missing the {SECTION_HEADING!r} section"
+        )
+    section = section.split("\n## ", 1)[0]
+    names: Set[str] = set()
+    for line in section.splitlines():
+        stripped = line.strip()
+        # Bullets and their wrapped continuation lines both carry names.
+        if stripped.startswith(("- ", "`")):
+            names.update(_NAME.findall(stripped))
+    return names
+
+
+def check_surface() -> List[str]:
+    """Problems where ``repro.__all__`` and the documentation disagree."""
+    import repro
+
+    exported = {name for name in repro.__all__ if not name.startswith("_")}
+    documented = documented_names()
+    problems = []
+    for name in sorted(exported - documented):
+        problems.append(
+            f"exported but undocumented: repro.{name} is in repro.__all__ but "
+            f"not in ARCHITECTURE.md's public API section"
+        )
+    for name in sorted(documented - exported):
+        problems.append(
+            f"documented but not exported: {name} appears in ARCHITECTURE.md's "
+            f"public API section but not in repro.__all__"
+        )
+    for name in sorted(exported):
+        if not hasattr(repro, name):
+            problems.append(f"repro.__all__ names {name!r} but it is not importable")
+    return problems
+
+
+def _seeded_backlog(narrow_dispatch_max_runs: int):
+    """A small deterministic workload with clones, removals and relocations."""
+    from repro import Backlog, BacklogConfig, MemoryBackend
+
+    config = BacklogConfig(partition_size_blocks=64,
+                           narrow_dispatch_max_runs=narrow_dispatch_max_runs)
+    backlog = Backlog(backend=MemoryBackend(), config=config)
+    rng = random.Random(20100223)  # the paper's conference date
+    live = []
+    for cp in range(6):
+        for i in range(120):
+            if live and rng.random() < 0.3:
+                backlog.remove_reference(*live.pop(rng.randrange(len(live))))
+            else:
+                entry = (rng.randrange(400), 1 + i % 7, cp * 200 + i)
+                backlog.add_reference(*entry)
+                live.append(entry)
+        backlog.checkpoint()
+        if cp == 2:
+            backlog.register_clone(1, 0, backlog.current_cp - 1)
+    backlog.relocate_block(live[0][0])
+    return backlog
+
+
+def check_legacy_behaviour() -> List[str]:
+    """Problems where a legacy method and its ``select`` shim disagree."""
+    from repro import QuerySpec
+
+    problems = []
+    for dispatch in (0, 2):
+        backlog = _seeded_backlog(dispatch)
+        for maintained in (False, True):
+            if maintained:
+                backlog.maintain()
+            state = f"dispatch={dispatch} maintained={maintained}"
+            pairs = [
+                ("query_range", backlog.query_range(0, 400),
+                 backlog.select(QuerySpec(0, 400)).all()),
+                ("query", backlog.query(37),
+                 backlog.select(QuerySpec(37)).all()),
+                ("owners_at_version", backlog.owners_at_version(37, 3),
+                 backlog.select(QuerySpec(37).at_version(3)).all()),
+                ("live_owners", backlog.live_owners(37),
+                 backlog.select(QuerySpec(37).live()).all()),
+            ]
+            # The owner-level filter contract: at_version/live_only keep the
+            # full range sets, exactly like post-filtering the plain query.
+            refs = backlog.query(37)
+            pairs.append((
+                "owners_at_version vs post-filter",
+                [r for r in refs if r.covers_version(3)],
+                backlog.owners_at_version(37, 3),
+            ))
+            pairs.append((
+                "live_owners vs post-filter",
+                [r for r in refs if r.is_live],
+                backlog.live_owners(37),
+            ))
+            for name, legacy, current in pairs:
+                if legacy != current:
+                    problems.append(
+                        f"legacy behaviour changed: {name} ({state}) — "
+                        f"{legacy!r} != {current!r}"
+                    )
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    problems = check_surface()
+    problems.extend(check_legacy_behaviour())
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        import repro
+
+        public = [name for name in repro.__all__ if not name.startswith("_")]
+        print(f"api ok: {len(public)} public names documented, "
+              f"legacy query methods identical to select() shims")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
