@@ -69,7 +69,7 @@ from repro.core.lsm import merge_sorted_runs
 from repro.core.read_store import ReadStoreWriter, _PAGE_HEADER
 from repro.core.records import CombinedRecord, FromRecord, INFINITY, ToRecord
 from repro.core.write_store import RBTreeWriteStore, WriteStore
-from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE
+from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE, ThrottledBackend
 from repro.fsim.cache import PageCache
 
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_hotpath.json")
@@ -88,6 +88,12 @@ TARGETS = {
     # PR 4: the cursor surface -- an existence check via ``.first()`` on a
     # whole-device range must beat materialising the full answer by 5x.
     "cursor.first": 5.0,
+    # PR 5: the partition-sharded flush executor -- a multi-partition flush
+    # over a device-time-modelling backend must be at least 1.5x faster with
+    # 4 workers than serial; and a resumed cursor page must beat the
+    # uncached re-seek path.
+    "flush_parallel": 1.5,
+    "cursor.resume_cache": 1.05,
 }
 
 
@@ -610,9 +616,11 @@ def bench_narrow_dispatch(num_cps: int, refs_per_cp: int, num_queries: int) -> d
 
 # -------------------------------------------------------------------- cursor
 
-def _build_cursor_workload(num_cps: int, refs_per_cp: int, device_blocks: int) -> Backlog:
+def _build_cursor_workload(num_cps: int, refs_per_cp: int, device_blocks: int,
+                           resume_cache_size: int = 4) -> Backlog:
     """A wide, multi-run database shaped like a device-wide maintenance scan."""
-    config = BacklogConfig(partition_size_blocks=1 << 14, track_timing=False)
+    config = BacklogConfig(partition_size_blocks=1 << 14, track_timing=False,
+                           resume_cache_size=resume_cache_size)
     backlog = Backlog(backend=MemoryBackend(), config=config)
     rng = random.Random(808)
     live: List[Tuple[int, int, int]] = []
@@ -697,8 +705,19 @@ def bench_cursor(num_cps: int, refs_per_cp: int, device_blocks: int,
     The ``*_transient_growth`` fields compare each side's tracemalloc peak at
     half and full device width: the paginated cursor holds at most one page
     (growth ~1.0) while the materialised result tracks the device size.
+
+    ``resume_cache``: one operation = one whole-device paginated scan with a
+    deliberately small page size (many re-entries).  ``legacy`` runs with
+    ``resume_cache_size=0``, so every resumed page re-runs the Bloom
+    prefilter over the remaining range and re-seeks every run in the active
+    partition; ``new`` is the session-scoped resume cache, which parks each
+    full page's suspended pipeline under its token and continues it when the
+    next page asks.  Both instances hold identical databases and their page
+    unions are verified equal before timing.
     """
     backlog = _build_cursor_workload(num_cps, refs_per_cp, device_blocks)
+    uncached = _build_cursor_workload(num_cps, refs_per_cp, device_blocks,
+                                      resume_cache_size=0)
 
     spec = QuerySpec(first_block=0, num_blocks=device_blocks)
     reference = backlog.query_range(0, device_blocks)
@@ -750,7 +769,104 @@ def bench_cursor(num_cps: int, refs_per_cp: int, device_blocks: int,
         transients["full"][0] / transients["half"][0], 2)
     scan_entry["new_transient_growth"] = round(
         transients["full"][1] / transients["half"][1], 2)
-    return {"first": first_entry, "paginated_scan": scan_entry}
+
+    # Resumed-page cost: cached parked pipelines vs the uncached re-seek
+    # path, over identical databases and a small page size.
+    resume_page_size = page_size // 4
+    if _drain_pages(uncached, device_blocks, resume_page_size, collect=True) != \
+            _drain_pages(backlog, device_blocks, resume_page_size, collect=True):
+        raise AssertionError("cached and uncached paginated scans disagree")
+
+    uncached.clear_caches()
+    start = time.perf_counter()
+    for _ in range(num_queries):
+        _drain_pages(uncached, device_blocks, resume_page_size)
+    uncached_seconds = time.perf_counter() - start
+
+    backlog.clear_caches()
+    hits_before = backlog.stats.query.resume_cache_hits
+    start = time.perf_counter()
+    for _ in range(num_queries):
+        _drain_pages(backlog, device_blocks, resume_page_size)
+    cached_seconds = time.perf_counter() - start
+
+    resume_entry = _entry(uncached_seconds, cached_seconds, num_queries)
+    resume_entry["page_size"] = resume_page_size
+    resume_entry["pages_per_scan"] = len(reference) // resume_page_size + 1
+    resume_entry["cache_hits_per_scan"] = (
+        (backlog.stats.query.resume_cache_hits - hits_before) // num_queries)
+    return {"first": first_entry, "paginated_scan": scan_entry,
+            "resume_cache": resume_entry}
+
+
+# ------------------------------------------------------------ parallel flush
+
+def _drive_partitioned_workload(workers: int, num_cps: int, refs_per_cp: int,
+                                device_blocks: int, partition_blocks: int,
+                                time_scale: float):
+    """Feed a deterministic multi-partition workload; time flush + maintain.
+
+    The backend is a :class:`ThrottledBackend`: simulated per-page device
+    time actually elapses (and, like real file I/O, releases the GIL), so
+    wall-clock flush time includes the device component that independent
+    partition writes can overlap.
+    """
+    inner = MemoryBackend()
+    backend = ThrottledBackend(inner, time_scale=time_scale)
+    config = BacklogConfig(partition_size_blocks=partition_blocks,
+                           flush_workers=workers, maintenance_workers=workers,
+                           track_timing=False)
+    backlog = Backlog(backend=backend, config=config)
+    rng = random.Random(606)
+    flush_seconds = 0.0
+    for cp in range(num_cps):
+        for i in range(refs_per_cp):
+            backlog.add_reference(block=rng.randrange(device_blocks),
+                                  inode=1 + i % 64, offset=cp * refs_per_cp + i)
+        start = time.perf_counter()
+        backlog.checkpoint()
+        flush_seconds += time.perf_counter() - start
+    start = time.perf_counter()
+    backlog.maintain()
+    maintenance_seconds = time.perf_counter() - start
+    backlog.close()
+    return flush_seconds, maintenance_seconds, inner
+
+
+def bench_flush_parallel(num_cps: int, refs_per_cp: int, workers: int) -> dict:
+    """Partition-sharded flush & compaction executor: serial vs N workers.
+
+    One operation = one consistency-point flush spanning every partition of
+    the device.  ``legacy`` runs the identical workload with
+    ``flush_workers=1`` (the pre-executor serial loop); ``new`` fans the
+    per-``(table, partition)`` run writes across ``workers`` threads.  The
+    determinism contract is asserted inline: both instances must leave
+    **byte-identical** backends behind -- after every flush and after a full
+    maintenance pass -- before any timing is reported (the differential
+    suite in ``tests/test_parallel_equivalence.py`` enforces the same
+    property over richer workloads).  ``compaction_speedup`` reports the
+    same comparison for ``maintain()``'s per-partition jobs.
+    """
+    device_blocks, partition_blocks = 1 << 16, 1 << 12  # 16 partitions
+    time_scale = 4.0
+    serial_flush, serial_maint, serial_backend = _drive_partitioned_workload(
+        1, num_cps, refs_per_cp, device_blocks, partition_blocks, time_scale)
+    parallel_flush, parallel_maint, parallel_backend = _drive_partitioned_workload(
+        workers, num_cps, refs_per_cp, device_blocks, partition_blocks, time_scale)
+
+    if serial_backend._files != parallel_backend._files:
+        raise AssertionError("parallel flush/compaction is not byte-identical")
+
+    entry = _entry(serial_flush, parallel_flush, num_cps)
+    entry["workers"] = workers
+    entry["partitions"] = device_blocks // partition_blocks
+    entry["device_time_scale"] = time_scale
+    entry["byte_identical"] = True
+    entry["compaction_legacy_us_per_op"] = round(serial_maint * 1e6, 4)
+    entry["compaction_new_us_per_op"] = round(parallel_maint * 1e6, 4)
+    entry["compaction_speedup"] = (
+        round(serial_maint / parallel_maint, 2) if parallel_maint else float("inf"))
+    return entry
 
 
 # --------------------------------------------------------------------- cache
@@ -854,6 +970,12 @@ def run(quick: bool) -> dict:
             page_size=512, num_queries=4),
         "compaction": bench_compaction(
             num_cps=6, refs_per_cp=4_000 * scale),
+        # The parallel-flush workload keeps its full size in quick mode too:
+        # the comparison is against a fixed simulated device time, and a
+        # shrunk workload would let per-checkpoint constant costs swamp the
+        # overlap the 1.5x target is calibrated against.
+        "flush_parallel": bench_flush_parallel(
+            num_cps=6, refs_per_cp=4_000, workers=4),
         "cache_invalidate": bench_cache_invalidate(
             num_files=60 * scale, pages_per_file=48),
     }

@@ -65,7 +65,7 @@ from repro.fsim import (
     SnapshotPolicy,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "AllVersionsAuthority",

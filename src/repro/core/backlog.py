@@ -53,8 +53,9 @@ from repro.core.compaction import Compactor
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QueryResult, QuerySpec
 from repro.core.deletion_vector import DeletionVector
+from repro.core.executor import PartitionExecutor
 from repro.core.inheritance import CloneGraph
-from repro.core.lsm import RunManager
+from repro.core.lsm import RunManager, run_name
 from repro.core.masking import AllVersionsAuthority, VersionAuthority
 from repro.core.partitioning import Partitioner
 from repro.core.query import QueryEngine
@@ -92,16 +93,27 @@ class Backlog(ReferenceListener):
         self.current_cp = 1
         self._ops_this_cp = 0
         self._pruned_this_cp = 0
+        self._flush_executor = PartitionExecutor(
+            self.config.flush_workers, name="flush")
+        self._maintenance_executor = PartitionExecutor(
+            self.config.maintenance_workers, name="maintenance")
         self._compactor = Compactor(
             self.run_manager, self.config, self.version_authority,
             self.clone_graph, self.deletion_vector,
             streaming=self.config.streaming_compaction,
+            executor=self._maintenance_executor,
+            executor_stats=self.stats.maintenance_pool,
         )
         self._query_engine = QueryEngine(
             self.backend, self.run_manager, self.partitioner,
             self.ws_from, self.ws_to, self.clone_graph,
             self.version_authority, self.deletion_vector,
             self.config, self.stats.query,
+            # Change detector for the cursor resume cache: the reference
+            # counters move on every write-store mutation, so a parked page
+            # pipeline is never resumed over a changed in-memory state.
+            mutation_stamp=lambda: (self.stats.references_added,
+                                    self.stats.references_removed),
         )
 
     # ------------------------------------------------------- authority setup
@@ -111,6 +123,7 @@ class Backlog(ReferenceListener):
         self.version_authority = authority
         self._compactor.authority = authority
         self._query_engine.authority = authority
+        self._query_engine.invalidate_parked_cursors()
 
     # ------------------------------------------------- ReferenceListener API
 
@@ -151,21 +164,58 @@ class Backlog(ReferenceListener):
             self.stats.update_seconds += time.perf_counter() - start
 
     def on_consistency_point(self, cp: int) -> None:
-        """Flush both write stores to new Level-0 read-store runs."""
+        """Flush both write stores to new Level-0 read-store runs.
+
+        The per-``(table, partition)`` run writes are independent -- disjoint
+        files, job-local writer state -- and fan out across
+        ``BacklogConfig.flush_workers`` threads.  Determinism is preserved by
+        construction: every run name is allocated *before* dispatch, in the
+        exact order the serial loop consumed sequence numbers, and the
+        finished runs are registered *after* the workers join, in that same
+        allocation order -- so a parallel flush writes byte-identical files
+        and builds an identical catalogue (``tests/test_parallel_equivalence
+        .py`` enforces both).  With the default ``flush_workers=1`` the jobs
+        run inline, in order, in this thread.
+        """
         start = time.perf_counter() if self.config.track_timing else 0.0
         pages_before = self.backend.stats.pages_written
         flushed = len(self.ws_from) + len(self.ws_to)
 
+        plan: List[Tuple[int, str, str, Sequence]] = []
         for table, store in (("from", self.ws_from), ("to", self.ws_to)):
             if not store:
                 continue
             # The memtable sorts once here (sort-on-demand) and hands the
             # partitioner the snapshot list directly.
-            for partition, records in self.partitioner.split_sorted_records(store.sorted_records()):
-                self.run_manager.write_run(
-                    partition, table, "L0", records, self.config.run_bloom_bits
-                )
-            store.clear()
+            for partition, records in self.partitioner.split_sorted_records(
+                    store.sorted_records()):
+                name = run_name(partition, table, "L0",
+                                self.run_manager.next_sequence())
+                plan.append((partition, table, name, records))
+        if plan:
+            # The flush changes which runs exist, so no parked page pipeline
+            # from before it may be resumed.  An *empty* checkpoint changes
+            # nothing (no runs, no store contents) and deliberately leaves
+            # the resume cache intact: periodic idle consistency points must
+            # not defeat a hot paginated scan.  The mutation stamp cannot
+            # stand in here -- the flushed records may all have been
+            # buffered *before* the page was parked.
+            self._query_engine.invalidate_parked_cursors()
+            self.stats.flush_pool.dispatches += 1
+            bloom_bits = self.config.run_bloom_bits
+            readers = self._flush_executor.map(
+                [
+                    (lambda name=name, table=table, records=records:
+                        self.run_manager.build_run(name, table, records, bloom_bits))
+                    for _, table, name, records in plan
+                ],
+                self.stats.flush_pool,
+            )
+            for (partition, table, _, _), reader in zip(plan, readers):
+                if reader is not None:
+                    self.run_manager.add_run(partition, table, reader)
+        self.ws_from.clear()
+        self.ws_to.clear()
 
         elapsed = (time.perf_counter() - start) if self.config.track_timing else 0.0
         self.stats.flush_seconds += elapsed
@@ -193,6 +243,9 @@ class Backlog(ReferenceListener):
     def on_clone_created(self, new_line: int, parent_line: int, parent_version: int, cp: int) -> None:
         """Track a writable clone.  No back-reference records are written."""
         self.clone_graph.add_clone(new_line, parent_line, parent_version)
+        # Clone expansion happens inside parked pipelines; a new clone must
+        # not be missing from a resumed page.
+        self._query_engine.invalidate_parked_cursors()
 
     def on_snapshot_deleted(self, line: int, version: int, is_zombie: bool, cp: int) -> None:
         """Track snapshot deletion; zombies keep their back references alive."""
@@ -200,6 +253,7 @@ class Backlog(ReferenceListener):
             self.zombies.add((line, version))
         else:
             self.zombies.discard((line, version))
+        self._query_engine.invalidate_parked_cursors()
 
     # ---------------------------------------------------------- standalone API
 
@@ -267,10 +321,30 @@ class Backlog(ReferenceListener):
         """Drop the page cache (the paper does this before query benchmarks)."""
         self.cache.clear()
 
+    def close(self) -> None:
+        """Release the worker pools and any parked cursor pipelines.
+
+        Optional: idle pools are reclaimed when the instance is garbage
+        collected, so this exists for callers (tests, benchmarks) that
+        create many short-lived instances and want deterministic teardown.
+        """
+        self._query_engine.invalidate_parked_cursors()
+        self._flush_executor.close()
+        self._maintenance_executor.close()
+
     # -------------------------------------------------------- maintenance
 
     def maintain(self) -> MaintenanceStats:
-        """Run database maintenance (merge runs, precompute Combined, purge)."""
+        """Run database maintenance (merge runs, precompute Combined, purge).
+
+        Per-partition compactions run concurrently across
+        ``BacklogConfig.maintenance_workers`` threads (partitions share no
+        run files); the result -- and every on-disk byte -- is identical to
+        the serial pass, because the compactor allocates all output run
+        names before dispatching any work.
+        """
+        # Maintenance replaces runs out from under any parked page pipeline.
+        self._query_engine.invalidate_parked_cursors()
         result = self._compactor.compact_all()
         self.stats.maintenance_runs.append(result)
         return result
@@ -291,6 +365,9 @@ class Backlog(ReferenceListener):
         and every identity is suppressed strictly *after* all of its records
         have been consumed and folded.)
         """
+        # Suppression changes what other in-flight scans should see; parked
+        # page pipelines have already gathered past the deletion vector.
+        self._query_engine.invalidate_parked_cursors()
         suppressed = 0
         for ref in self.select(QuerySpec(old_block)):
             self.deletion_vector.suppress(ref.block, ref.inode, ref.offset, ref.line)

@@ -32,17 +32,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import BacklogConfig
 from repro.core.deletion_vector import DeletionVector
+from repro.core.executor import PartitionExecutor
 from repro.core.inheritance import CloneGraph
 from repro.core.join import join_tables, stream_join_tables
 from repro.core.lsm import RunManager, run_name
 from repro.core.masking import VersionAuthority
 from repro.core.read_store import ReadStoreReader, ReadStoreWriter
 from repro.core.records import CombinedRecord, FromRecord, ToRecord
-from repro.core.stats import MaintenanceStats
+from repro.core.stats import ExecutorStats, MaintenanceStats
 from repro.util.intervals import intersect_ranges
 
 __all__ = ["PartitionCompactionResult", "Compactor"]
@@ -71,6 +72,16 @@ class Compactor:
         implementation.  Both write byte-identical runs -- run names are
         allocated identically up front -- so the flag only trades memory
         footprint for the legacy list-based control flow.
+    executor:
+        The worker pool over which :meth:`compact_all` fans its per-partition
+        compactions (``BacklogConfig.maintenance_workers``).  Partitions are
+        independent by construction -- disjoint input runs, disjoint output
+        files, disjoint catalogue entries -- so the only coordination the
+        parallel path needs is the up-front allocation of every output run
+        name (consumed in ascending partition order, exactly as the serial
+        loop would) and the locks inside ``RunManager``/``PageCache``/
+        ``IOStats``.  With the default single-worker executor the jobs run
+        inline in partition order: byte-for-byte the old serial behaviour.
     """
 
     def __init__(
@@ -81,6 +92,8 @@ class Compactor:
         clone_graph: CloneGraph,
         deletion_vector: DeletionVector,
         streaming: bool = True,
+        executor: Optional[PartitionExecutor] = None,
+        executor_stats: Optional[ExecutorStats] = None,
     ) -> None:
         self.run_manager = run_manager
         self.config = config
@@ -88,15 +101,37 @@ class Compactor:
         self.clone_graph = clone_graph
         self.deletion_vector = deletion_vector
         self.streaming = streaming
+        self.executor = executor or PartitionExecutor(1, name="maintenance")
+        self.executor_stats = executor_stats
         self._sequence = 0
 
     # ------------------------------------------------------------------ API
 
     def compact_all(self) -> MaintenanceStats:
-        """Compact every partition and return aggregate statistics."""
+        """Compact every partition and return aggregate statistics.
+
+        The per-partition jobs run on :attr:`executor`.  Each job writes its
+        partition's compacted runs and swaps them into the catalogue itself
+        (``replace_partition`` is locked and touches only that partition), so
+        a completed partition is durable regardless of what happens to its
+        siblings -- the same incremental property the serial loop had.  If a
+        job fails, the executor still waits for every other job to settle
+        before re-raising, so no worker is left writing after ``maintain()``
+        has returned control (the crash-injection suite leans on this).
+        """
         self._sequence += 1
         start = time.perf_counter()
-        results = [self.compact_partition(p) for p in self.run_manager.partitions()]
+        partitions = self.run_manager.partitions()
+        # Allocate every output name before dispatch, in ascending partition
+        # order: sequence numbers must not depend on worker scheduling.
+        names = {p: self._allocate_output_names(p) for p in partitions}
+        jobs = [
+            (lambda p=p: self.compact_partition(p, _names=names[p]))
+            for p in partitions
+        ]
+        if self.executor_stats is not None and jobs:
+            self.executor_stats.dispatches += 1
+        results = self.executor.map(jobs, self.executor_stats)
         # Every run has been rewritten without the suppressed tuples, so the
         # deletion vector can start from scratch.
         self.deletion_vector.clear()
@@ -112,18 +147,32 @@ class Compactor:
             seconds=elapsed,
         )
 
-    def compact_partition(self, partition: int) -> PartitionCompactionResult:
-        """Merge, join and purge the runs of one partition."""
-        bytes_before = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
-
-        # Allocate both output names up front, in a fixed order, so the
-        # streaming and materialising paths produce identical files even
-        # though they learn whether a table is empty at different times.  A
-        # sequence number consumed for an empty table is simply skipped.
+    def _allocate_output_names(self, partition: int) -> Tuple[str, str]:
+        """Consume the partition's two output sequence numbers, in order."""
         combined_name = run_name(partition, "combined", "compact",
                                  self.run_manager.next_sequence())
         from_name = run_name(partition, "from", "compact",
                              self.run_manager.next_sequence())
+        return combined_name, from_name
+
+    def compact_partition(self, partition: int,
+                          _names: Optional[Tuple[str, str]] = None,
+                          ) -> PartitionCompactionResult:
+        """Merge, join and purge the runs of one partition.
+
+        ``_names`` carries the output run names :meth:`compact_all`
+        pre-allocated; direct callers leave it unset and the names are
+        allocated here instead.  Either way both names are fixed up front, in
+        a fixed order, so the streaming and materialising paths produce
+        identical files even though they learn whether a table is empty at
+        different times.  A sequence number consumed for an empty table is
+        simply skipped.
+        """
+        bytes_before = sum(r.size_bytes for r in self.run_manager.runs_for(partition))
+
+        combined_name, from_name = (
+            _names if _names is not None else self._allocate_output_names(partition)
+        )
 
         if self.streaming:
             records_in, records_out, purged, new_runs = self._compact_streaming(

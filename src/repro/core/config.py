@@ -2,12 +2,37 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.bloom import COMBINED_FILTER_BITS, DEFAULT_FILTER_BITS
 
 __all__ = ["BacklogConfig"]
+
+
+def _workers_from_env(*variables: str) -> int:
+    """Worker-count default: the first set environment variable, else 1.
+
+    ``REPRO_FLUSH_WORKERS`` / ``REPRO_MAINTENANCE_WORKERS`` let the whole
+    test suite (and any embedding process) run with parallel flush and
+    maintenance without touching a single ``BacklogConfig(...)`` call site --
+    CI's parallel matrix leg sets ``REPRO_FLUSH_WORKERS=4`` and every config
+    that does not *explicitly* pin its worker counts picks it up.  The
+    maintenance default falls back to the flush variable so one variable
+    exercises both pools.
+    """
+    for variable in variables:
+        value = os.environ.get(variable)
+        if value:
+            try:
+                workers = int(value)
+            except ValueError:
+                raise ValueError(f"{variable} must be an integer, got {value!r}")
+            if workers < 1:
+                raise ValueError(f"{variable} must be >= 1, got {workers}")
+            return workers
+    return 1
 
 
 @dataclass(frozen=True)
@@ -55,6 +80,32 @@ class BacklogConfig:
         table in memory; when False, the retained materialising compactor is
         used.  Both produce byte-identical runs (the differential tests in
         ``tests/test_streaming_equivalence.py`` enforce this).
+    flush_workers / maintenance_workers:
+        Sizes of the partition-sharded worker pools
+        (:class:`~repro.core.executor.PartitionExecutor`): ``flush_workers``
+        fans the per-``(table, partition)`` Level-0 run writes of each
+        consistency point out across threads, ``maintenance_workers`` runs
+        ``maintain()``'s per-partition compactions concurrently.  The
+        default of 1 is byte-for-byte today's serial behaviour (no pool is
+        even created); any value produces an identical database -- run
+        sequence numbers are allocated before dispatch and results are
+        registered in allocation order, enforced by
+        ``tests/test_parallel_equivalence.py``.  The defaults honour the
+        ``REPRO_FLUSH_WORKERS`` / ``REPRO_MAINTENANCE_WORKERS`` environment
+        variables (maintenance falls back to the flush variable), which is
+        how CI's parallel matrix leg drives the whole suite through the
+        parallel paths.
+    resume_cache_size:
+        Capacity (in parked cursors) of the session-scoped resume cache:
+        when a ``limit``-bounded cursor page fills, its suspended pipeline is
+        parked keyed by the resume token, and resuming with that token
+        continues the parked pipeline instead of re-running the Bloom
+        prefilter and re-seeking every run in the active partition.  Parked
+        cursors are invalidated by data-flushing checkpoints (idle ones
+        leave them intact), maintenance, relocation, clone registration and
+        snapshot deletion, and are discarded if the
+        write stores changed since parking.  ``0`` disables parking
+        entirely (every resumed page rebuilds the pipeline from the token).
     track_timing:
         When True, the manager records wall-clock time spent in reference
         updates and flushes (used for the µs-per-operation figures).
@@ -69,6 +120,12 @@ class BacklogConfig:
     use_bloom_filters: bool = True
     narrow_dispatch_max_runs: int = 2
     streaming_compaction: bool = True
+    flush_workers: int = field(
+        default_factory=lambda: _workers_from_env("REPRO_FLUSH_WORKERS"))
+    maintenance_workers: int = field(
+        default_factory=lambda: _workers_from_env(
+            "REPRO_MAINTENANCE_WORKERS", "REPRO_FLUSH_WORKERS"))
+    resume_cache_size: int = 4
     track_timing: bool = True
 
     def __post_init__(self) -> None:
@@ -82,3 +139,7 @@ class BacklogConfig:
             raise ValueError("maintenance_interval_cps must be positive when set")
         if self.narrow_dispatch_max_runs < 0:
             raise ValueError("narrow_dispatch_max_runs must be non-negative")
+        if self.flush_workers < 1 or self.maintenance_workers < 1:
+            raise ValueError("worker counts must be >= 1")
+        if self.resume_cache_size < 0:
+            raise ValueError("resume_cache_size must be non-negative")

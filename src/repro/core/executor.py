@@ -1,0 +1,150 @@
+"""Partition-sharded execution of flush and compaction work.
+
+The back-reference database is horizontally partitioned (§5.3) precisely so
+that maintenance work is independent per partition: the Level-0 runs written
+at a consistency point and the per-partition compactions of database
+maintenance never share a run file, a Bloom filter or an output page.  This
+module supplies the worker pool that exploits that independence --
+:class:`PartitionExecutor` fans a list of per-partition jobs out across a
+configurable number of threads (``BacklogConfig.flush_workers`` /
+``maintenance_workers``) and hands the results back in submission order.
+
+Determinism contract
+--------------------
+
+Parallel and serial execution must produce **byte-identical** databases (the
+differential suite in ``tests/test_parallel_equivalence.py`` enforces it).
+The executor's part of that contract is simple: it never reorders results --
+``map`` returns job results in submission order regardless of completion
+order -- and with ``workers=1`` (the default) it degenerates to a plain loop
+in the calling thread, making the serial path literally the same code that
+ran before this subsystem existed.  The callers supply the other half:
+
+* run **names are allocated before dispatch** (``RunManager.next_sequence``
+  is consumed in the exact order the serial loop would have consumed it), so
+  a job's output file is fully determined before any worker starts;
+* catalogue **registration happens after the jobs finish**, in allocation
+  order, so the run lists per ``(partition, table)`` are identical however
+  the workers interleaved.
+
+Everything a worker touches concurrently is either job-local (record slices,
+``ReadStoreWriter`` state, Bloom filters under construction) or explicitly
+locked (``IOStats`` counters, the :class:`~repro.fsim.cache.PageCache`,
+``RunManager`` catalogue mutation); ``docs/ARCHITECTURE.md`` ("Concurrency
+model") lists the locked structures and why each lock exists.
+
+A note on the GIL: pure-Python CPU work does not speed up under threads, but
+the flush and compaction hot loops spend their time in page-granular backend
+I/O -- which is exactly what a real device overlaps across independent
+partitions.  The ``flush_parallel`` benchmark section therefore measures the
+pool over a :class:`~repro.fsim.blockdev.ThrottledBackend`, whose simulated
+per-page device time (like real file I/O) is released-GIL time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.core.stats import ExecutorStats
+
+__all__ = ["PartitionExecutor"]
+
+T = TypeVar("T")
+
+
+class PartitionExecutor:
+    """A reusable worker pool for independent per-partition jobs.
+
+    Parameters
+    ----------
+    workers:
+        Maximum number of worker threads.  ``1`` (the default) runs every
+        job inline in the calling thread -- no pool is ever created, no lock
+        is taken, and the execution order is exactly the pre-executor serial
+        loop.
+    name:
+        Thread-name prefix, visible in tracebacks and in the per-worker
+        timing stats (``ExecutorStats.workers``).
+
+    The pool is created lazily on the first ``map`` call that has more than
+    one job to run, and reused for the executor's lifetime; :meth:`close`
+    shuts it down (idle pools are also reclaimed when the executor is
+    garbage collected, so calling it is optional).
+    """
+
+    def __init__(self, workers: int = 1, name: str = "backlog") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.name = name
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ API
+
+    def map(self, jobs: Sequence[Callable[[], T]],
+            stats: Optional[ExecutorStats] = None) -> List[T]:
+        """Run every job and return their results in submission order.
+
+        With ``workers == 1`` or at most one job, the jobs run inline in the
+        calling thread.  Otherwise they are dispatched to the thread pool;
+        the call still blocks until **all** jobs have settled, and the first
+        job (in submission order) that raised re-raises here -- after every
+        other job has finished, so a failure never leaves a worker still
+        writing behind the caller's back (the crash-injection tests rely on
+        this to reason about the on-disk state after a mid-compaction
+        failure).
+
+        ``stats``, when given, accumulates per-worker wall time and job
+        counts (:class:`~repro.core.stats.ExecutorStats`).
+        """
+        if not jobs:
+            return []
+        if self.workers == 1 or len(jobs) == 1:
+            return [self._run_job(job, stats) for job in jobs]
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._run_job, job, stats) for job in jobs]
+        results: List[T] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)  # type: ignore[arg-type]
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (no-op if it was never created)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=f"{self.name}-worker",
+                )
+            return self._pool
+
+    @staticmethod
+    def _run_job(job: Callable[[], T], stats: Optional[ExecutorStats]) -> T:
+        if stats is None:
+            return job()
+        start = time.perf_counter()
+        try:
+            return job()
+        finally:
+            stats.record(threading.current_thread().name,
+                         time.perf_counter() - start)

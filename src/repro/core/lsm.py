@@ -16,6 +16,7 @@ engine's "which runs might contain this block range?" question.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -77,46 +78,85 @@ class _PartitionRuns:
 
 
 class RunManager:
-    """Catalogue of on-disk read-store runs, organised by partition and table."""
+    """Catalogue of on-disk read-store runs, organised by partition and table.
+
+    Catalogue mutation is thread-safe: the flush and maintenance executors
+    allocate sequence numbers and swap partitions from several workers, and
+    both :meth:`next_sequence` (a read-modify-write on the counter) and the
+    catalogue dict mutations take the manager's lock.  The read side
+    (``runs_for``, the aggregate accessors, ``iter_table``) stays lock-free:
+    queries never run concurrently with flush or maintenance, and a
+    maintenance worker only ever reads the runs of the partition it owns,
+    which no other worker touches.
+    """
 
     def __init__(self, backend: StorageBackend, cache: Optional[PageCache] = None) -> None:
         self.backend = backend
         self.cache = cache
         self._partitions: Dict[int, _PartitionRuns] = {}
         self._sequence = 0
+        self._lock = threading.Lock()
 
     # --------------------------------------------------------------- writing
 
     def next_sequence(self) -> int:
-        self._sequence += 1
-        return self._sequence
+        with self._lock:
+            self._sequence += 1
+            return self._sequence
 
     def write_run(self, partition: int, table: str, level: str,
                   records: Iterable, bloom_bits: int) -> Optional[ReadStoreReader]:
         """Write a new run and register it.  Returns None for empty inputs."""
         name = run_name(partition, table, level, self.next_sequence())
+        reader = self.build_run(name, table, records, bloom_bits)
+        if reader is None:
+            return None
+        self.add_run(partition, table, reader)
+        return reader
+
+    def build_run(self, name: str, table: str, records: Iterable,
+                  bloom_bits: int) -> Optional[ReadStoreReader]:
+        """Write a run under a pre-allocated name without registering it.
+
+        The parallel flush path allocates every run name up front (in the
+        exact order the serial loop would), fans the ``build_run`` calls out
+        across workers, and registers the finished readers afterwards in
+        allocation order -- which is what keeps a parallel flush
+        byte-identical to a serial one.  Returns ``None`` (and creates no
+        file) for an empty input.
+        """
         writer = ReadStoreWriter(self.backend, name, table, bloom_bits=bloom_bits)
         reader = writer.build(records)
         if reader is None:
             return None
         # Re-open through the shared cache so queries benefit from it; keep
         # the freshly built Bloom filter (no need to reload it from disk).
-        reader = ReadStoreReader(self.backend, name, cache=self.cache, bloom=reader.bloom)
-        self.add_run(partition, table, reader)
-        return reader
+        return ReadStoreReader(self.backend, name, cache=self.cache, bloom=reader.bloom)
 
     def add_run(self, partition: int, table: str, reader: ReadStoreReader) -> None:
         if table not in TABLES:
             raise ValueError(f"unknown table {table!r}")
-        self._partitions.setdefault(partition, _PartitionRuns()).runs[table].append(reader)
+        with self._lock:
+            self._partitions.setdefault(partition, _PartitionRuns()).runs[table].append(reader)
 
     def replace_partition(self, partition: int,
                           new_runs: Dict[str, List[ReadStoreReader]]) -> List[str]:
         """Swap in compacted runs for ``partition`` and delete the old files.
 
-        Returns the names of the deleted run files.
+        Returns the names of the deleted run files.  Safe to call for
+        distinct partitions from concurrent maintenance workers: the
+        catalogue swap happens under the manager's lock, and the file
+        deletions and cache invalidations only touch the replaced
+        partition's own runs.
         """
-        old = self._partitions.get(partition, _PartitionRuns())
+        replacement = _PartitionRuns()
+        for table, runs in new_runs.items():
+            if table not in TABLES:
+                raise ValueError(f"unknown table {table!r}")
+            replacement.runs[table] = list(runs)
+        with self._lock:
+            old = self._partitions.get(partition, _PartitionRuns())
+            self._partitions[partition] = replacement
         deleted = []
         for run in old.all_runs():
             if self.backend.exists(run.name):
@@ -124,12 +164,6 @@ class RunManager:
             if self.cache is not None:
                 self.cache.invalidate_file(run.name)
             deleted.append(run.name)
-        replacement = _PartitionRuns()
-        for table, runs in new_runs.items():
-            if table not in TABLES:
-                raise ValueError(f"unknown table {table!r}")
-            replacement.runs[table] = list(runs)
-        self._partitions[partition] = replacement
         return deleted
 
     # --------------------------------------------------------------- queries

@@ -71,9 +71,9 @@ from __future__ import annotations
 import heapq
 import time
 from bisect import bisect_left
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from itertools import chain
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QuerySpec
@@ -120,6 +120,7 @@ class QueryEngine:
         deletion_vector: DeletionVector,
         config: BacklogConfig,
         stats: Optional[QueryStats] = None,
+        mutation_stamp: Optional[Callable[[], Tuple]] = None,
     ) -> None:
         self.backend = backend
         self.run_manager = run_manager
@@ -131,6 +132,16 @@ class QueryEngine:
         self.deletion_vector = deletion_vector
         self.config = config
         self.stats = stats if stats is not None else QueryStats()
+        # The session-scoped cursor resume cache: resume-token -> suspended
+        # pipeline, populated when a limit-bounded page fills and consulted
+        # when that token comes back (see _park_cursor / _take_parked).
+        # ``mutation_stamp`` is the owner's cheap change detector (the
+        # Backlog passes its reference-update counters); without one there
+        # is no safe way to know the write stores are unchanged, so parking
+        # is disabled.
+        self._mutation_stamp = mutation_stamp
+        self._parked: "OrderedDict[Tuple, Tuple[Iterator[BackReference], Tuple]]" = \
+            OrderedDict()
 
     # ------------------------------------------------------------------ API
 
@@ -232,18 +243,30 @@ class QueryEngine:
         window = spec.version_window
         started = time.perf_counter()
         try:
-            candidate_runs = self._candidate_runs(first_block, num_blocks)
-            if self._dispatch_narrow(candidate_runs, num_blocks, count=not reopened):
-                # The materialised fast path already returns a small, fully
-                # grouped list; the record-level pushdowns would not pay for
-                # themselves, so the spec's filters apply per owner below.
-                refs: Iterable[BackReference] = self._query_materialized(
-                    candidate_runs, first_block, num_blocks
-                )
-            else:
-                refs = self._iter_group_sorted(self._cursor_records(
-                    candidate_runs, first_block, num_blocks, start_key, spec
-                ))
+            refs: Optional[Iterator[BackReference]] = None
+            if resume_key is not None:
+                refs = self._take_parked(spec, resume_key)
+                if refs is not None:
+                    # The parked pipeline is already positioned just past the
+                    # resume identity: no Bloom prefilter, no per-run
+                    # re-seek, and the skip-to-token scan below is moot.
+                    stats.resume_cache_hits += 1
+                    resume_key = None
+            if refs is None:
+                candidate_runs = self._candidate_runs(first_block, num_blocks)
+                if self._dispatch_narrow(candidate_runs, num_blocks, count=not reopened):
+                    # The materialised fast path already returns a small,
+                    # fully grouped list; the record-level pushdowns would
+                    # not pay for themselves, so the spec's filters apply
+                    # per owner below.  ``iter`` keeps the loop's position
+                    # in ``refs`` itself so a full page can be parked.
+                    refs = iter(self._query_materialized(
+                        candidate_runs, first_block, num_blocks
+                    ))
+                else:
+                    refs = self._iter_group_sorted(self._cursor_records(
+                        candidate_runs, first_block, num_blocks, start_key, spec
+                    ))
             for ref in refs:
                 if resume_key is not None and ref[:4] <= resume_key:
                     continue
@@ -264,9 +287,16 @@ class QueryEngine:
                 # there, the finally block must not charge the time the
                 # consumer spent holding it.
                 started = None
+                page_full = spec.limit is not None and emitted >= spec.limit
+                if page_full:
+                    # Park *before* the yield: the consumer usually closes
+                    # the cursor the moment its page fills, and the pipeline
+                    # must already be in the cache (not torn down with the
+                    # generator) when the resume token comes back.
+                    self._park_cursor(spec, ref, refs)
                 yield ref
                 started = time.perf_counter()
-                if spec.limit is not None and emitted >= spec.limit:
+                if page_full:
                     return
         finally:
             if started is not None:
@@ -295,6 +325,75 @@ class QueryEngine:
         )
         expanded = expand_clones(combined_view, self.clone_graph, line_filter=spec.lines)
         return iter_mask_records(expanded, self.authority)
+
+    # ------------------------------------------- cursor resume cache
+
+    # A resumed page re-runs the Bloom prefilter over the remaining range and
+    # re-seeks every run in the active partition just to get back to where
+    # the previous page stopped.  For a hot paginated scan that re-entry cost
+    # is pure overhead: the previous page's pipeline was *already* positioned
+    # exactly there when its limit hit.  So when a page fills, the suspended
+    # owner stream is parked keyed by the resume token it handed out, and a
+    # resume with that token continues it instead of rebuilding.
+    #
+    # Correctness: a parked pipeline froze the database view its gather step
+    # opened -- candidate runs, write-store snapshot slices.  It is therefore
+    # only resumed when nothing has changed: the Backlog invalidates the
+    # cache at every data-flushing checkpoint (idle checkpoints change
+    # nothing and leave it intact), maintenance pass, relocation, clone
+    # registration and snapshot deletion, and the mutation stamp (the
+    # reference-update counters) catches write-store changes between pages.
+    # Anything else -- mismatched spec, evicted entry, stamp drift -- falls
+    # back to the re-seek path, which the differential tests hold identical.
+
+    @staticmethod
+    def _spec_core(spec: QuerySpec) -> Tuple:
+        """The spec fields that shape the pipeline (everything but paging)."""
+        return (spec.first_block, spec.num_blocks, spec.version_window,
+                spec.live_only, spec.lines, spec.inodes)
+
+    def _park_cursor(self, spec: QuerySpec, last_ref: BackReference,
+                     refs: Iterator[BackReference]) -> None:
+        """Park a full page's suspended pipeline under its resume token."""
+        capacity = self.config.resume_cache_size
+        if capacity <= 0 or self._mutation_stamp is None:
+            return
+        key = (self._spec_core(spec),
+               (last_ref.block, last_ref.inode, last_ref.offset, last_ref.line))
+        stale = self._parked.pop(key, None)
+        if stale is not None:
+            self._close_parked(stale[0])
+        self._parked[key] = (refs, self._mutation_stamp())
+        while len(self._parked) > capacity:
+            _, (evicted, _) = self._parked.popitem(last=False)
+            self._close_parked(evicted)
+
+    def _take_parked(self, spec: QuerySpec,
+                     resume_key: Tuple) -> Optional[Iterator[BackReference]]:
+        """The parked pipeline for this spec + token, if still trustworthy."""
+        if not self._parked or self._mutation_stamp is None:
+            return None
+        key = (self._spec_core(spec), tuple(resume_key))
+        entry = self._parked.pop(key, None)
+        if entry is None:
+            return None
+        refs, stamp = entry
+        if stamp != self._mutation_stamp():
+            self._close_parked(refs)
+            return None
+        return refs
+
+    def invalidate_parked_cursors(self) -> None:
+        """Drop every parked pipeline (the database is about to change)."""
+        while self._parked:
+            _, (refs, _) = self._parked.popitem(last=False)
+            self._close_parked(refs)
+
+    @staticmethod
+    def _close_parked(refs: Iterator[BackReference]) -> None:
+        close = getattr(refs, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------ internals
 

@@ -13,10 +13,18 @@ derived from these counters:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["BacklogStats", "CheckpointStats", "QueryStats", "MaintenanceStats"]
+__all__ = [
+    "BacklogStats",
+    "CheckpointStats",
+    "ExecutorStats",
+    "QueryStats",
+    "MaintenanceStats",
+    "WorkerStats",
+]
 
 
 @dataclass
@@ -57,6 +65,62 @@ class CheckpointStats:
 
 
 @dataclass
+class WorkerStats:
+    """Work done by one executor worker thread (or the calling thread)."""
+
+    jobs: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class ExecutorStats:
+    """Per-worker accounting for one :class:`~repro.core.executor.PartitionExecutor`.
+
+    One instance each for the flush pool and the maintenance pool
+    (:attr:`BacklogStats.flush_pool` / :attr:`BacklogStats.maintenance_pool`).
+    ``workers`` maps a worker thread's name -- or the calling thread's, for
+    inline serial execution -- to its cumulative job count and busy seconds,
+    so a benchmark can read off both the fan-out achieved and the imbalance
+    across workers.  ``record`` is called from worker threads and takes the
+    stats lock; everything else is read single-threaded.
+    """
+
+    dispatches: int = 0
+    jobs: int = 0
+    workers: Dict[str, WorkerStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record(self, worker: str, seconds: float) -> None:
+        """Account one finished job to ``worker`` (thread-safe)."""
+        with self._lock:
+            self.jobs += 1
+            entry = self.workers.get(worker)
+            if entry is None:
+                entry = self.workers[worker] = WorkerStats()
+            entry.jobs += 1
+            entry.seconds += seconds
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-busy time across all workers (sum, not wall time)."""
+        return sum(worker.seconds for worker in self.workers.values())
+
+    @property
+    def max_worker_seconds(self) -> float:
+        """Busy time of the most loaded worker (the parallel critical path)."""
+        if not self.workers:
+            return 0.0
+        return max(worker.seconds for worker in self.workers.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self.dispatches = 0
+            self.jobs = 0
+            self.workers.clear()
+
+
+@dataclass
 class QueryStats:
     """Aggregated over one query batch (reset explicitly by the caller)."""
 
@@ -71,6 +135,10 @@ class QueryStats:
     #: Queries answered through the cursor surface (``Backlog.select`` /
     #: ``QueryEngine.open_cursor``); each cursor counts as one query.
     cursors_opened: int = 0
+    #: Resumed pages answered from a parked pipeline (the session-scoped
+    #: cursor resume cache) instead of re-running the Bloom prefilter and
+    #: re-seeking every run in the active partition.
+    resume_cache_hits: int = 0
     seconds: float = 0.0
 
     @property
@@ -93,6 +161,7 @@ class QueryStats:
         self.runs_skipped_by_bloom = 0
         self.narrow_fast_path_queries = 0
         self.cursors_opened = 0
+        self.resume_cache_hits = 0
         self.seconds = 0.0
 
 
@@ -130,6 +199,10 @@ class BacklogStats:
     checkpoints: List[CheckpointStats] = field(default_factory=list)
     maintenance_runs: List[MaintenanceStats] = field(default_factory=list)
     query: QueryStats = field(default_factory=QueryStats)
+    #: Per-worker timing of the flush fan-out and the parallel compactions
+    #: (serial execution accounts to the calling thread).
+    flush_pool: ExecutorStats = field(default_factory=ExecutorStats)
+    maintenance_pool: ExecutorStats = field(default_factory=ExecutorStats)
 
     @property
     def block_ops(self) -> int:

@@ -21,6 +21,8 @@ time; the paper's absolute figures came from a 15K RPM SAS drive with about
 from __future__ import annotations
 
 import os
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,6 +34,7 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "DiskBackend",
+    "ThrottledBackend",
 ]
 
 #: Page size used throughout the simulator (WAFL and btrfs both use 4 KB).
@@ -40,12 +43,52 @@ PAGE_SIZE = 4096
 
 @dataclass
 class IOStats:
-    """Running I/O counters for a storage backend."""
+    """Running I/O counters for a storage backend.
+
+    The counters are incremented through the ``count_*`` methods, which take
+    a lock: the flush and maintenance executors drive page writes from
+    several worker threads at once, and a bare ``stats.pages_written += 1``
+    is a read-modify-write that loses updates under that concurrency (the
+    regression test in ``tests/test_parallel_equivalence.py`` hammers
+    exactly this).  Reads of the plain fields, and ``snapshot``/``delta``/
+    ``reset``, are only ever performed from the coordinating thread between
+    dispatches, so they stay lock-free.
+    """
 
     pages_written: int = 0
     pages_read: int = 0
     files_created: int = 0
     files_deleted: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def count_pages_written(self, pages: int = 1) -> None:
+        with self._lock:
+            self.pages_written += pages
+
+    def count_pages_read(self, pages: int = 1) -> None:
+        with self._lock:
+            self.pages_read += pages
+
+    def count_file_created(self) -> None:
+        with self._lock:
+            self.files_created += 1
+
+    def count_file_deleted(self) -> None:
+        with self._lock:
+            self.files_deleted += 1
+
+    # Locks are not copyable; copies get fresh ones (a copied stats object
+    # belongs to a new backend, never to the threads of the original).
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def bytes_written(self) -> int:
@@ -130,14 +173,14 @@ class PageFile:
         if len(data) < PAGE_SIZE:
             data = data + b"\x00" * (PAGE_SIZE - len(data))
         index = self._append(data)
-        self._backend.stats.pages_written += 1
+        self._backend.stats.count_pages_written()
         return index
 
     def read_page(self, index: int) -> bytes:
         """Read the page at ``index`` (0-based)."""
         if index < 0 or index >= self.num_pages:
             raise IndexError(f"page {index} out of range in {self.name!r}")
-        self._backend.stats.pages_read += 1
+        self._backend.stats.count_pages_read()
         return self._read(index)
 
     @property
@@ -225,7 +268,7 @@ class MemoryBackend(StorageBackend):
 
     def create(self, name: str) -> PageFile:
         self._files[name] = []
-        self.stats.files_created += 1
+        self.stats.count_file_created()
         return _MemoryPageFile(self, name, self._files[name])
 
     def open(self, name: str) -> PageFile:
@@ -237,7 +280,7 @@ class MemoryBackend(StorageBackend):
         if name not in self._files:
             raise FileNotFoundError(name)
         del self._files[name]
-        self.stats.files_deleted += 1
+        self.stats.count_file_deleted()
 
     def exists(self, name: str) -> bool:
         return name in self._files
@@ -289,7 +332,7 @@ class DiskBackend(StorageBackend):
         path = self._path(name)
         with open(path, "wb"):
             pass
-        self.stats.files_created += 1
+        self.stats.count_file_created()
         return _DiskPageFile(self, name, path)
 
     def open(self, name: str) -> PageFile:
@@ -303,7 +346,7 @@ class DiskBackend(StorageBackend):
         if not os.path.exists(path):
             raise FileNotFoundError(name)
         os.remove(path)
-        self.stats.files_deleted += 1
+        self.stats.count_file_deleted()
 
     def exists(self, name: str) -> bool:
         return os.path.exists(self._path(name))
@@ -313,3 +356,75 @@ class DiskBackend(StorageBackend):
         for entry in sorted(os.listdir(self.directory)):
             names.append(entry.replace("__", "/"))
         return names
+
+
+class _ThrottledPageFile(PageFile):
+    def __init__(self, backend: "ThrottledBackend", inner: PageFile) -> None:
+        super().__init__(backend, inner.name)
+        self._inner = inner
+
+    def _append(self, data: bytes) -> int:
+        index = self._inner._append(data)
+        self._backend._charge_write()
+        return index
+
+    def _read(self, index: int) -> bytes:
+        data = self._inner._read(index)
+        self._backend._charge_read()
+        return data
+
+    def _num_pages(self) -> int:
+        return self._inner._num_pages()
+
+
+class ThrottledBackend(StorageBackend):
+    """A backend wrapper that makes simulated device time actually elapse.
+
+    Every page transfer sleeps for the :class:`DeviceModel` transfer cost of
+    one page (scaled by ``time_scale``), so wall-clock measurements over this
+    backend include the device component a :class:`MemoryBackend` elides.
+    Because ``time.sleep`` releases the GIL, concurrent writers overlap their
+    device time exactly the way independent partition flushes overlap on real
+    hardware -- which is what the ``flush_parallel`` benchmark section uses
+    this backend to measure.  Seek time is deliberately excluded: the read
+    store is written strictly sequentially, so per-page charging of the
+    transfer cost is the model's honest per-operation figure.
+
+    I/O accounting (:class:`IOStats`) is shared with the wrapped backend, so
+    counters read identically whichever handle the caller keeps.
+    """
+
+    def __init__(self, inner: StorageBackend,
+                 device: Optional[DeviceModel] = None,
+                 time_scale: float = 1.0) -> None:
+        super().__init__(device or inner.device)
+        if time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        self.inner = inner
+        self.stats = inner.stats  # one shared set of counters
+        self.time_scale = time_scale
+        self._write_sleep = time_scale * PAGE_SIZE / self.device.write_bandwidth_bytes_per_s
+        self._read_sleep = time_scale * PAGE_SIZE / self.device.read_bandwidth_bytes_per_s
+
+    def _charge_write(self) -> None:
+        if self._write_sleep > 0.0:
+            time.sleep(self._write_sleep)
+
+    def _charge_read(self) -> None:
+        if self._read_sleep > 0.0:
+            time.sleep(self._read_sleep)
+
+    def create(self, name: str) -> PageFile:
+        return _ThrottledPageFile(self, self.inner.create(name))
+
+    def open(self, name: str) -> PageFile:
+        return _ThrottledPageFile(self, self.inner.open(name))
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def list_files(self) -> List[str]:
+        return self.inner.list_files()

@@ -10,6 +10,7 @@ sorted query run.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
@@ -52,6 +53,18 @@ class PageCache:
         Maximum amount of page data retained; the paper's evaluation uses
         32 MB.  A capacity of 0 disables caching entirely (every read goes to
         the backend), which is occasionally useful in benchmarks.
+
+    The cache is thread-safe: the maintenance executor's workers read their
+    partitions' run pages through the one shared cache, and both the LRU
+    order (``move_to_end``) and the eviction loop are multi-step mutations
+    that corrupt the ``OrderedDict`` if interleaved.  One lock guards every
+    dict mutation, but it is *released* around the backend read on a miss --
+    the miss is the device I/O the parallel compaction exists to overlap,
+    and holding a cache-global lock across it would serialise every
+    worker's read phase.  Two workers racing on the *same* page may both
+    read it from the backend (each counted as a miss); in practice workers
+    compact disjoint partitions and therefore touch disjoint files, so the
+    race never materialises.
     """
 
     def __init__(self, capacity_bytes: int = 32 * 1024 * 1024) -> None:
@@ -63,6 +76,7 @@ class PageCache:
         # Per-file index of cached page numbers, so invalidating a file is
         # O(pages invalidated) instead of a scan over the whole cache.
         self._file_pages: Dict[str, Set[int]] = {}
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -75,19 +89,30 @@ class PageCache:
     def read_page(self, page_file: PageFile, index: int) -> bytes:
         """Read a page through the cache."""
         key = (page_file.name, index)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+        # Miss: fetch outside the lock so concurrent workers overlap their
+        # device reads instead of queueing on the cache.
         data = page_file.read_page(index)
-        self._insert(key, data)
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:
+                # Another thread cached the page while we read it; serve the
+                # cached copy so eviction accounting stays consistent.
+                self._entries.move_to_end(key)
+                return raced
+            self._insert(key, data)
         return data
 
     def peek(self, name: str, index: int) -> Optional[bytes]:
         """Return a cached page without touching LRU order (testing hook)."""
-        return self._entries.get((name, index))
+        with self._lock:
+            return self._entries.get((name, index))
 
     def invalidate_file(self, name: str) -> None:
         """Drop every cached page belonging to ``name``.
@@ -97,12 +122,13 @@ class PageCache:
         index makes this O(pages invalidated); compaction cleanup no longer
         scans the whole cache once per deleted run.
         """
-        pages = self._file_pages.pop(name, None)
-        if not pages:
-            return
-        entries = self._entries
-        for index in pages:
-            del entries[(name, index)]
+        with self._lock:
+            pages = self._file_pages.pop(name, None)
+            if not pages:
+                return
+            entries = self._entries
+            for index in pages:
+                del entries[(name, index)]
 
     def clear(self) -> None:
         """Drop the entire cache contents (used before query benchmarks).
@@ -111,10 +137,12 @@ class PageCache:
         between batches but report hit ratios across them; use
         ``stats.reset()`` to zero the counters.
         """
-        self._entries.clear()
-        self._file_pages.clear()
+        with self._lock:
+            self._entries.clear()
+            self._file_pages.clear()
 
     def _insert(self, key: Tuple[str, int], data: bytes) -> None:
+        # Caller holds self._lock.
         if self.capacity_pages == 0:
             return
         self._entries[key] = data

@@ -1,4 +1,14 @@
-"""Shared fixtures for the Backlog reproduction test suite."""
+"""Shared fixtures for the Backlog reproduction test suite.
+
+Worker-pool wiring: ``BacklogConfig`` defaults its ``flush_workers`` /
+``maintenance_workers`` from the ``REPRO_FLUSH_WORKERS`` /
+``REPRO_MAINTENANCE_WORKERS`` environment variables, so exporting
+``REPRO_FLUSH_WORKERS=4`` runs this entire suite -- every test that does not
+explicitly pin its worker counts -- through the partition-sharded parallel
+flush and compaction paths.  CI has a matrix leg doing exactly that on every
+push; ``pytest_report_header`` below surfaces the active counts so a log
+always says which mode it exercised.
+"""
 
 from __future__ import annotations
 
@@ -15,6 +25,13 @@ from repro import (
 )
 from repro.fsim.dedup import DedupConfig
 from repro.fsim.snapshots import SnapshotPolicy
+
+
+def pytest_report_header(config):
+    defaults = BacklogConfig()
+    return (f"backlog workers: flush={defaults.flush_workers} "
+            f"maintenance={defaults.maintenance_workers} "
+            f"(REPRO_FLUSH_WORKERS / REPRO_MAINTENANCE_WORKERS)")
 
 
 @pytest.fixture

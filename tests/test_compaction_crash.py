@@ -15,6 +15,7 @@ compactor after *every single* write position it ever performs.
 from __future__ import annotations
 
 import copy
+import threading
 from typing import Dict, List, Optional
 
 import pytest
@@ -50,13 +51,19 @@ class _FaultPageFile(PageFile):
 
 
 class FaultInjectingBackend(StorageBackend):
-    """Wraps a backend; every page write decrements an optional crash budget."""
+    """Wraps a backend; every page write decrements an optional crash budget.
+
+    The budget decrement is locked: the parallel-compaction variants drive
+    page writes from several maintenance workers at once, and the budget
+    must fail exactly the (N+1)-th write however the workers interleave.
+    """
 
     def __init__(self, inner: StorageBackend) -> None:
         super().__init__()
         self._inner = inner
         self.stats = inner.stats  # share accounting with the wrapped backend
         self.writes_until_crash: Optional[int] = None
+        self._budget_lock = threading.Lock()
 
     def arm(self, writes_until_crash: int) -> None:
         self.writes_until_crash = writes_until_crash
@@ -65,10 +72,11 @@ class FaultInjectingBackend(StorageBackend):
         self.writes_until_crash = None
 
     def consume_write_budget(self) -> None:
-        if self.writes_until_crash is not None:
-            if self.writes_until_crash <= 0:
-                raise SimulatedCrash("page write failed")
-            self.writes_until_crash -= 1
+        with self._budget_lock:
+            if self.writes_until_crash is not None:
+                if self.writes_until_crash <= 0:
+                    raise SimulatedCrash("page write failed")
+                self.writes_until_crash -= 1
 
     def create(self, name: str) -> PageFile:
         return _FaultPageFile(self, self._inner.create(name))
@@ -148,6 +156,54 @@ def test_compaction_crash_at_every_write_position():
         recovered.maintain()
         assert recovered.run_manager.level0_run_count() == 0
         assert _answers(recovered) == baseline
+
+
+def test_parallel_compaction_crash_at_every_write_position():
+    """Interrupt a 4-worker compaction after each page write, then recover.
+
+    With several maintenance workers the crash lands in one worker while its
+    siblings may be anywhere -- mid-run, finished, or not yet started.  The
+    executor waits for every worker to settle before re-raising, so by the
+    time ``maintain()`` fails no thread is still writing; whatever mix of
+    partial output files, complete-but-superseded runs and already-replaced
+    partitions is on disk, recovery must hide it and answer exactly as
+    before the crash.
+    """
+    seed_backend = MemoryBackend()
+    seed_backlog = _build_workload(seed_backend)
+    baseline = _answers(seed_backlog)
+    pristine_files = copy.deepcopy(seed_backend._files)
+
+    config = BacklogConfig(partition_size_blocks=32, maintenance_workers=4)
+
+    # Measure the total page writes of one (serial) uninterrupted compaction;
+    # the parallel pass writes the same pages, only interleaved.
+    probe = copy.deepcopy(seed_backend)
+    writes_before = probe.stats.pages_written
+    recover_backlog(probe, config=BacklogConfig(partition_size_blocks=32)).maintain()
+    total_writes = probe.stats.pages_written - writes_before
+    assert total_writes > 4
+
+    for crash_after in range(total_writes):
+        inner = MemoryBackend()
+        inner._files = copy.deepcopy(pristine_files)
+        backend = FaultInjectingBackend(inner)
+
+        crashed = recover_backlog(backend, config=config)
+        backend.arm(crash_after)
+        with pytest.raises(SimulatedCrash):
+            crashed.maintain()
+        backend.disarm()
+        crashed.close()
+
+        recovered = recover_backlog(backend, config=config)
+        _assert_no_partial_runs(backend)
+        assert _answers(recovered) == baseline
+
+        recovered.maintain()
+        assert recovered.run_manager.level0_run_count() == 0
+        assert _answers(recovered) == baseline
+        recovered.close()
 
 
 def test_partial_run_file_removed_on_recovery():

@@ -1,0 +1,431 @@
+"""Differential tests for the partition-sharded flush/compaction executor.
+
+The executor subsystem (``core/executor.py``) promises that worker counts are
+*invisible* in the database: for any ``flush_workers`` / ``maintenance_workers``
+the run files are byte-identical to the serial ones, the catalogue is
+identical, and every query answers identically.  These tests hold the
+parallel paths to that promise over the same seeded randomized workloads the
+streaming-equivalence suite uses (clones, snapshots, relocations, multiple
+lines), and additionally pin down the shared-structure races the executor
+surfaced:
+
+* ``RunManager.next_sequence`` is a read-modify-write on the sequence
+  counter -- hammered here by concurrent ``write_run`` calls;
+* ``IOStats`` counters are incremented from every worker at page
+  granularity -- hammered through raw ``PageFile.append_page`` calls;
+* the ``PageCache`` LRU is mutated by concurrent readers.
+
+The cursor resume cache (session-scoped parked pipelines) is also locked to
+the uncached re-seek path here: identical pages, and invalidation on every
+database mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+import pytest
+
+from repro.core.backlog import Backlog
+from repro.core.config import BacklogConfig
+from repro.core.cursor import QuerySpec
+from repro.core.executor import PartitionExecutor
+from repro.core.lsm import RunManager, parse_run_name
+from repro.core.masking import ExplicitVersionAuthority
+from repro.core.records import FromRecord
+from repro.fsim.blockdev import MemoryBackend, PAGE_SIZE, ThrottledBackend
+from repro.fsim.cache import PageCache
+
+from tests.test_streaming_equivalence import (
+    _all_blocks,
+    _backend_bytes,
+    _random_ops,
+    _replay,
+)
+
+
+def _workload_backlog(flush_workers: int, maintenance_workers: int,
+                      seed: int) -> Backlog:
+    authority = ExplicitVersionAuthority()
+    config = BacklogConfig(
+        partition_size_blocks=64,   # small partitions: real fan-out per flush
+        flush_workers=flush_workers,
+        maintenance_workers=maintenance_workers,
+    )
+    backlog = Backlog(backend=MemoryBackend(), config=config,
+                      version_authority=authority)
+    _replay(backlog, authority, _random_ops(seed))
+    return backlog
+
+
+# ------------------------------------------------- parallel == serial
+
+
+@pytest.mark.parametrize("seed", [1, 23, 77])
+def test_parallel_flush_and_compaction_byte_identical(seed):
+    """Workers in {1, 4}: same files byte for byte, same answers, always."""
+    serial = _workload_backlog(1, 1, seed)
+    parallel = _workload_backlog(4, 4, seed)
+
+    # After the workload's flushes (no maintenance yet): identical L0 runs.
+    assert _backend_bytes(serial.backend) == _backend_bytes(parallel.backend)
+
+    blocks = _all_blocks(_random_ops(seed))
+    top = max(blocks) + 2
+    for first, width in [(b, 1) for b in blocks] + [(0, top)]:
+        assert serial.query_range(first, width) == parallel.query_range(first, width)
+
+    # After maintenance: identical compacted runs and unchanged answers.
+    result_s = serial.maintain()
+    result_p = parallel.maintain()
+    assert _backend_bytes(serial.backend) == _backend_bytes(parallel.backend)
+    assert (result_s.records_in, result_s.records_out, result_s.records_purged) == \
+           (result_p.records_in, result_p.records_out, result_p.records_purged)
+    for first, width in [(b, 1) for b in blocks] + [(0, top)]:
+        assert serial.query_range(first, width) == parallel.query_range(first, width)
+
+    # A second workload round on top of the compacted state keeps the two in
+    # lock step through mixed L0 + Combined databases as well.
+    more = _random_ops(seed + 1000, num_cps=4, line_base=10)
+    authority_s = serial.version_authority
+    authority_p = parallel.version_authority
+    _replay(serial, authority_s, more)
+    _replay(parallel, authority_p, more)
+    serial.maintain()
+    parallel.maintain()
+    assert _backend_bytes(serial.backend) == _backend_bytes(parallel.backend)
+
+    parallel.close()
+    serial.close()
+
+
+def test_parallel_flush_registers_runs_in_allocation_order():
+    """The catalogue's per-(partition, table) run order must be sequence order."""
+    backlog = _workload_backlog(4, 4, seed=7)
+    manager = backlog.run_manager
+    for partition in manager.partitions():
+        for table in ("from", "to", "combined"):
+            sequences = [parse_run_name(run.name)[3]
+                         for run in manager.runs_for(partition, table)]
+            assert sequences == sorted(sequences)
+    backlog.close()
+
+
+def test_parallel_flush_counts_pages_exactly():
+    """CheckpointStats.pages_written must not lose updates across workers."""
+    serial = _workload_backlog(1, 1, seed=42)
+    parallel = _workload_backlog(4, 4, seed=42)
+    assert [cp.pages_written for cp in serial.stats.checkpoints] == \
+           [cp.pages_written for cp in parallel.stats.checkpoints]
+    # The backend counter agrees with the files actually on disk.
+    assert parallel.backend.stats.pages_written == parallel.backend.total_pages()
+    parallel.close()
+    serial.close()
+
+
+def test_parallel_workers_are_actually_used():
+    """With 4 workers and many partitions, more than one thread does work."""
+    backlog = _workload_backlog(4, 4, seed=99)
+    backlog.maintain()
+    assert backlog.stats.flush_pool.jobs > 0
+    assert backlog.stats.maintenance_pool.jobs > 0
+    assert len(backlog.stats.flush_pool.workers) > 1
+    assert backlog.stats.flush_pool.busy_seconds >= \
+        backlog.stats.flush_pool.max_worker_seconds > 0.0
+    backlog.close()
+
+
+# ------------------------------------------------- shared-structure races
+
+
+def test_concurrent_write_run_sequence_and_page_accounting():
+    """Hammer write_run from many threads: unique names, exact counters.
+
+    This is the regression test for the ``next_sequence`` /
+    ``IOStats.pages_written`` read-modify-write races: before the locks, two
+    workers could observe the same sequence number (one run file silently
+    overwriting the other) or lose counter increments.
+    """
+    backend = MemoryBackend()
+    manager = RunManager(backend)
+    num_threads, runs_per_thread, records_per_run = 8, 25, 120
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(num_threads)
+
+    def hammer(thread_index: int) -> None:
+        try:
+            barrier.wait()
+            for index in range(runs_per_thread):
+                records = [
+                    FromRecord(block, 1 + thread_index, index, 0, 1)
+                    for block in range(records_per_run)
+                ]
+                manager.write_run(thread_index, "from", "L0", iter(records), 1 << 12)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    total_runs = num_threads * runs_per_thread
+    names = [name for name in backend.list_files() if parse_run_name(name)]
+    sequences = [parse_run_name(name)[3] for name in names]
+    assert len(names) == total_runs
+    assert len(set(sequences)) == total_runs, "sequence numbers must be unique"
+    assert manager.run_count("from") == total_runs
+    assert manager.next_sequence() == total_runs + 1
+    # Exact I/O accounting: the locked counters match the stored pages.
+    assert backend.stats.pages_written == backend.total_pages()
+    assert backend.stats.files_created == total_runs
+
+
+def test_concurrent_page_appends_do_not_lose_counter_updates():
+    """Raw ``append_page`` from many threads: the counter stays exact."""
+    backend = MemoryBackend()
+    num_threads, pages_per_thread = 8, 400
+    files = [backend.create(f"hammer/{i}") for i in range(num_threads)]
+    barrier = threading.Barrier(num_threads)
+
+    def append(page_file) -> None:
+        barrier.wait()
+        for _ in range(pages_per_thread):
+            page_file.append_page(b"x")
+
+    threads = [threading.Thread(target=append, args=(f,)) for f in files]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert backend.stats.pages_written == num_threads * pages_per_thread
+    assert backend.total_pages() == num_threads * pages_per_thread
+
+
+def test_concurrent_cache_reads_stay_consistent():
+    """Concurrent readers through one PageCache: no corruption, exact sizes."""
+    backend = MemoryBackend()
+    cache = PageCache(capacity_bytes=64 * PAGE_SIZE)
+    num_files, pages_per_file = 8, 32
+    page_files = []
+    for index in range(num_files):
+        page_file = backend.create(f"c/{index}")
+        for page in range(pages_per_file):
+            page_file.append_page(bytes([index]) * 64)
+        page_files.append(page_file)
+
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(num_files)
+
+    def read_all(page_file, index: int) -> None:
+        try:
+            barrier.wait()
+            for _ in range(20):
+                for page in range(pages_per_file):
+                    data = cache.read_page(page_file, page)
+                    assert data[0] == index
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=read_all, args=(f, i))
+               for i, f in enumerate(page_files)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= cache.capacity_pages
+    assert cache.stats.accesses == num_files * 20 * pages_per_file
+    for page_file in page_files:
+        cache.invalidate_file(page_file.name)
+    assert len(cache) == 0
+
+
+# ------------------------------------------------- executor semantics
+
+
+def test_executor_preserves_submission_order():
+    executor = PartitionExecutor(4)
+    try:
+        jobs = [(lambda i=i: i * i) for i in range(50)]
+        assert executor.map(jobs) == [i * i for i in range(50)]
+    finally:
+        executor.close()
+
+
+def test_executor_waits_for_all_jobs_before_raising():
+    """A failing job must not leave siblings still running after map()."""
+    executor = PartitionExecutor(4)
+    finished = []
+
+    def ok(i):
+        finished.append(i)
+        return i
+
+    def boom():
+        raise RuntimeError("job failed")
+
+    try:
+        jobs = [(lambda i=i: ok(i)) for i in range(10)]
+        jobs.insert(3, boom)
+        with pytest.raises(RuntimeError, match="job failed"):
+            executor.map(jobs)
+        assert sorted(finished) == list(range(10))
+    finally:
+        executor.close()
+
+
+def test_executor_serial_mode_runs_inline():
+    executor = PartitionExecutor(1)
+    main_thread = threading.current_thread()
+    seen = []
+    executor.map([lambda: seen.append(threading.current_thread())] * 3)
+    assert seen == [main_thread] * 3
+    assert executor._pool is None  # no pool is ever created for workers=1
+
+
+def test_throttled_backend_shares_accounting_and_contents():
+    inner = MemoryBackend()
+    backend = ThrottledBackend(inner, time_scale=0.0)
+    page_file = backend.create("t/file")
+    page_file.append_page(b"abc")
+    assert inner.stats is backend.stats
+    assert backend.stats.pages_written == 1
+    assert backend.exists("t/file") and inner.exists("t/file")
+    assert backend.open("t/file").read_page(0)[:3] == b"abc"
+    assert backend.stats.pages_read == 1
+    backend.delete("t/file")
+    assert not inner.exists("t/file")
+    with pytest.raises(ValueError):
+        ThrottledBackend(inner, time_scale=-1.0)
+
+
+# ------------------------------------------------- cursor resume cache
+
+
+def _paginate(backlog: Backlog, num_blocks: int, page_size: int) -> List:
+    spec = QuerySpec(0, num_blocks, limit=page_size)
+    results: List = []
+    token = None
+    while True:
+        page = backlog.select(spec.after(token))
+        results.extend(page)
+        token = page.resume_token
+        if token is None:
+            return results
+
+
+@pytest.mark.parametrize("seed", [3, 57])
+def test_resume_cache_pages_identical_to_uncached(seed):
+    """Cached resumes must answer exactly like the re-seek path."""
+    authority_c = ExplicitVersionAuthority()
+    authority_u = ExplicitVersionAuthority()
+    cached = Backlog(backend=MemoryBackend(), version_authority=authority_c,
+                     config=BacklogConfig(partition_size_blocks=64,
+                                          resume_cache_size=4))
+    uncached = Backlog(backend=MemoryBackend(), version_authority=authority_u,
+                       config=BacklogConfig(partition_size_blocks=64,
+                                            resume_cache_size=0))
+    ops = _random_ops(seed)
+    _replay(cached, authority_c, ops)
+    _replay(uncached, authority_u, ops)
+
+    top = max(_all_blocks(ops)) + 2
+    for page_size in (3, 7, 50):
+        assert _paginate(cached, top, page_size) == _paginate(uncached, top, page_size)
+    assert cached.stats.query.resume_cache_hits > 0
+    assert uncached.stats.query.resume_cache_hits == 0
+
+    # Filtered specs go through (and are keyed into) the cache as well.
+    spec = QuerySpec(0, top, live_only=True, limit=4)
+    expected, results, token = None, [], None
+    while True:
+        page = cached.select(spec.after(token))
+        results.extend(page)
+        token = page.resume_token
+        if token is None:
+            break
+    expected = [ref for ref in uncached.select(QuerySpec(0, top, live_only=True))]
+    assert results == expected
+
+
+def test_resume_cache_invalidated_by_every_mutation():
+    """Checkpoint, maintenance, relocation and updates all drop parked pages."""
+    backlog = Backlog(backend=MemoryBackend(),
+                      config=BacklogConfig(partition_size_blocks=64,
+                                           resume_cache_size=4))
+    for block in range(40):
+        backlog.add_reference(block=block, inode=1, offset=block)
+    backlog.checkpoint()
+
+    def park_one() -> str:
+        page = backlog.select(QuerySpec(0, 100, limit=5))
+        list(page)
+        return page.resume_token
+
+    def resume_misses(token: str) -> bool:
+        hits_before = backlog.stats.query.resume_cache_hits
+        list(backlog.select(QuerySpec(0, 100).after(token)))
+        return backlog.stats.query.resume_cache_hits == hits_before
+
+    token = park_one()
+    assert not resume_misses(token), "a parked page should resume from cache"
+
+    # A checkpoint that flushes records buffered *before* the page was
+    # parked: the mutation stamp is identical at resume time, so only the
+    # flush-side invalidation can catch the changed run set.
+    backlog.add_reference(block=91, inode=3, offset=50)
+    token = park_one()
+    backlog.checkpoint()
+    assert resume_misses(token), "a data-flushing checkpoint must invalidate"
+
+    for mutate in (
+        lambda: backlog.maintain(),
+        lambda: backlog.relocate_block(1),
+        lambda: backlog.register_clone(5, 0, 1),
+        lambda: backlog.add_reference(block=90, inode=2, offset=0),
+    ):
+        token = park_one()
+        mutate()
+        assert resume_misses(token), f"{mutate} must invalidate parked cursors"
+        # The uncached resume still answers correctly afterwards.
+        rest = list(backlog.select(QuerySpec(0, 100).after(token)))
+        assert all(ref[:4] > tuple(QuerySpec(0, 100).after(token).resume_key)
+                   for ref in rest)
+
+
+def test_empty_checkpoint_preserves_parked_cursors():
+    """Idle consistency points must not defeat a hot paginated scan."""
+    backlog = Backlog(backend=MemoryBackend(),
+                      config=BacklogConfig(partition_size_blocks=64,
+                                           resume_cache_size=4))
+    for block in range(30):
+        backlog.add_reference(block=block, inode=1, offset=block)
+    backlog.checkpoint()
+    expected = backlog.query_range(0, 100)
+
+    page = backlog.select(QuerySpec(0, 100, limit=10))
+    results = list(page)
+    backlog.checkpoint()   # empty write stores: flushes nothing
+    hits_before = backlog.stats.query.resume_cache_hits
+    rest = backlog.select(QuerySpec(0, 100).after(page.resume_token))
+    results.extend(rest)
+    assert backlog.stats.query.resume_cache_hits == hits_before + 1
+    assert results == expected
+
+
+def test_resume_cache_capacity_zero_disables_parking():
+    backlog = Backlog(backend=MemoryBackend(),
+                      config=BacklogConfig(resume_cache_size=0))
+    for block in range(20):
+        backlog.add_reference(block=block, inode=1, offset=block)
+    backlog.checkpoint()
+    page = backlog.select(QuerySpec(0, 100, limit=5))
+    list(page)
+    assert backlog._query_engine._parked == {}
+    rest = list(backlog.select(QuerySpec(0, 100).after(page.resume_token)))
+    assert [ref.block for ref in rest] == list(range(5, 20))
+    assert backlog.stats.query.resume_cache_hits == 0
