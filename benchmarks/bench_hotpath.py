@@ -94,6 +94,10 @@ TARGETS = {
     # uncached re-seek path.
     "flush_parallel": 1.5,
     "cursor.resume_cache": 1.05,
+    # PR 6: page checksums -- a full-run decode with per-page CRC32
+    # verification must retain >= 0.91x of the unchecksummed v1 decode
+    # throughput (i.e. verification may cost at most ~1.1x).
+    "checksum": 0.91,
 }
 
 
@@ -228,6 +232,47 @@ def bench_leaf_decode(num_records: int, num_passes: int) -> dict:
     if legacy_count != num_records or new_count != num_records:
         raise AssertionError("leaf decoders disagree")
     return _entry(legacy_seconds, new_seconds, num_records * num_passes)
+
+
+def bench_checksum(num_records: int, num_passes: int) -> dict:
+    """Per-page CRC32 verification overhead on the leaf-decode hot path.
+
+    One operation = one record decoded in a full-run scan.  ``legacy`` reads
+    a v1 run -- the pre-checksum format, with nothing to verify; ``new``
+    reads the same records from a v2 run through a checksum-verifying
+    reader.  The "speedup" is therefore the fraction of decode throughput
+    retained with verification on (target >= 0.91, i.e. the CRC check may
+    cost at most ~1.1x).  The v2-without-verification path is reported
+    alongside as ``unverified_us_per_op`` -- the cost of the format alone.
+    """
+    from repro.core.read_store import ReadStoreReader
+
+    backend = MemoryBackend()
+    records = [FromRecord(i, i % 997 + 1, i % 13, 0, i % 31 + 1) for i in range(num_records)]
+    ReadStoreWriter(backend, "bench/from/L0_2", "from", format_version=1).build(iter(records))
+    ReadStoreWriter(backend, "bench/from/L0_3", "from", format_version=2).build(iter(records))
+    readers = {
+        "legacy": ReadStoreReader(backend, "bench/from/L0_2"),
+        "new": ReadStoreReader(backend, "bench/from/L0_3", verify_checksums=True),
+        "unverified": ReadStoreReader(backend, "bench/from/L0_3", verify_checksums=False),
+    }
+
+    seconds = {}
+    counts = {}
+    for label, reader in readers.items():
+        start = time.perf_counter()
+        for _ in range(num_passes):
+            counts[label] = sum(1 for _ in reader.iter_all())
+        seconds[label] = time.perf_counter() - start
+
+    if any(count != num_records for count in counts.values()):
+        raise AssertionError("checksum decode paths disagree")
+    operations = num_records * num_passes
+    entry = _entry(seconds["legacy"], seconds["new"], operations)
+    entry["unverified_us_per_op"] = round(seconds["unverified"] / operations * 1e6, 4)
+    entry["verify_overhead_pct"] = round(
+        (seconds["new"] / seconds["legacy"] - 1.0) * 100, 1)
+    return entry
 
 
 # --------------------------------------------------------------------- merge
@@ -946,6 +991,8 @@ def run(quick: bool) -> dict:
             num_ops=25_000 * scale, ops_per_cp=2_000),
         **bench_bloom(num_items=8_000 * scale, num_probes=20_000 * scale),
         "leaf_decode": bench_leaf_decode(
+            num_records=20_000 * scale, num_passes=2),
+        "checksum": bench_checksum(
             num_records=20_000 * scale, num_passes=2),
         "merge_sorted_runs": bench_merge(
             num_runs=8, records_per_run=2_500 * scale),

@@ -38,6 +38,7 @@ from repro.core import (
     BloomFilter,
     CloneGraph,
     CombinedRecord,
+    CorruptPageError,
     DeletionVector,
     ExplicitVersionAuthority,
     AllVersionsAuthority,
@@ -46,6 +47,8 @@ from repro.core import (
     Partitioner,
     QueryResult,
     QuerySpec,
+    RetryPolicy,
+    ScrubReport,
     SnapshotManagerAuthority,
     ToRecord,
     VersionAuthority,
@@ -53,16 +56,22 @@ from repro.core import (
     decode_resume_token,
     encode_resume_token,
     recover_backlog,
+    scrub_backend,
     verify_backlog,
 )
 from repro.fsim import (
     DedupConfig,
     DiskBackend,
+    FaultPlan,
+    FaultStats,
+    FaultyBackend,
     FileSystem,
     FileSystemConfig,
     MemoryBackend,
     ReferenceListener,
     SnapshotPolicy,
+    TornWriteError,
+    TransientIOError,
 )
 
 __version__ = "0.5.0"
@@ -76,10 +85,14 @@ __all__ = [
     "BloomFilter",
     "CloneGraph",
     "CombinedRecord",
+    "CorruptPageError",
     "DedupConfig",
     "DeletionVector",
     "DiskBackend",
     "ExplicitVersionAuthority",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyBackend",
     "FileSystem",
     "FileSystemConfig",
     "FromRecord",
@@ -89,14 +102,19 @@ __all__ = [
     "QueryResult",
     "QuerySpec",
     "ReferenceListener",
+    "RetryPolicy",
+    "ScrubReport",
     "SnapshotManagerAuthority",
     "SnapshotPolicy",
     "ToRecord",
+    "TornWriteError",
+    "TransientIOError",
     "VersionAuthority",
     "WriteStore",
     "decode_resume_token",
     "encode_resume_token",
     "recover_backlog",
+    "scrub_backend",
     "verify_backlog",
     "__version__",
 ]

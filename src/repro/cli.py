@@ -9,6 +9,8 @@ command line tool for quick, ad-hoc runs::
     python -m repro query-bench --cps 30 --run-length 64
     python -m repro query --first-block 0 --num-blocks 4096 --live-only --limit 20
     python -m repro verify --cps 10
+    python -m repro scrub --cps 10
+    python -m repro scrub --directory /var/backlog/runs --reclaim
 
 Each subcommand builds a fresh simulated file system with Backlog attached,
 drives the requested workload, and prints a short plain-text report (the same
@@ -36,7 +38,9 @@ from repro.analysis.metrics import (
     sample_space_overhead,
 )
 from repro.analysis.reporting import format_series, format_table
+from repro.core.recovery import scrub_backend
 from repro.core.verify import verify_backlog
+from repro.fsim.blockdev import DiskBackend
 from repro.workloads.nfs_trace import NFSTraceConfig, NFSTracePlayer, generate_eecs03_like_trace
 from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
 
@@ -225,6 +229,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """Verify the page checksums of every run on a backend.
+
+    Two modes: ``--directory`` scrubs an existing on-disk run directory (a
+    :class:`~repro.fsim.blockdev.DiskBackend` root); without it, a seeded
+    workload is run first and its freshly written database is scrubbed --
+    the smoke mode CI uses to exercise the scrubber end to end.  Exits 0
+    only when the backend is clean.
+    """
+    if args.directory is not None:
+        backend = DiskBackend(args.directory)
+    else:
+        fs, backlog = _build_system()
+        workload = SyntheticWorkload(SyntheticWorkloadConfig(
+            num_cps=args.cps, ops_per_cp=args.ops_per_cp, seed=args.seed,
+        ))
+        workload.run(fs)
+        if args.maintain:
+            backlog.maintain()
+        backend = backlog.backend
+    report = scrub_backend(backend, reclaim=args.reclaim)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -291,6 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--maintain", action="store_true",
                         help="run maintenance before verifying")
     verify.set_defaults(func=_cmd_verify)
+
+    scrub = subparsers.add_parser(
+        "scrub", help="verify run-file page checksums, optionally reclaiming damage")
+    common(scrub, cps_default=10, ops_default=500)
+    scrub.add_argument("--directory", type=str, default=None,
+                       help="scrub an existing on-disk run directory instead of "
+                            "running a workload first")
+    scrub.add_argument("--maintain", action="store_true",
+                       help="run maintenance before scrubbing (workload mode)")
+    scrub.add_argument("--reclaim", action="store_true",
+                       help="delete corrupt runs and invalid leftover files")
+    scrub.set_defaults(func=_cmd_scrub)
 
     return parser
 

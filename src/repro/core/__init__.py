@@ -29,8 +29,9 @@ from repro.core.masking import (
     mask_records,
 )
 from repro.core.partitioning import Partitioner
+from repro.core.executor import PartitionExecutor, RetryPolicy
 from repro.core.query import QueryEngine
-from repro.core.read_store import ReadStoreReader, ReadStoreWriter
+from repro.core.read_store import CorruptPageError, ReadStoreReader, ReadStoreWriter
 from repro.core.records import (
     BackReference,
     CombinedRecord,
@@ -39,7 +40,13 @@ from repro.core.records import (
     ReferenceKey,
     ToRecord,
 )
-from repro.core.recovery import parse_run_name, rebuild_run_manager, recover_backlog
+from repro.core.recovery import (
+    ScrubReport,
+    parse_run_name,
+    rebuild_run_manager,
+    recover_backlog,
+    scrub_backend,
+)
 from repro.core.stats import BacklogStats, CheckpointStats, MaintenanceStats, QueryStats
 from repro.core.verify import Mismatch, VerificationReport, verify_backlog
 from repro.core.write_store import WriteStore
@@ -54,6 +61,7 @@ __all__ = [
     "CloneGraph",
     "CombinedRecord",
     "Compactor",
+    "CorruptPageError",
     "DeletionVector",
     "ExplicitVersionAuthority",
     "AllVersionsAuthority",
@@ -62,6 +70,7 @@ __all__ = [
     "MaintenanceStats",
     "Mismatch",
     "PartitionCompactionResult",
+    "PartitionExecutor",
     "Partitioner",
     "QueryEngine",
     "QueryResult",
@@ -70,7 +79,9 @@ __all__ = [
     "ReadStoreReader",
     "ReadStoreWriter",
     "ReferenceKey",
+    "RetryPolicy",
     "RunManager",
+    "ScrubReport",
     "SnapshotManagerAuthority",
     "ToRecord",
     "VerificationReport",
@@ -92,5 +103,6 @@ __all__ = [
     "rebuild_run_manager",
     "recover_backlog",
     "run_name",
+    "scrub_backend",
     "verify_backlog",
 ]

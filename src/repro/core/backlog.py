@@ -53,7 +53,7 @@ from repro.core.compaction import Compactor
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QueryResult, QuerySpec
 from repro.core.deletion_vector import DeletionVector
-from repro.core.executor import PartitionExecutor
+from repro.core.executor import PartitionExecutor, RetryPolicy
 from repro.core.inheritance import CloneGraph
 from repro.core.lsm import RunManager, run_name
 from repro.core.masking import AllVersionsAuthority, VersionAuthority
@@ -82,7 +82,8 @@ class Backlog(ReferenceListener):
         self.backend = backend if backend is not None else MemoryBackend()
         self.cache = PageCache(self.config.cache_bytes)
         self.partitioner = Partitioner(self.config.partition_size_blocks)
-        self.run_manager = RunManager(self.backend, cache=self.cache)
+        self.run_manager = RunManager(self.backend, cache=self.cache,
+                                      verify_checksums=self.config.verify_checksums)
         self.ws_from = WriteStore("from")
         self.ws_to = WriteStore("to")
         self.clone_graph = CloneGraph()
@@ -94,9 +95,11 @@ class Backlog(ReferenceListener):
         self._ops_this_cp = 0
         self._pruned_this_cp = 0
         self._flush_executor = PartitionExecutor(
-            self.config.flush_workers, name="flush")
+            self.config.flush_workers, name="flush",
+            retry=self._retry_policy(self.stats.flush_pool))
         self._maintenance_executor = PartitionExecutor(
-            self.config.maintenance_workers, name="maintenance")
+            self.config.maintenance_workers, name="maintenance",
+            retry=self._retry_policy(self.stats.maintenance_pool))
         self._compactor = Compactor(
             self.run_manager, self.config, self.version_authority,
             self.clone_graph, self.deletion_vector,
@@ -114,6 +117,17 @@ class Backlog(ReferenceListener):
             # pipeline is never resumed over a changed in-memory state.
             mutation_stamp=lambda: (self.stats.references_added,
                                     self.stats.references_removed),
+        )
+
+    def _retry_policy(self, pool_stats) -> Optional[RetryPolicy]:
+        """The bounded retry-with-backoff applied around every executor job."""
+        if self.config.io_retries == 0:
+            return None
+        return RetryPolicy(
+            attempts=1 + self.config.io_retries,
+            backoff_s=self.config.io_retry_backoff_s,
+            multiplier=self.config.io_retry_backoff_multiplier,
+            on_retry=lambda _error: pool_stats.count_retry(),
         )
 
     # ------------------------------------------------------- authority setup
@@ -203,17 +217,40 @@ class Backlog(ReferenceListener):
             self._query_engine.invalidate_parked_cursors()
             self.stats.flush_pool.dispatches += 1
             bloom_bits = self.config.run_bloom_bits
-            readers = self._flush_executor.map(
-                [
-                    (lambda name=name, table=table, records=records:
-                        self.run_manager.build_run(name, table, records, bloom_bits))
-                    for _, table, name, records in plan
-                ],
-                self.stats.flush_pool,
-            )
+            jobs = [
+                (lambda name=name, table=table, records=records:
+                    self.run_manager.build_run(name, table, records, bloom_bits))
+                for _, table, name, records in plan
+            ]
+            try:
+                readers = self._flush_executor.map(jobs, self.stats.flush_pool)
+            except OSError:
+                # A job exhausted its retries (or hit a non-retryable fault
+                # like ENOSPC or a torn write) but the process survived.
+                # Nothing was registered, so the failed batch is invisible to
+                # queries; discard the partial output files and -- when the
+                # failure happened under parallel fan-out -- fall back to
+                # running this CP's jobs serially, the smallest execution
+                # mode that can still make progress.  A crash-style failure
+                # (non-OSError) propagates untouched: its partial files are
+                # the recovery path's responsibility.
+                self._discard_planned_runs(plan)
+                if self._flush_executor.workers > 1 and len(jobs) > 1:
+                    self.stats.flush_pool.serial_fallbacks += 1
+                    try:
+                        readers = self._flush_executor.run_serial(
+                            jobs, self.stats.flush_pool)
+                    except OSError:
+                        self._discard_planned_runs(plan)
+                        raise
+                else:
+                    raise
             for (partition, table, _, _), reader in zip(plan, readers):
                 if reader is not None:
                     self.run_manager.add_run(partition, table, reader)
+        # Reached only on a fully successful flush: a failed CP re-raises
+        # above with the write stores intact, so the buffered updates are
+        # either durably in the new runs or still queryable in memory.
         self.ws_from.clear()
         self.ws_to.clear()
 
@@ -239,6 +276,20 @@ class Backlog(ReferenceListener):
         interval = self.config.maintenance_interval_cps
         if interval is not None and cp % interval == 0:
             self.maintain()
+
+    def _discard_planned_runs(self, plan: List[Tuple[int, str, str, Sequence]]) -> None:
+        """Delete the output files of a failed flush batch.
+
+        None of the planned runs were registered, so deleting whatever
+        subset reached the backend (complete runs from jobs that succeeded,
+        partial files from the one that failed) restores the exact pre-CP
+        on-disk state.  The jobs will recreate them deterministically --
+        same names, same bytes -- if the CP is retried.
+        """
+        for _partition, _table, name, _records in plan:
+            if self.backend.exists(name):
+                self.backend.delete(name)
+            self.cache.invalidate_file(name)
 
     def on_clone_created(self, new_line: int, parent_line: int, parent_version: int, cp: int) -> None:
         """Track a writable clone.  No back-reference records are written."""

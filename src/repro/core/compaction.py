@@ -41,7 +41,7 @@ from repro.core.inheritance import CloneGraph
 from repro.core.join import join_tables, stream_join_tables
 from repro.core.lsm import RunManager, run_name
 from repro.core.masking import VersionAuthority
-from repro.core.read_store import ReadStoreReader, ReadStoreWriter
+from repro.core.read_store import CorruptPageError, ReadStoreReader, ReadStoreWriter
 from repro.core.records import CombinedRecord, FromRecord, ToRecord
 from repro.core.stats import ExecutorStats, MaintenanceStats
 from repro.util.intervals import intersect_ranges
@@ -131,7 +131,19 @@ class Compactor:
         ]
         if self.executor_stats is not None and jobs:
             self.executor_stats.dispatches += 1
-        results = self.executor.map(jobs, self.executor_stats)
+        try:
+            results = self.executor.map(jobs, self.executor_stats)
+        except OSError:
+            # Graceful I/O failure (retries exhausted, torn write, device
+            # full): partitions that completed have already swapped their
+            # catalogues atomically and stay compacted; discard the
+            # unregistered output files of the ones that did not, then
+            # re-raise.  The deletion vector is NOT cleared -- the failed
+            # partitions still hold suppressed tuples.  A crash-style
+            # failure (non-OSError) propagates untouched, leaving its
+            # partial files for the recovery path.
+            self._discard_unregistered_outputs(names)
+            raise
         # Every run has been rewritten without the suppressed tuples, so the
         # deletion vector can start from scratch.
         self.deletion_vector.clear()
@@ -155,6 +167,17 @@ class Compactor:
                              self.run_manager.next_sequence())
         return combined_name, from_name
 
+    def _discard_unregistered_outputs(self, names: Dict[int, Tuple[str, str]]) -> None:
+        """Delete allocated output files that never made it into the catalogue."""
+        backend = self.run_manager.backend
+        for partition, allocated in names.items():
+            registered = {run.name for run in self.run_manager.runs_for(partition)}
+            for name in allocated:
+                if name not in registered and backend.exists(name):
+                    backend.delete(name)
+                    if self.run_manager.cache is not None:
+                        self.run_manager.cache.invalidate_file(name)
+
     def compact_partition(self, partition: int,
                           _names: Optional[Tuple[str, str]] = None,
                           ) -> PartitionCompactionResult:
@@ -174,12 +197,25 @@ class Compactor:
             _names if _names is not None else self._allocate_output_names(partition)
         )
 
-        if self.streaming:
-            records_in, records_out, purged, new_runs = self._compact_streaming(
-                partition, combined_name, from_name)
-        else:
-            records_in, records_out, purged, new_runs = self._compact_materialized(
-                partition, combined_name, from_name)
+        while True:
+            try:
+                if self.streaming:
+                    records_in, records_out, purged, new_runs = self._compact_streaming(
+                        partition, combined_name, from_name)
+                else:
+                    records_in, records_out, purged, new_runs = self._compact_materialized(
+                        partition, combined_name, from_name)
+                break
+            except CorruptPageError as error:
+                # A damaged *input* page: quarantine the run and recompact
+                # the partition from the survivors -- degraded, but correct
+                # with respect to the remaining data.  Bounded: every round
+                # removes one run from the catalogue, and an unrecognised
+                # name (already quarantined, or one of our own half-written
+                # outputs) re-raises immediately.  The writers recreate the
+                # output files from scratch on the next round.
+                if not self.run_manager.quarantine_run(error.run_name):
+                    raise
 
         self.run_manager.replace_partition(partition, new_runs)
 
@@ -337,4 +373,5 @@ class Compactor:
     def _reopen_through_cache(self, built: ReadStoreReader) -> ReadStoreReader:
         """Re-open a freshly written run through the shared page cache."""
         return ReadStoreReader(self.run_manager.backend, built.name,
-                               cache=self.run_manager.cache, bloom=built.bloom)
+                               cache=self.run_manager.cache, bloom=built.bloom,
+                               verify_checksums=self.run_manager.verify_checksums)

@@ -106,6 +106,26 @@ class BacklogConfig:
         snapshot deletion, and are discarded if the
         write stores changed since parking.  ``0`` disables parking
         entirely (every resumed page rebuilds the pipeline from the token).
+    verify_checksums:
+        When True (the default), every leaf/index page decoded by the query
+        and compaction paths is verified against its stored CRC32 (v2 run
+        files only -- v1 files carry no checksums); a mismatch raises
+        :class:`~repro.core.read_store.CorruptPageError`, which those paths
+        convert into quarantine + degraded operation.  ``False`` skips the
+        per-decode check (the ``checksum`` benchmark section measures the
+        difference); ``repro scrub`` and run-open header verification are
+        unaffected by this flag.
+    io_retries:
+        How many times a transient storage fault (``TransientIOError``,
+        ``EINTR``/``EAGAIN``/``EIO``) inside a flush or compaction job is
+        retried before the batch fails; ``0`` disables retrying.  Torn
+        writes, ``ENOSPC`` and crashes are never retried -- they fail the
+        batch atomically (nothing is registered in the catalogue and the
+        write stores keep their data, so the caller can retry the whole
+        checkpoint or recover to the last complete CP).
+    io_retry_backoff_s / io_retry_backoff_multiplier:
+        Delay before the first retry, and the factor it grows by after each
+        subsequent failure of the same job.
     track_timing:
         When True, the manager records wall-clock time spent in reference
         updates and flushes (used for the µs-per-operation figures).
@@ -126,6 +146,10 @@ class BacklogConfig:
         default_factory=lambda: _workers_from_env(
             "REPRO_MAINTENANCE_WORKERS", "REPRO_FLUSH_WORKERS"))
     resume_cache_size: int = 4
+    verify_checksums: bool = True
+    io_retries: int = 2
+    io_retry_backoff_s: float = 0.002
+    io_retry_backoff_multiplier: float = 2.0
     track_timing: bool = True
 
     def __post_init__(self) -> None:
@@ -143,3 +167,9 @@ class BacklogConfig:
             raise ValueError("worker counts must be >= 1")
         if self.resume_cache_size < 0:
             raise ValueError("resume_cache_size must be non-negative")
+        if self.io_retries < 0:
+            raise ValueError("io_retries must be non-negative")
+        if self.io_retry_backoff_s < 0:
+            raise ValueError("io_retry_backoff_s must be non-negative")
+        if self.io_retry_backoff_multiplier < 1.0:
+            raise ValueError("io_retry_backoff_multiplier must be >= 1.0")

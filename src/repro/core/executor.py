@@ -46,13 +46,63 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.core.stats import ExecutorStats
+from repro.fsim.faults import is_transient_fault
 
-__all__ = ["PartitionExecutor"]
+__all__ = ["PartitionExecutor", "RetryPolicy"]
 
 T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient storage faults.
+
+    ``attempts`` is the total number of tries *including* the first --
+    ``attempts=1`` disables retrying.  Between tries the policy sleeps
+    ``backoff_s`` seconds, multiplied by ``multiplier`` after each failure;
+    the ``sleep`` callable is injectable so tests substitute a recording
+    stub and never really sleep.  Only exceptions the ``retryable``
+    classifier accepts are retried (by default transient I/O faults --
+    ``ENOSPC``, torn writes and crashes always propagate immediately).
+    ``on_retry`` is invoked once per absorbed failure, before the backoff;
+    the executors use it to count retries into their stats.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.002
+    multiplier: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+    retryable: Callable[[BaseException], bool] = is_transient_fault
+    on_retry: Optional[Callable[[BaseException], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+
+    def run(self, job: Callable[[], T]) -> T:
+        """Run ``job``, absorbing up to ``attempts - 1`` retryable failures."""
+        delay = self.backoff_s
+        attempt = 1
+        while True:
+            try:
+                return job()
+            except Exception as error:  # noqa: BLE001 - classified below
+                if attempt >= self.attempts or not self.retryable(error):
+                    raise
+                if self.on_retry is not None:
+                    self.on_retry(error)
+                if delay > 0:
+                    self.sleep(delay)
+                    delay *= self.multiplier
+                attempt += 1
 
 
 class PartitionExecutor:
@@ -68,6 +118,10 @@ class PartitionExecutor:
     name:
         Thread-name prefix, visible in tracebacks and in the per-worker
         timing stats (``ExecutorStats.workers``).
+    retry:
+        Optional :class:`RetryPolicy` applied around every job, serial or
+        pooled, so a transient backend fault inside one partition's work is
+        absorbed without failing the whole batch.
 
     The pool is created lazily on the first ``map`` call that has more than
     one job to run, and reused for the executor's lifetime; :meth:`close`
@@ -75,11 +129,13 @@ class PartitionExecutor:
     garbage collected, so calling it is optional).
     """
 
-    def __init__(self, workers: int = 1, name: str = "backlog") -> None:
+    def __init__(self, workers: int = 1, name: str = "backlog",
+                 retry: Optional[RetryPolicy] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.name = name
+        self.retry = retry
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -104,7 +160,7 @@ class PartitionExecutor:
         if not jobs:
             return []
         if self.workers == 1 or len(jobs) == 1:
-            return [self._run_job(job, stats) for job in jobs]
+            return self.run_serial(jobs, stats)
         pool = self._ensure_pool()
         futures = [pool.submit(self._run_job, job, stats) for job in jobs]
         results: List[T] = []
@@ -119,6 +175,17 @@ class PartitionExecutor:
         if first_error is not None:
             raise first_error
         return results
+
+    def run_serial(self, jobs: Sequence[Callable[[], T]],
+                   stats: Optional[ExecutorStats] = None) -> List[T]:
+        """Run every job inline in the calling thread, in order.
+
+        This is the degenerate path ``map`` takes with one worker, exposed
+        so callers can force it -- the flush path falls back to it for a
+        whole consistency point when a parallel batch fails gracefully.
+        The retry policy still applies per job.
+        """
+        return [self._run_job(job, stats) for job in jobs]
 
     def close(self) -> None:
         """Shut the pool down (no-op if it was never created)."""
@@ -138,13 +205,16 @@ class PartitionExecutor:
                 )
             return self._pool
 
-    @staticmethod
-    def _run_job(job: Callable[[], T], stats: Optional[ExecutorStats]) -> T:
+    def _run_job(self, job: Callable[[], T], stats: Optional[ExecutorStats]) -> T:
+        if self.retry is not None:
+            run: Callable[[], T] = lambda: self.retry.run(job)
+        else:
+            run = job
         if stats is None:
-            return job()
+            return run()
         start = time.perf_counter()
         try:
-            return job()
+            return run()
         finally:
             stats.record(threading.current_thread().name,
                          time.perf_counter() - start)

@@ -90,12 +90,18 @@ class RunManager:
     which no other worker touches.
     """
 
-    def __init__(self, backend: StorageBackend, cache: Optional[PageCache] = None) -> None:
+    def __init__(self, backend: StorageBackend, cache: Optional[PageCache] = None,
+                 verify_checksums: bool = True) -> None:
         self.backend = backend
         self.cache = cache
+        self.verify_checksums = verify_checksums
         self._partitions: Dict[int, _PartitionRuns] = {}
         self._sequence = 0
         self._lock = threading.Lock()
+        #: Names of damaged runs dropped from the catalogue.  The files stay
+        #: on the backend (``repro scrub`` reports and reclaims them) so a
+        #: post-mortem can inspect the corruption.
+        self.quarantined: List[str] = []
 
     # --------------------------------------------------------------- writing
 
@@ -103,6 +109,17 @@ class RunManager:
         with self._lock:
             self._sequence += 1
             return self._sequence
+
+    def reserve_through(self, sequence: int) -> None:
+        """Advance the counter so future names start past ``sequence``.
+
+        Recovery uses this after scanning the backend for the highest
+        sequence number already on disk, so rebuilt catalogues never
+        allocate a name that collides with an existing file.
+        """
+        with self._lock:
+            if sequence > self._sequence:
+                self._sequence = sequence
 
     def write_run(self, partition: int, table: str, level: str,
                   records: Iterable, bloom_bits: int) -> Optional[ReadStoreReader]:
@@ -115,7 +132,7 @@ class RunManager:
         return reader
 
     def build_run(self, name: str, table: str, records: Iterable,
-                  bloom_bits: int) -> Optional[ReadStoreReader]:
+                  bloom_bits: int, retry=None) -> Optional[ReadStoreReader]:
         """Write a run under a pre-allocated name without registering it.
 
         The parallel flush path allocates every run name up front (in the
@@ -124,14 +141,25 @@ class RunManager:
         allocation order -- which is what keeps a parallel flush
         byte-identical to a serial one.  Returns ``None`` (and creates no
         file) for an empty input.
+
+        ``retry`` (a :class:`~repro.core.executor.RetryPolicy`) is for
+        direct callers only: ``records`` must then be re-iterable (a
+        sequence, not a generator).  The executors apply their own policy
+        around the whole job, so ``Backlog`` leaves this ``None`` to avoid
+        multiplying attempts.
         """
-        writer = ReadStoreWriter(self.backend, name, table, bloom_bits=bloom_bits)
-        reader = writer.build(records)
-        if reader is None:
-            return None
-        # Re-open through the shared cache so queries benefit from it; keep
-        # the freshly built Bloom filter (no need to reload it from disk).
-        return ReadStoreReader(self.backend, name, cache=self.cache, bloom=reader.bloom)
+        def attempt() -> Optional[ReadStoreReader]:
+            writer = ReadStoreWriter(self.backend, name, table, bloom_bits=bloom_bits)
+            reader = writer.build(records)
+            if reader is None:
+                return None
+            # Re-open through the shared cache so queries benefit from it;
+            # keep the freshly built Bloom filter (no reload from disk).
+            return ReadStoreReader(self.backend, name, cache=self.cache,
+                                   bloom=reader.bloom,
+                                   verify_checksums=self.verify_checksums)
+
+        return retry.run(attempt) if retry is not None else attempt()
 
     def add_run(self, partition: int, table: str, reader: ReadStoreReader) -> None:
         if table not in TABLES:
@@ -165,6 +193,35 @@ class RunManager:
                 self.cache.invalidate_file(run.name)
             deleted.append(run.name)
         return deleted
+
+    def quarantine_run(self, name: str) -> bool:
+        """Drop a damaged run from the catalogue; the file stays on disk.
+
+        Returns ``True`` if the run was catalogued (and is now quarantined);
+        ``False`` if no such run is registered -- e.g. it was already
+        quarantined by a concurrent detection, or the name never existed.
+        Queries re-answered after a quarantine see the surviving runs plus
+        the write stores: degraded, but correct with respect to the
+        remaining data.  ``repro scrub --reclaim`` deletes the file.
+        """
+        found = False
+        with self._lock:
+            for entry in self._partitions.values():
+                for runs in entry.runs.values():
+                    for index, run in enumerate(runs):
+                        if run.name == name:
+                            del runs[index]
+                            found = True
+                            break
+                    if found:
+                        break
+                if found:
+                    break
+            if found:
+                self.quarantined.append(name)
+        if found and self.cache is not None:
+            self.cache.invalidate_file(name)
+        return found
 
     # --------------------------------------------------------------- queries
 

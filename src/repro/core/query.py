@@ -64,6 +64,13 @@ pushed into the pipeline stages --
 The same dispatch applies: a narrow resumed/filtered cursor is answered by
 filtering the materialised fast path's small list, and the differential
 suite holds cursor answers identical to the legacy list surface.
+
+Both surfaces degrade rather than fail on storage corruption: a
+:class:`~repro.core.read_store.CorruptPageError` raised while decoding a
+page quarantines the damaged run (dropped from the catalogue, file left on
+disk for ``repro scrub``) and the query is re-answered -- or, for a cursor,
+the pipeline re-entered just past the last emitted owner -- from the
+surviving runs plus the write stores.
 """
 
 from __future__ import annotations
@@ -83,7 +90,7 @@ from repro.core.join import materialized_join, merge_join_for_query
 from repro.core.lsm import RunManager, parse_run_name
 from repro.core.masking import VersionAuthority, iter_mask_records, mask_records
 from repro.core.partitioning import Partitioner
-from repro.core.read_store import RECORD_KINDS, ReadStoreReader
+from repro.core.read_store import RECORD_KINDS, CorruptPageError, ReadStoreReader
 from repro.core.records import BackReference, CombinedRecord, FromRecord, ToRecord
 from repro.core.stats import QueryStats
 from repro.core.write_store import WriteStore
@@ -163,11 +170,25 @@ class QueryEngine:
         start_time = time.perf_counter()
         reads_before = self.backend.stats.pages_read
 
-        candidate_runs = self._candidate_runs(first_block, num_blocks)
-        if self._dispatch_narrow(candidate_runs, num_blocks):
-            results = self._query_materialized(candidate_runs, first_block, num_blocks)
-        else:
-            results = self._query_streaming(candidate_runs, first_block, num_blocks)
+        # Degraded operation: a checksum mismatch quarantines the damaged
+        # run and the query is re-answered from the surviving runs plus the
+        # write stores.  The loop is bounded -- every round removes a run
+        # from the catalogue (or re-raises if it cannot).
+        count_dispatch = True
+        while True:
+            candidate_runs = self._candidate_runs(first_block, num_blocks)
+            try:
+                if self._dispatch_narrow(candidate_runs, num_blocks,
+                                         count=count_dispatch):
+                    results = self._query_materialized(
+                        candidate_runs, first_block, num_blocks)
+                else:
+                    results = self._query_streaming(
+                        candidate_runs, first_block, num_blocks)
+                break
+            except CorruptPageError as error:
+                self._quarantine(error)
+                count_dispatch = False
 
         self.stats.queries += 1
         self.stats.back_references_returned += len(results)
@@ -234,6 +255,13 @@ class QueryEngine:
         Page-read accounting samples the backend counter at open and at
         finalisation; interleaving other queries while a cursor is open
         attributes their reads to whichever finishes last.
+
+        A checksum mismatch surfacing mid-stream quarantines the damaged run
+        and rebuilds the pipeline just past the last owner already emitted
+        (``last_identity`` doubles as the resume seek target), so the
+        consumer sees an uninterrupted, still-sorted owner stream -- degraded
+        to the surviving runs, with nothing re-emitted and nothing before the
+        corruption point lost.
         """
         stats = self.stats
         backend_stats = self.backend.stats
@@ -242,62 +270,90 @@ class QueryEngine:
         elapsed = 0.0
         window = spec.version_window
         started = time.perf_counter()
+        # The last identity the consumer must not see again: the spec's
+        # resume token at entry, then the identity of every owner yielded.
+        # Refs arrive in strictly increasing identity order, so the skip
+        # test only ever fires on a resumed or rebuilt pipeline.
+        last_identity = resume_key
+        count_dispatch = not reopened
         try:
             refs: Optional[Iterator[BackReference]] = None
             if resume_key is not None:
                 refs = self._take_parked(spec, resume_key)
                 if refs is not None:
                     # The parked pipeline is already positioned just past the
-                    # resume identity: no Bloom prefilter, no per-run
-                    # re-seek, and the skip-to-token scan below is moot.
+                    # resume identity: no Bloom prefilter and no per-run
+                    # re-seek (the skip test above never fires on it).
                     stats.resume_cache_hits += 1
-                    resume_key = None
-            if refs is None:
-                candidate_runs = self._candidate_runs(first_block, num_blocks)
-                if self._dispatch_narrow(candidate_runs, num_blocks, count=not reopened):
-                    # The materialised fast path already returns a small,
-                    # fully grouped list; the record-level pushdowns would
-                    # not pay for themselves, so the spec's filters apply
-                    # per owner below.  ``iter`` keeps the loop's position
-                    # in ``refs`` itself so a full page can be parked.
-                    refs = iter(self._query_materialized(
-                        candidate_runs, first_block, num_blocks
-                    ))
-                else:
-                    refs = self._iter_group_sorted(self._cursor_records(
-                        candidate_runs, first_block, num_blocks, start_key, spec
-                    ))
-            for ref in refs:
-                if resume_key is not None and ref[:4] <= resume_key:
-                    continue
-                if spec.inodes is not None and ref[1] not in spec.inodes:
-                    continue
-                if spec.lines is not None and ref[3] not in spec.lines:
-                    continue
-                if spec.live_only and not ref.is_live:
-                    continue
-                if window is not None and not any(
-                    start < window[1] and window[0] < stop for start, stop in ref.ranges
-                ):
-                    continue
-                emitted += 1
-                elapsed += time.perf_counter() - started
-                # ``None`` marks the generator as suspended at the yield: if
-                # the consumer closes (or drops) the cursor while it sits
-                # there, the finally block must not charge the time the
-                # consumer spent holding it.
-                started = None
-                page_full = spec.limit is not None and emitted >= spec.limit
-                if page_full:
-                    # Park *before* the yield: the consumer usually closes
-                    # the cursor the moment its page fills, and the pipeline
-                    # must already be in the cache (not torn down with the
-                    # generator) when the resume token comes back.
-                    self._park_cursor(spec, ref, refs)
-                yield ref
-                started = time.perf_counter()
-                if page_full:
+            while True:
+                try:
+                    if refs is None:
+                        candidate_runs = self._candidate_runs(first_block, num_blocks)
+                        if self._dispatch_narrow(candidate_runs, num_blocks,
+                                                 count=count_dispatch):
+                            # The materialised fast path already returns a
+                            # small, fully grouped list; the record-level
+                            # pushdowns would not pay for themselves, so the
+                            # spec's filters apply per owner below.  ``iter``
+                            # keeps the loop's position in ``refs`` itself so
+                            # a full page can be parked.
+                            refs = iter(self._query_materialized(
+                                candidate_runs, first_block, num_blocks
+                            ))
+                        else:
+                            refs = self._iter_group_sorted(self._cursor_records(
+                                candidate_runs, first_block, num_blocks, start_key,
+                                spec
+                            ))
+                    for ref in refs:
+                        if last_identity is not None and ref[:4] <= last_identity:
+                            continue
+                        if spec.inodes is not None and ref[1] not in spec.inodes:
+                            continue
+                        if spec.lines is not None and ref[3] not in spec.lines:
+                            continue
+                        if spec.live_only and not ref.is_live:
+                            continue
+                        if window is not None and not any(
+                            start < window[1] and window[0] < stop
+                            for start, stop in ref.ranges
+                        ):
+                            continue
+                        emitted += 1
+                        last_identity = ref[:4]
+                        elapsed += time.perf_counter() - started
+                        # ``None`` marks the generator as suspended at the
+                        # yield: if the consumer closes (or drops) the cursor
+                        # while it sits there, the finally block must not
+                        # charge the time the consumer spent holding it.
+                        started = None
+                        page_full = spec.limit is not None and emitted >= spec.limit
+                        if page_full:
+                            # Park *before* the yield: the consumer usually
+                            # closes the cursor the moment its page fills, and
+                            # the pipeline must already be in the cache (not
+                            # torn down with the generator) when the resume
+                            # token comes back.
+                            self._park_cursor(spec, ref, refs)
+                        yield ref
+                        started = time.perf_counter()
+                        if page_full:
+                            return
                     return
+                except CorruptPageError as error:
+                    # Quarantine and re-enter just past the last owner the
+                    # consumer saw.  The broken generator chain was already
+                    # closed by the propagating exception; parked pipelines
+                    # were dropped by the quarantine's invalidation.
+                    self._quarantine(error)
+                    count_dispatch = False
+                    refs = None
+                    if last_identity is not None:
+                        first_block = last_identity[0]
+                        num_blocks = (spec.first_block + spec.num_blocks
+                                      - last_identity[0])
+                        start_key = (last_identity[0], last_identity[1],
+                                     last_identity[2], 0, 0)
         finally:
             if started is not None:
                 elapsed += time.perf_counter() - started
@@ -396,6 +452,21 @@ class QueryEngine:
             close()
 
     # ------------------------------------------------------------ internals
+
+    def _quarantine(self, error: CorruptPageError) -> None:
+        """Convert a checksum mismatch into quarantine + degraded operation.
+
+        Drops the damaged run from the catalogue (the file stays on the
+        backend for ``repro scrub`` to report and reclaim) and invalidates
+        the parked cursors, whose frozen pipelines may hold the corrupt run
+        open.  Re-raises the error when the run is not in the catalogue --
+        nothing left to degrade away from, so the caller must not loop.
+        """
+        self.stats.corrupt_pages_detected += 1
+        if not self.run_manager.quarantine_run(error.run_name):
+            raise error
+        self.stats.runs_quarantined += 1
+        self.invalidate_parked_cursors()
 
     def _dispatch_narrow(self, candidate_runs: List[ReadStoreReader],
                          num_blocks: int, count: bool = True) -> bool:

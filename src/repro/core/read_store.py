@@ -17,6 +17,20 @@ layout, so a reader needs exactly one page read to open a run.
 File layout (4 KB pages)::
 
     [leaf pages][level-1 pages][level-2 pages]...[bloom pages][header page]
+
+Format versions
+---------------
+
+Version 2 (``BACKLOG2``, the current writer output) stores a CRC32 in the
+previously-reserved second field of every leaf and index page header,
+covering the whole 4 KB page except the checksum field itself; the header
+page grows two fields, a CRC over the (page-padded) Bloom region and a CRC
+over the header bytes.  Readers verify the header checksum at open time and
+each page checksum on decode (disable with ``verify_checksums=False``); a
+mismatch raises :class:`CorruptPageError`, which the query and compaction
+layers convert into quarantine + degraded operation.  Version 1 files
+(``BACKLOG1``) remain fully readable -- they simply carry no checksums to
+verify.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from __future__ import annotations
 import struct
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from zlib import crc32
 
 from repro.core.bloom import BloomFilter, DEFAULT_FILTER_BITS
 from repro.core.records import (
@@ -40,16 +55,42 @@ from repro.core.records import (
 from repro.fsim.blockdev import PAGE_SIZE, PageFile, StorageBackend
 from repro.fsim.cache import PageCache
 
-__all__ = ["ReadStoreWriter", "ReadStoreReader", "RECORD_KINDS"]
+__all__ = ["ReadStoreWriter", "ReadStoreReader", "CorruptPageError", "RECORD_KINDS"]
 
-_MAGIC = 0x4241434B4C4F4731  # "BACKLOG1"
-_PAGE_HEADER = struct.Struct("<II")  # number of entries, reserved
+_MAGIC = 0x4241434B4C4F4731  # "BACKLOG1" -- v1, no checksums
+_MAGIC_V2 = 0x4241434B4C4F4732  # "BACKLOG2" -- v2, CRC32 per page
+_PAGE_HEADER = struct.Struct("<II")  # number of entries, CRC32 (v1: reserved)
 _INDEX_ENTRY = struct.Struct("<5QQ")  # 5-field separator key + child page number
 _MAX_LEVELS = 8
 _HEADER = struct.Struct("<QQQQQQ" + "QQ" * _MAX_LEVELS + "QQQQ")
 # magic, record_kind, record_size, num_records, num_leaf_pages, num_levels,
 # (level_first_page, level_num_pages) * 8, bloom_first_page, bloom_num_pages,
 # min_block, max_block
+_HEADER_V2_BODY = struct.Struct(_HEADER.format + "Q")  # ... + bloom_crc
+_HEADER_CRC = struct.Struct("<Q")  # CRC32 of the packed body, appended last
+
+
+class CorruptPageError(ValueError):
+    """A page failed checksum verification (or a v2 header is damaged).
+
+    Subclasses :class:`ValueError` so recovery's invalid-run detection treats
+    a corrupt-at-open run exactly like a truncated one.  Carries enough
+    context (``run_name``, ``page_index``, ``kind``) for the quarantine and
+    scrub paths to report and act on the damage.
+    """
+
+    def __init__(self, run_name: str, page_index: int, kind: str) -> None:
+        super().__init__(
+            f"{run_name!r}: checksum mismatch on {kind} page {page_index}")
+        self.run_name = run_name
+        self.page_index = page_index
+        self.kind = kind
+
+
+def _page_crc(data: bytes) -> int:
+    """CRC32 of one 4 KB page, skipping the 4-byte checksum field itself."""
+    view = memoryview(data)
+    return crc32(view[8:], crc32(view[:4]))
 
 RECORD_KINDS = {"from": 1, "to": 2, "combined": 3}
 _KIND_TO_CLASS = {1: FromRecord, 2: ToRecord, 3: CombinedRecord}
@@ -82,9 +123,13 @@ class ReadStoreWriter:
     """
 
     def __init__(self, backend: StorageBackend, name: str, table: str,
-                 bloom_bits: int = DEFAULT_FILTER_BITS) -> None:
+                 bloom_bits: int = DEFAULT_FILTER_BITS,
+                 format_version: int = 2) -> None:
         if table not in RECORD_KINDS:
             raise ValueError(f"unknown table {table!r}")
+        if format_version not in (1, 2):
+            raise ValueError(f"unknown read-store format version {format_version}")
+        self.format_version = format_version
         self.backend = backend
         self.name = name
         self.table = table
@@ -181,13 +226,19 @@ class ReadStoreWriter:
         if len(levels) > _MAX_LEVELS:
             raise ValueError("read store exceeds the maximum number of index levels")
 
-        # Bloom filter pages.
+        # Bloom filter pages.  The checksum covers the page-padded region --
+        # exactly the bytes a reader concatenates back -- so it can be
+        # computed while streaming without buffering the padded copy.
         bloom.shrink_to_fit()
         bloom_bytes = bloom.to_bytes()
         bloom_first_page = page_file.num_pages
         for start in range(0, len(bloom_bytes), PAGE_SIZE):
             page_file.append_page(bloom_bytes[start:start + PAGE_SIZE])
         bloom_num_pages = page_file.num_pages - bloom_first_page
+        bloom_crc = crc32(bloom_bytes)
+        padding = -len(bloom_bytes) % PAGE_SIZE
+        if padding and bloom_num_pages:
+            bloom_crc = crc32(b"\x00" * padding, bloom_crc)
 
         # Header page (always the last page of the file).
         level_fields: List[int] = []
@@ -196,8 +247,7 @@ class ReadStoreWriter:
                 level_fields.extend(levels[index])
             else:
                 level_fields.extend((0, 0))
-        header = _HEADER.pack(
-            _MAGIC,
+        common_fields = (
             self.record_kind,
             self.record_size,
             self._num_records,
@@ -209,6 +259,11 @@ class ReadStoreWriter:
             min_block,
             max_block,
         )
+        if self.format_version == 1:
+            header = _HEADER.pack(_MAGIC, *common_fields)
+        else:
+            body = _HEADER_V2_BODY.pack(_MAGIC_V2, *common_fields, bloom_crc)
+            header = body + _HEADER_CRC.pack(crc32(body))
         page_file.append_page(header)
         return ReadStoreReader(self.backend, self.name, bloom=bloom)
 
@@ -221,26 +276,31 @@ class ReadStoreWriter:
         # letting add_many skip re-hashing consecutive duplicate blocks.
         bloom.add_many([record[0] for record in records])
         # Pack the whole leaf into one preallocated buffer instead of
-        # concatenating one 40/48-byte pack() result per record.
-        payload = bytearray(_PAGE_HEADER.size + len(records) * self.record_size)
+        # concatenating one 40/48-byte pack() result per record.  The buffer
+        # is a full page so the checksum covers the padding a reader sees.
+        payload = bytearray(PAGE_SIZE)
         _PAGE_HEADER.pack_into(payload, 0, len(records), 0)
         pack_into = self.record_struct.pack_into
         position = _PAGE_HEADER.size
         for record in records:
             pack_into(payload, position, *record)
             position += self.record_size
+        if self.format_version >= 2:
+            _PAGE_HEADER.pack_into(payload, 0, len(records), _page_crc(payload))
         page_index = page_file.append_page(bytes(payload))
         leaf_keys.append((_separator_key(records[0]), page_index))
 
     def _flush_index_page(self, page_file: PageFile,
                           entries: Sequence[Tuple[Tuple[int, int, int, int, int], int]]) -> int:
-        payload = bytearray(_PAGE_HEADER.size + len(entries) * _INDEX_ENTRY.size)
+        payload = bytearray(PAGE_SIZE)
         _PAGE_HEADER.pack_into(payload, 0, len(entries), 0)
         pack_into = _INDEX_ENTRY.pack_into
         position = _PAGE_HEADER.size
         for key, child in entries:
             pack_into(payload, position, *key, child)
             position += _INDEX_ENTRY.size
+        if self.format_version >= 2:
+            _PAGE_HEADER.pack_into(payload, 0, len(entries), _page_crc(payload))
         return page_file.append_page(bytes(payload))
 
 
@@ -255,7 +315,8 @@ class ReadStoreReader:
 
     def __init__(self, backend: StorageBackend, name: str,
                  cache: Optional[PageCache] = None,
-                 bloom: Optional[BloomFilter] = None) -> None:
+                 bloom: Optional[BloomFilter] = None,
+                 verify_checksums: bool = True) -> None:
         self.backend = backend
         self.name = name
         self.cache = cache
@@ -266,9 +327,22 @@ class ReadStoreReader:
             # writer that crashed before its first leaf page reached disk.
             raise ValueError(f"{name!r} is empty, not a Backlog read store")
         header_page = self._read_page(self._page_file.num_pages - 1)
-        fields = _HEADER.unpack_from(header_page, 0)
-        if fields[0] != _MAGIC:
+        magic = _HEADER_CRC.unpack_from(header_page, 0)[0]
+        if magic == _MAGIC_V2:
+            self.format_version = 2
+            stored_crc = _HEADER_CRC.unpack_from(header_page, _HEADER_V2_BODY.size)[0]
+            # The header checksum is verified unconditionally -- it costs one
+            # CRC per open and guards every layout field below.
+            if crc32(header_page[:_HEADER_V2_BODY.size]) != stored_crc:
+                raise CorruptPageError(name, self._page_file.num_pages - 1, "header")
+            fields = _HEADER_V2_BODY.unpack_from(header_page, 0)
+        elif magic == _MAGIC:
+            self.format_version = 1
+            fields = _HEADER.unpack_from(header_page, 0)
+        else:
             raise ValueError(f"{name!r} is not a Backlog read store")
+        # v1 files carry no checksums; never attempt to verify them.
+        self._verify = verify_checksums and self.format_version >= 2
         self.record_kind = fields[1]
         self.record_size = fields[2]
         self.num_records = fields[3]
@@ -284,6 +358,7 @@ class ReadStoreReader:
         self.bloom_num_pages = fields[offset + 1]
         self.min_block = fields[offset + 2]
         self.max_block = fields[offset + 3]
+        self.bloom_crc = fields[offset + 4] if self.format_version >= 2 else 0
         self._record_class = _KIND_TO_CLASS[self.record_kind]
         self._record_struct = _KIND_TO_STRUCT[self.record_kind]
         self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
@@ -304,6 +379,8 @@ class ReadStoreReader:
             data = bytearray()
             for index in range(self.bloom_num_pages):
                 data.extend(self._read_page(self.bloom_first_page + index))
+            if self._verify and crc32(bytes(data)) != self.bloom_crc:
+                raise CorruptPageError(self.name, self.bloom_first_page, "bloom")
             self._bloom = BloomFilter.from_bytes(bytes(data))
         return self._bloom
 
@@ -408,6 +485,39 @@ class ReadStoreReader:
     def records_for_block(self, block: int) -> List[AnyRecord]:
         return self.records_for_block_range(block, 1)
 
+    # ------------------------------------------------------------ scrubbing
+
+    def verify_checksums(self) -> List[CorruptPageError]:
+        """Check every page of the run against its stored CRC32.
+
+        Returns one :class:`CorruptPageError` per damaged page instead of
+        raising, so a scrub can report the full extent of the damage.
+        Version-1 files carry no checksums and always verify clean.  The
+        check is independent of the ``verify_checksums`` constructor flag.
+        """
+        problems: List[CorruptPageError] = []
+        if self.format_version < 2:
+            return problems
+        for page_index in range(self.num_leaf_pages):
+            data = self._read_page(page_index)
+            _, stored_crc = _PAGE_HEADER.unpack_from(data, 0)
+            if _page_crc(data) != stored_crc:
+                problems.append(CorruptPageError(self.name, page_index, "leaf"))
+        for first_page, num_pages in self.levels:
+            for page_index in range(first_page, first_page + num_pages):
+                data = self._read_page(page_index)
+                _, stored_crc = _PAGE_HEADER.unpack_from(data, 0)
+                if _page_crc(data) != stored_crc:
+                    problems.append(CorruptPageError(self.name, page_index, "index"))
+        if self.bloom_num_pages:
+            data = bytearray()
+            for index in range(self.bloom_num_pages):
+                data.extend(self._read_page(self.bloom_first_page + index))
+            if crc32(bytes(data)) != self.bloom_crc:
+                problems.append(
+                    CorruptPageError(self.name, self.bloom_first_page, "bloom"))
+        return problems
+
     # ------------------------------------------------------------ internals
 
     def _read_page(self, index: int) -> bytes:
@@ -418,7 +528,9 @@ class ReadStoreReader:
     def _leaf_records(self, leaf_page_index: int) -> List[AnyRecord]:
         """Decode a whole leaf page in one batched ``iter_unpack`` pass."""
         data = self._read_page(leaf_page_index)
-        count, _ = _PAGE_HEADER.unpack_from(data, 0)
+        count, stored_crc = _PAGE_HEADER.unpack_from(data, 0)
+        if self._verify and _page_crc(data) != stored_crc:
+            raise CorruptPageError(self.name, leaf_page_index, "leaf")
         end = _PAGE_HEADER.size + count * self.record_size
         make = self._record_class._make
         return [make(fields)
@@ -452,7 +564,9 @@ class ReadStoreReader:
     def _index_entries(self, page_index: int) -> Tuple[List[Tuple[int, ...]], List[int]]:
         """Separator keys and child page numbers of one index page."""
         data = self._read_page(page_index)
-        count, _ = _PAGE_HEADER.unpack_from(data, 0)
+        count, stored_crc = _PAGE_HEADER.unpack_from(data, 0)
+        if self._verify and _page_crc(data) != stored_crc:
+            raise CorruptPageError(self.name, page_index, "index")
         end = _PAGE_HEADER.size + count * _INDEX_ENTRY.size
         keys: List[Tuple[int, ...]] = []
         children: List[int] = []

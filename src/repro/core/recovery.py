@@ -13,18 +13,25 @@ This module provides the two halves of that story for the simulator:
   and reconstruct the run catalogue (the equivalent of mounting the
   database after a restart);
 * :func:`recover_backlog` -- build a fresh :class:`~repro.core.backlog.Backlog`
-  over an existing backend and replay a journal into its write stores.
+  over an existing backend and replay a journal into its write stores;
+
+plus the integrity audit that complements them:
+
+* :func:`scrub_backend` -- walk every run on a backend verifying page
+  checksums (the engine behind ``repro scrub``), reporting -- and optionally
+  reclaiming -- corrupt runs and invalid leftover files.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.backlog import Backlog
 from repro.core.config import BacklogConfig
 from repro.core.masking import VersionAuthority
-from repro.core.read_store import ReadStoreReader
+from repro.core.read_store import CorruptPageError, ReadStoreReader
 from repro.core.lsm import RunManager, parse_run_name
 from repro.fsim.blockdev import StorageBackend
 from repro.fsim.cache import PageCache
@@ -32,11 +39,13 @@ from repro.fsim.journal import Journal
 
 # parse_run_name is re-exported for backwards compatibility; it lives in
 # repro.core.lsm next to run_name, its inverse.
-__all__ = ["parse_run_name", "rebuild_run_manager", "recover_backlog"]
+__all__ = ["parse_run_name", "rebuild_run_manager", "recover_backlog",
+           "scrub_backend", "ScrubReport"]
 
 
 def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = None,
-                        remove_invalid: bool = False) -> RunManager:
+                        remove_invalid: bool = False,
+                        verify_checksums: bool = True) -> RunManager:
     """Reconstruct the run catalogue by scanning the backend's files.
 
     Runs are re-registered in sequence order so that the catalogue's notion
@@ -44,15 +53,19 @@ def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = No
     diagnostics stable) matches the original.  The sequence counter is
     advanced past the highest sequence seen so new runs get fresh names.
 
-    A run file that cannot be opened -- empty, truncated mid-write, or with a
-    corrupt header -- is the remnant of a compaction that crashed before
-    registering its output.  Such a file was never part of the database (the
-    catalogue swap happens only after every page is on disk), so it is
-    skipped; with ``remove_invalid=True`` it is also deleted to reclaim the
-    space.  Its sequence number still advances the counter so a fresh run
-    can never collide with the leftover name.
+    A run file that cannot be opened -- empty, truncated mid-write, with a
+    corrupt header (including a v2 header whose CRC does not match), or
+    unreadable at the OS level -- is the remnant of a compaction that
+    crashed before registering its output, or storage damage.  Such a file
+    is not part of the database (the catalogue swap happens only after
+    every page is on disk), so it is skipped; with ``remove_invalid=True``
+    it is also deleted to reclaim the space.  Its sequence number still
+    advances the counter so a fresh run can never collide with the leftover
+    name.  ``verify_checksums`` is threaded into the rebuilt manager (and
+    its re-opened readers) exactly as :class:`~repro.core.config.
+    BacklogConfig.verify_checksums` would be.
     """
-    manager = RunManager(backend, cache=cache)
+    manager = RunManager(backend, cache=cache, verify_checksums=verify_checksums)
     runs = []
     for name in backend.list_files():
         parsed = parse_run_name(name)
@@ -64,15 +77,17 @@ def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = No
     for sequence, partition, table, name in sorted(runs):
         max_sequence = max(max_sequence, sequence)
         try:
-            reader = ReadStoreReader(backend, name, cache=cache)
-        except (ValueError, IndexError, struct.error):
+            reader = ReadStoreReader(backend, name, cache=cache,
+                                     verify_checksums=verify_checksums)
+        except (ValueError, IndexError, struct.error, OSError):
+            # CorruptPageError subclasses ValueError, so a run whose header
+            # fails its CRC is treated like any other invalid leftover.
             if remove_invalid:
                 backend.delete(name)
             continue
         manager.add_run(partition, table, reader)
     # Advance the sequence counter so future runs do not collide.
-    while manager.next_sequence() < max_sequence:
-        pass
+    manager.reserve_through(max_sequence)
     return manager
 
 
@@ -82,6 +97,7 @@ def recover_backlog(
     config: Optional[BacklogConfig] = None,
     version_authority: Optional[VersionAuthority] = None,
     current_cp: Optional[int] = None,
+    clone_parents: Optional[Iterable[Tuple[int, int, int]]] = None,
 ) -> Backlog:
     """Rebuild a Backlog instance after a simulated crash.
 
@@ -96,17 +112,36 @@ def recover_backlog(
         consistency point.  If provided, its records are replayed into the
         fresh write stores, restoring the pre-crash in-memory state.
     current_cp:
-        The CP number the recovered instance should consider current.  If
-        omitted it is inferred from the journal (the CP of its first record)
-        or defaults to one past the... the caller's knowledge wins, so pass it
-        explicitly whenever it is known.
+        The CP number the recovered instance should consider current.
+        Explicitly passing it always wins -- the caller (the file system)
+        knows its own CP counter, so pass it whenever it is known.  When
+        omitted, it is inferred from the journal: every journalled event
+        carries the CP it belongs to, and the journal only ever holds events
+        since the last complete CP, so the first record's CP *is* the CP
+        that was open at the crash.  With no explicit value and an empty (or
+        absent) journal there is nothing to infer from, and the fresh
+        instance's default (CP 1) is kept.
+    clone_parents:
+        ``(line, parent_line, parent_version)`` triples describing the clone
+        topology, replayed into the fresh clone graph.  Clone parentage is
+        *file-system* metadata -- it survives a crash in the write-anywhere
+        tree, not in the back-reference database -- so structural
+        inheritance only works after recovery if the caller re-supplies it;
+        pass ``fs.snapshots.clone_parentage()`` when recovering against the
+        simulator.  Without it, queries silently miss inherited references
+        on cloned lines.
     """
     backlog = Backlog(backend=backend, config=config, version_authority=version_authority)
-    backlog.run_manager = rebuild_run_manager(backend, cache=backlog.cache,
-                                              remove_invalid=True)
+    backlog.run_manager = rebuild_run_manager(
+        backend, cache=backlog.cache, remove_invalid=True,
+        verify_checksums=backlog.config.verify_checksums)
     # Re-wire the components that hold a reference to the run manager.
     backlog._compactor.run_manager = backlog.run_manager
     backlog._query_engine.run_manager = backlog.run_manager
+
+    if clone_parents is not None:
+        for line, parent_line, parent_version in clone_parents:
+            backlog.clone_graph.add_clone(line, parent_line, parent_version)
 
     if current_cp is not None:
         backlog.current_cp = current_cp
@@ -119,3 +154,87 @@ def recover_backlog(
             on_remove=backlog.on_reference_removed,
         )
     return backlog
+
+
+@dataclass
+class ScrubReport:
+    """The result of one :func:`scrub_backend` pass."""
+
+    #: Runs that opened and verified clean (v2 files, every page checked).
+    runs_ok: List[str] = field(default_factory=list)
+    #: v1 runs that opened fine but carry no checksums to verify.
+    runs_legacy: List[str] = field(default_factory=list)
+    #: Runs with at least one checksum mismatch: name -> the failures,
+    #: each a ``(page_index, kind)`` pair (``kind`` is ``"header"``,
+    #: ``"leaf"``, ``"index"`` or ``"bloom"``).
+    runs_corrupt: Dict[str, List[tuple]] = field(default_factory=dict)
+    #: Run-named files that would not open at all (truncated, empty,
+    #: unreadable) -- crash leftovers rather than bit rot.
+    files_invalid: List[str] = field(default_factory=list)
+    #: Files deleted by ``reclaim=True`` (corrupt runs + invalid leftovers).
+    files_reclaimed: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing is corrupt and no invalid leftovers remain."""
+        return not self.runs_corrupt and not self.files_invalid
+
+    def summary(self) -> str:
+        """One human-readable line per finding, plus a totals line."""
+        lines = []
+        for name in sorted(self.runs_corrupt):
+            failures = ", ".join(
+                f"page {page} ({kind})" for page, kind in self.runs_corrupt[name])
+            lines.append(f"CORRUPT  {name}: {failures}")
+        for name in self.files_invalid:
+            lines.append(f"INVALID  {name}: cannot open")
+        for name in self.files_reclaimed:
+            lines.append(f"RECLAIMED {name}")
+        lines.append(
+            f"scrub: {len(self.runs_ok)} ok, {len(self.runs_legacy)} legacy (v1), "
+            f"{len(self.runs_corrupt)} corrupt, {len(self.files_invalid)} invalid, "
+            f"{len(self.files_reclaimed)} reclaimed")
+        return "\n".join(lines)
+
+
+def scrub_backend(backend: StorageBackend, reclaim: bool = False) -> ScrubReport:
+    """Walk every run on ``backend`` verifying page checksums.
+
+    The engine behind ``repro scrub``: every run-named file is opened
+    (header CRC verified for v2 files) and every leaf, index and Bloom page
+    is checked against its stored CRC32 regardless of the
+    ``verify_checksums`` runtime flag.  v1 files carry no checksums and are
+    reported as legacy rather than ok.  ``reclaim=True`` deletes corrupt
+    runs and unopenable leftovers, reclaiming their space -- the database
+    equivalent of dropping a damaged run from the catalogue, made durable.
+    """
+    report = ScrubReport()
+    for name in sorted(backend.list_files()):
+        if parse_run_name(name) is None:
+            continue
+        try:
+            reader = ReadStoreReader(backend, name, verify_checksums=False)
+        except CorruptPageError as error:
+            # The header page itself failed its CRC: a corrupt run, not a
+            # crash leftover.  (Checked before the broad catch -- this
+            # subclasses ValueError.)
+            report.runs_corrupt[name] = [(error.page_index, error.kind)]
+            continue
+        except (ValueError, IndexError, struct.error, OSError):
+            report.files_invalid.append(name)
+            continue
+        if reader.format_version < 2:
+            report.runs_legacy.append(name)
+            continue
+        problems = reader.verify_checksums()
+        if problems:
+            report.runs_corrupt[name] = [
+                (problem.page_index, problem.kind) for problem in problems]
+        else:
+            report.runs_ok.append(name)
+    if reclaim:
+        for name in list(report.runs_corrupt) + list(report.files_invalid):
+            if backend.exists(name):
+                backend.delete(name)
+            report.files_reclaimed.append(name)
+    return report

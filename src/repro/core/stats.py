@@ -87,6 +87,10 @@ class ExecutorStats:
 
     dispatches: int = 0
     jobs: int = 0
+    #: Transient faults absorbed by the executor's retry policy.
+    retries: int = 0
+    #: Parallel batches that failed gracefully and were re-run serially.
+    serial_fallbacks: int = 0
     workers: Dict[str, WorkerStats] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
@@ -100,6 +104,11 @@ class ExecutorStats:
                 entry = self.workers[worker] = WorkerStats()
             entry.jobs += 1
             entry.seconds += seconds
+
+    def count_retry(self) -> None:
+        """Account one absorbed transient fault (thread-safe)."""
+        with self._lock:
+            self.retries += 1
 
     @property
     def busy_seconds(self) -> float:
@@ -117,6 +126,8 @@ class ExecutorStats:
         with self._lock:
             self.dispatches = 0
             self.jobs = 0
+            self.retries = 0
+            self.serial_fallbacks = 0
             self.workers.clear()
 
 
@@ -139,6 +150,12 @@ class QueryStats:
     #: cursor resume cache) instead of re-running the Bloom prefilter and
     #: re-seeking every run in the active partition.
     resume_cache_hits: int = 0
+    #: Checksum mismatches the query path detected while decoding pages.
+    corrupt_pages_detected: int = 0
+    #: Damaged runs dropped from the catalogue so the query could be
+    #: re-answered from the surviving runs (degraded but correct answers
+    #: with respect to the remaining data).
+    runs_quarantined: int = 0
     seconds: float = 0.0
 
     @property
@@ -162,6 +179,8 @@ class QueryStats:
         self.narrow_fast_path_queries = 0
         self.cursors_opened = 0
         self.resume_cache_hits = 0
+        self.corrupt_pages_detected = 0
+        self.runs_quarantined = 0
         self.seconds = 0.0
 
 

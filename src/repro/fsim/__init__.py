@@ -21,6 +21,15 @@ simulated storage device.
 
 from repro.fsim.blockdev import IOStats, MemoryBackend, DiskBackend, PageFile, StorageBackend
 from repro.fsim.cache import PageCache
+from repro.fsim.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultStats,
+    FaultyBackend,
+    TornWriteError,
+    TransientIOError,
+    is_transient_fault,
+)
 from repro.fsim.allocator import BlockAllocator
 from repro.fsim.inode import Inode
 from repro.fsim.snapshots import SnapshotId, Snapshot, SnapshotManager, SnapshotPolicy
@@ -40,6 +49,13 @@ __all__ = [
     "PageFile",
     "StorageBackend",
     "PageCache",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyBackend",
+    "TornWriteError",
+    "TransientIOError",
+    "is_transient_fault",
     "BlockAllocator",
     "Inode",
     "SnapshotId",

@@ -1,0 +1,374 @@
+"""Deterministic storage fault injection for resilience testing.
+
+Real devices do not fail the way a simulated crash does -- all at once and
+forever.  They fail with *transient* read/write errors that succeed on retry,
+*torn* page writes that persist only a prefix of the sector, ``ENOSPC`` once
+the device fills, silent *bit rot* that corrupts data at rest, and latency
+spikes that stall a single operation.  :class:`FaultyBackend` wraps any
+:class:`~repro.fsim.blockdev.StorageBackend` and injects exactly those
+failure classes from a deterministic, seed-driven schedule
+(:class:`FaultPlan`), recording every injected fault in a :class:`FaultStats`
+ledger so tests can assert precisely which faults fired.
+
+Determinism: all random draws come from one ``random.Random(plan.seed)``
+consumed under a lock, in a fixed order per page operation, so a given seed
+and a given (single-threaded) operation sequence always produce the same
+fault schedule.  Latency spikes call an injectable ``clock`` callable --
+tests pass a recording stub instead of ``time.sleep``, so no test ever
+really sleeps.
+
+The taxonomy maps onto the reaction layers this package provides:
+
+=================  =========================  ==============================
+fault              exception / effect         absorbed by
+=================  =========================  ==============================
+transient read     ``TransientIOError``       retry (``RetryPolicy``)
+transient write    ``TransientIOError``       retry (``RetryPolicy``)
+torn page write    ``TornWriteError`` after   flush/compaction atomicity +
+                   persisting a prefix        recovery (partial run invalid)
+device full        ``OSError(ENOSPC)``        atomic CP failure; caller
+                                              frees space and retries
+bit flip           none (silent)              page CRC32 -> quarantine
+latency spike      ``clock(seconds)`` call    nothing to absorb; measured
+=================  =========================  ==============================
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fsim.blockdev import PAGE_SIZE, PageFile, StorageBackend
+
+__all__ = [
+    "FaultPlan",
+    "FaultStats",
+    "FaultEvent",
+    "FaultyBackend",
+    "TransientIOError",
+    "TornWriteError",
+    "is_transient_fault",
+]
+
+
+class TransientIOError(IOError):
+    """A read or write failure that heals itself: retrying succeeds."""
+
+
+class TornWriteError(IOError):
+    """A page write persisted only a prefix of the page (power cut mid-sector).
+
+    Unlike :class:`TransientIOError` this is *not* retryable: the partial
+    page is already on the device, so the only safe reaction is to fail the
+    enclosing batch atomically and let recovery discard the damaged file.
+    """
+
+
+def is_transient_fault(error: BaseException) -> bool:
+    """Whether ``error`` is worth retrying (the default retry classifier).
+
+    Transient I/O errors and the retryable ``errno`` family (``EINTR``,
+    ``EAGAIN``, ``EIO``) qualify; torn writes, ``ENOSPC`` and everything
+    else (including simulated crashes) do not.
+    """
+    if isinstance(error, TornWriteError):
+        return False
+    if isinstance(error, TransientIOError):
+        return True
+    if isinstance(error, OSError):
+        return error.errno in (errno.EINTR, errno.EAGAIN, errno.EIO)
+    return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed-driven fault schedule.
+
+    Rates are per page operation (one random draw each); ``0.0`` disables a
+    fault class entirely.  ``transient_attempts`` is how many consecutive
+    attempts of the *same* operation fail before it heals -- ``1`` means a
+    single retry succeeds.  ``enospc_after_pages`` counts successful page
+    writes before the device reports full (``None`` = never).
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    transient_attempts: int = 1
+    torn_write_rate: float = 0.0
+    bit_flip_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_s: float = 0.001
+    enospc_after_pages: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "write_error_rate", "torn_write_rate",
+                     "bit_flip_rate", "latency_spike_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.transient_attempts < 1:
+            raise ValueError("transient_attempts must be >= 1")
+        if self.latency_spike_s < 0:
+            raise ValueError("latency_spike_s must be >= 0")
+        if self.enospc_after_pages is not None and self.enospc_after_pages < 0:
+            raise ValueError("enospc_after_pages must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what happened, to which page of which file."""
+
+    kind: str  # transient_read | transient_write | torn_write | enospc | bit_flip | latency_spike
+    file: str
+    page: int
+
+
+_COUNTERS = {
+    "transient_read": "transient_read_errors",
+    "transient_write": "transient_write_errors",
+    "torn_write": "torn_writes",
+    "enospc": "enospc_errors",
+    "bit_flip": "bit_flips",
+    "latency_spike": "latency_spikes",
+}
+
+
+@dataclass
+class FaultStats:
+    """Ledger of every fault the backend injected, per class and in order."""
+
+    transient_read_errors: int = 0
+    transient_write_errors: int = 0
+    torn_writes: int = 0
+    enospc_errors: int = 0
+    bit_flips: int = 0
+    latency_spikes: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.events)
+
+
+class FaultyBackend(StorageBackend):
+    """Wraps a backend, injecting faults per a deterministic :class:`FaultPlan`.
+
+    Set :attr:`armed` to ``False`` (or call :meth:`disarm`) to pass every
+    operation through untouched -- chaos tests disarm the backend during the
+    recovery/verification phase so assertions exercise the *database's*
+    reaction to the faults that already fired, not fresh ones.
+    """
+
+    def __init__(self, inner: StorageBackend, plan: FaultPlan = FaultPlan(),
+                 clock: Callable[[float], None] = time.sleep) -> None:
+        super().__init__(device=inner.device)
+        self.inner = inner
+        self.stats = inner.stats  # share I/O accounting with the wrapped backend
+        self.plan = plan
+        self.clock = clock
+        self.fault_stats = FaultStats()
+        self.armed = True
+        self._rng = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        # (op, file, page) -> remaining consecutive failures before healing.
+        self._healing: Dict[Tuple[str, str, int], int] = {}
+        self._pages_until_full = plan.enospc_after_pages
+
+    # --------------------------------------------------------------- control
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def free_space(self, pages: Optional[int] = None) -> None:
+        """Clear (or re-arm with ``pages``) the ENOSPC countdown."""
+        with self._lock:
+            self._pages_until_full = pages
+
+    def corrupt_page(self, name: str, page_index: int, bit: int = 0) -> None:
+        """Flip one bit of a stored page in place: silent bit rot at rest.
+
+        Unlike the scheduled ``bit_flip_rate`` (which corrupts pages as they
+        are written), this targets data that was written correctly -- the
+        checksum-scrub and quarantine paths are exercised the same way.
+        """
+        page_file = self.inner.open(name)
+        data = bytearray(page_file.read_page(page_index))
+        data[bit // 8] ^= 1 << (bit % 8)
+        self._overwrite_page(name, page_index, bytes(data))
+        with self._lock:
+            self._count("bit_flip", name, page_index)
+
+    # --------------------------------------------------------- backend API
+
+    def create(self, name: str) -> PageFile:
+        return _FaultyPageFile(self, self.inner.create(name))
+
+    def open(self, name: str) -> PageFile:
+        return _FaultyPageFile(self, self.inner.open(name))
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def list_files(self) -> List[str]:
+        return self.inner.list_files()
+
+    # ------------------------------------------------------- fault decisions
+
+    def _count(self, kind: str, name: str, page: int) -> None:
+        """Record one fault; caller holds ``self._lock``."""
+        counter = _COUNTERS[kind]
+        setattr(self.fault_stats, counter, getattr(self.fault_stats, counter) + 1)
+        self.fault_stats.events.append(FaultEvent(kind, name, page))
+
+    def _consume_healing(self, key: Tuple[str, str, int]) -> bool:
+        """True if ``key`` still owes a scheduled consecutive failure."""
+        pending = self._healing.get(key)
+        if pending is None:
+            return False
+        if pending > 1:
+            self._healing[key] = pending - 1
+        else:
+            del self._healing[key]
+        return True
+
+    def _transient(self, op: str, key: Tuple[str, str, int]) -> TransientIOError:
+        if self.plan.transient_attempts > 1:
+            self._healing[key] = self.plan.transient_attempts - 1
+        self._count(f"transient_{op}", key[1], key[2])
+        return TransientIOError(
+            errno.EIO, f"injected transient {op} fault: {key[1]} page {key[2]}")
+
+    def _before_read(self, name: str, index: int) -> None:
+        plan = self.plan
+        spike = False
+        error: Optional[BaseException] = None
+        with self._lock:
+            if not self.armed:
+                return
+            key = ("read", name, index)
+            if self._consume_healing(key):
+                self._count("transient_read", name, index)
+                error = TransientIOError(
+                    errno.EIO, f"injected transient read fault: {name} page {index}")
+            else:
+                if plan.latency_spike_rate and self._rng.random() < plan.latency_spike_rate:
+                    self._count("latency_spike", name, index)
+                    spike = True
+                if plan.read_error_rate and self._rng.random() < plan.read_error_rate:
+                    error = self._transient("read", key)
+        # A stalled operation stalls even when it then fails -- and the clock
+        # runs outside the lock, so concurrent workers never serialize on it.
+        if spike:
+            self.clock(plan.latency_spike_s)
+        if error is not None:
+            raise error
+
+    def _before_write(self, name: str, index: int,
+                      data: bytes) -> Tuple[Optional[int], Optional[bytes]]:
+        """Decide the fate of one page write.
+
+        Returns ``(torn_prefix, mutated_data)``: a torn prefix length when
+        the write must persist only that many bytes and then fail, and/or a
+        bit-flipped replacement payload for silent corruption.  Raises for
+        transient faults and ``ENOSPC``.
+        """
+        plan = self.plan
+        spike = False
+        error: Optional[BaseException] = None
+        torn_prefix: Optional[int] = None
+        mutated: Optional[bytes] = None
+        with self._lock:
+            if not self.armed:
+                return None, None
+            if self._pages_until_full is not None and self._pages_until_full <= 0:
+                self._count("enospc", name, index)
+                raise OSError(errno.ENOSPC, f"injected device full: {name} page {index}")
+            key = ("write", name, index)
+            if self._consume_healing(key):
+                self._count("transient_write", name, index)
+                error = TransientIOError(
+                    errno.EIO, f"injected transient write fault: {name} page {index}")
+            else:
+                if plan.latency_spike_rate and self._rng.random() < plan.latency_spike_rate:
+                    self._count("latency_spike", name, index)
+                    spike = True
+                if plan.write_error_rate and self._rng.random() < plan.write_error_rate:
+                    error = self._transient("write", key)
+                else:
+                    if plan.torn_write_rate and self._rng.random() < plan.torn_write_rate:
+                        self._count("torn_write", name, index)
+                        torn_prefix = self._rng.randrange(1, PAGE_SIZE)
+                    elif plan.bit_flip_rate and self._rng.random() < plan.bit_flip_rate:
+                        self._count("bit_flip", name, index)
+                        flip = self._rng.randrange(len(data) * 8)
+                        flipped = bytearray(data)
+                        flipped[flip // 8] ^= 1 << (flip % 8)
+                        mutated = bytes(flipped)
+                    if self._pages_until_full is not None:
+                        self._pages_until_full -= 1
+        # A stalled operation stalls even when it then fails -- and the clock
+        # runs outside the lock, so concurrent workers never serialize on it.
+        if spike:
+            self.clock(plan.latency_spike_s)
+        if error is not None:
+            raise error
+        return torn_prefix, mutated
+
+    # ------------------------------------------------------------ internals
+
+    def _overwrite_page(self, name: str, page_index: int, data: bytes) -> None:
+        """In-place page overwrite on the inner backend (for bit rot at rest)."""
+        files = getattr(self.inner, "_files", None)
+        if files is not None and name in files:  # MemoryBackend
+            files[name][page_index] = data
+            return
+        path_for = getattr(self.inner, "_path", None)
+        if path_for is not None:  # DiskBackend
+            with open(path_for(name), "r+b") as handle:
+                handle.seek(page_index * PAGE_SIZE)
+                handle.write(data)
+            return
+        raise NotImplementedError(
+            f"corrupt_page does not know how to rewrite pages of "
+            f"{type(self.inner).__name__}")
+
+
+class _FaultyPageFile(PageFile):
+    """Delegates to the wrapped backend's page file, consulting the plan."""
+
+    def __init__(self, backend: FaultyBackend, inner: PageFile) -> None:
+        super().__init__(backend, inner.name)
+        self._inner = inner
+
+    def _append(self, data: bytes) -> int:
+        backend: FaultyBackend = self._backend
+        index = self._inner.num_pages
+        torn_prefix, mutated = backend._before_write(self.name, index, data)
+        if torn_prefix is not None:
+            # Persist the prefix the device managed before the power cut;
+            # the rest of the sector reads back as zeros.
+            self._inner._append(data[:torn_prefix] + b"\x00" * (len(data) - torn_prefix))
+            raise TornWriteError(
+                errno.EIO,
+                f"injected torn write: {self.name} page {index} kept {torn_prefix} bytes")
+        if mutated is not None:
+            data = mutated
+        return self._inner._append(data)
+
+    def _read(self, index: int) -> bytes:
+        self._backend._before_read(self.name, index)
+        return self._inner._read(index)
+
+    def _num_pages(self) -> int:
+        return self._inner._num_pages()

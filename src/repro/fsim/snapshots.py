@@ -229,6 +229,22 @@ class SnapshotManager:
         """Lines cloned directly from the given snapshot."""
         return sorted(self._children.get(SnapshotId(*snapshot_id), ()))
 
+    def clone_parentage(self) -> List[Tuple[int, int, int]]:
+        """``(line, parent_line, parent_version)`` for every cloned line.
+
+        The full clone topology in one call -- this is what
+        :func:`~repro.core.recovery.recover_backlog` replays to rebuild a
+        Backlog's clone graph after a crash: parentage is file-system
+        metadata (it survives in the write-anywhere tree), not part of the
+        back-reference database itself.
+        """
+        result = []
+        for line in sorted(self._parents):
+            parent = self._parents[line]
+            if parent is not None:
+                result.append((line, parent.line, parent.version))
+        return result
+
     def clone_points(self, line: int) -> List[Tuple[int, SnapshotId]]:
         """All ``(child_line, cloned_snapshot)`` pairs whose parent is ``line``."""
         result = []

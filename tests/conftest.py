@@ -12,6 +12,7 @@ always says which mode it exercised.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -29,9 +30,15 @@ from repro.fsim.snapshots import SnapshotPolicy
 
 def pytest_report_header(config):
     defaults = BacklogConfig()
-    return (f"backlog workers: flush={defaults.flush_workers} "
-            f"maintenance={defaults.maintenance_workers} "
-            f"(REPRO_FLUSH_WORKERS / REPRO_MAINTENANCE_WORKERS)")
+    chaos_seed = os.environ.get("REPRO_CHAOS_SEED", "20100223 (default)")
+    return [
+        (f"backlog workers: flush={defaults.flush_workers} "
+         f"maintenance={defaults.maintenance_workers} "
+         f"(REPRO_FLUSH_WORKERS / REPRO_MAINTENANCE_WORKERS)"),
+        # CI rotates the chaos seed per run; echo it so any failure in
+        # tests/test_chaos.py can be reproduced locally with the same value.
+        f"chaos seed: {chaos_seed} (REPRO_CHAOS_SEED)",
+    ]
 
 
 @pytest.fixture

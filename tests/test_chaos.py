@@ -1,0 +1,286 @@
+"""Randomized chaos suite: seeded workloads x fault schedules vs the oracle.
+
+The robustness contract (docs/ARCHITECTURE.md, "Failure model & recovery"):
+under injected storage faults every operation either **completes with
+correct answers** or **fails atomically, leaving the database recoverable
+to the last complete consistency point**.  These tests drive randomized
+file-system workloads through a :class:`~repro.fsim.faults.FaultyBackend`
+and lock the contract against two independent oracles --
+:class:`~repro.baselines.brute_force.BruteForceQuerier` (walks the
+file-system tree, never touches the backlog's storage) and
+:func:`~repro.core.verify.verify_backlog`.
+
+The workload/fault seed rotates in CI (``REPRO_CHAOS_SEED``, echoed in the
+pytest header so failures are reproducible); fault *rates* are chosen so the
+suite passes for any seed -- individual faults are probabilistic, the
+reactions asserted on are not.  The backend is always disarmed before the
+verification phase: assertions exercise the database's reaction to the
+faults that already fired, not fresh ones.
+
+Single-mechanism (deterministic, seed-pinned) fault tests live in
+``tests/test_faults.py``; this module is the end-to-end layer on top.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+
+import pytest
+
+from repro import (
+    Backlog,
+    BacklogConfig,
+    FaultPlan,
+    FaultyBackend,
+    FileSystem,
+    FileSystemConfig,
+    MemoryBackend,
+    SnapshotManagerAuthority,
+    TornWriteError,
+    scrub_backend,
+)
+from repro.baselines.brute_force import BruteForceQuerier
+from repro.core.recovery import recover_backlog
+from repro.core.verify import verify_backlog
+
+#: Rotated by CI (each run gets a fresh seed); fixed locally for repro runs.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20100223"))
+
+#: Block range comfortably covering every block the workloads allocate.
+ALL_BLOCKS = 1 << 22
+
+
+def build_chaos_system(plan: FaultPlan, config: BacklogConfig | None = None,
+                       clock=None):
+    """A (FileSystem, Backlog, FaultyBackend) triple, backend disarmed."""
+    backend = FaultyBackend(MemoryBackend(), plan,
+                            clock=clock if clock is not None else lambda _s: None)
+    backend.disarm()
+    backlog = Backlog(backend=backend,
+                      config=config or BacklogConfig(io_retry_backoff_s=0.0))
+    fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False),
+                    listeners=[backlog])
+    backlog.set_version_authority(SnapshotManagerAuthority(fs))
+    return fs, backlog, backend
+
+
+def _persist(fn, attempts: int = 6):
+    """Call ``fn``, retrying on atomic CP failure.
+
+    A flush that exhausts its I/O retries fails the whole consistency point
+    atomically -- by contract the caller may simply take the CP again.  With
+    the rates used here the chance of ``attempts`` *consecutive* exhausted
+    batches is negligible for any seed.
+    """
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+
+
+def drive_workload(fs, rng: random.Random, cps: int = 6, ops_per_cp: int = 30):
+    """Random create/overwrite/append/snapshot/clone/delete-snapshot mix.
+
+    Every consistency point goes through :func:`_persist`, so the workload
+    "completes" even when individual flush attempts hit injected faults.
+    """
+    files = [(0, fs.create_file(num_blocks=rng.randint(1, 5)))]
+    for cp_round in range(cps):
+        for _ in range(ops_per_cp):
+            roll = rng.random()
+            line, inode = rng.choice(files)
+            if roll < 0.30:
+                new_line = rng.choice([entry[0] for entry in files])
+                files.append((new_line, fs.create_file(
+                    num_blocks=rng.randint(1, 5), line=new_line)))
+            elif roll < 0.70:
+                size = fs.volume(line).inodes[inode].size_blocks
+                fs.write(inode, rng.randrange(size),
+                         num_blocks=rng.randint(1, 2), line=line)
+            elif roll < 0.90:
+                fs.append(inode, num_blocks=1, line=line)
+            elif roll < 0.96 or len(fs.volumes) >= 4:
+                # (also the fallthrough once the clone DAG is bushy enough)
+                _persist(lambda: fs.take_snapshot(line=line))
+            else:
+                parent = rng.choice(sorted(fs.volumes))
+                clone_line = _persist(lambda: fs.create_clone(parent))
+                files.extend((clone_line, number)
+                             for number in sorted(fs.volume(clone_line).inodes))
+        if cp_round == cps - 2:
+            # Retire one retained snapshot so masking is in the mix too.
+            snapshots = fs.snapshots.all_snapshots()
+            if snapshots:
+                victim = rng.choice(sorted(
+                    (snap.line, snap.version) for snap in snapshots))
+                fs.delete_snapshot(*victim)
+        _persist(fs.take_consistency_point)
+
+
+def assert_answers_match_oracle(fs, backlog) -> None:
+    """Every oracle-visible reference is covered by a backlog answer."""
+    oracle = BruteForceQuerier(fs).query_range(0, ALL_BLOCKS)
+    assert oracle  # the workload must have produced something to check
+    covered = {}
+    for ref in backlog.query_range(0, ALL_BLOCKS):
+        covered[(ref.block, ref.inode, ref.offset, ref.line)] = ref
+    for block, inode, offset, line, version in oracle:
+        ref = covered.get((block, inode, offset, line))
+        assert ref is not None, (block, inode, offset, line)
+        assert ref.covers_version(version), (ref, version)
+
+
+# ------------------------------------------------- scenario A: transient storm
+
+
+def test_chaos_transient_faults_and_latency_spikes_are_absorbed():
+    """Flaky-but-healing storage: retries absorb everything, answers stay exact."""
+    spikes = []
+    plan = FaultPlan(seed=CHAOS_SEED, read_error_rate=0.05,
+                     write_error_rate=0.05, latency_spike_rate=0.08,
+                     latency_spike_s=0.25)
+    fs, backlog, backend = build_chaos_system(
+        plan, BacklogConfig(io_retries=4, io_retry_backoff_s=0.0),
+        clock=spikes.append)
+    backend.arm()
+    drive_workload(fs, random.Random(CHAOS_SEED))
+    _persist(backlog.maintain)
+
+    backend.disarm()
+    # The storm actually happened...
+    assert backend.fault_stats.total > 0
+    assert spikes == [0.25] * backend.fault_stats.latency_spikes
+    # ...was absorbed by the executor's retry policy, not by luck...
+    assert (backlog.stats.flush_pool.retries
+            + backlog.stats.maintenance_pool.retries) > 0
+    # ...and nothing was lost or quarantined: answers are exactly right.
+    assert backlog.run_manager.quarantined == []
+    assert_answers_match_oracle(fs, backlog)
+    report = verify_backlog(fs, backlog)
+    assert report.ok, report.mismatches[:5]
+
+
+# ------------------------------------------------------- scenario B: ENOSPC
+
+
+def test_chaos_enospc_fails_cp_atomically_and_both_exits_work():
+    """Device fills mid-CP: the CP fails whole; recover *or* free space + retry."""
+    fs, backlog, backend = build_chaos_system(FaultPlan(seed=CHAOS_SEED))
+    rng = random.Random(CHAOS_SEED + 1)
+    drive_workload(fs, rng, cps=3, ops_per_cp=20)
+    for _ in range(15):
+        line, inode = 0, rng.choice(sorted(fs.volume(0).inodes))
+        fs.write(inode, 0, line=line)
+    pending_before = backlog.pending_updates()
+    runs_before = backlog.run_manager.run_count()
+    assert pending_before > 0
+
+    backend.free_space(pages=2)  # a run needs >= 3 pages: this CP cannot fit
+    backend.arm()
+    with pytest.raises(OSError) as exc_info:
+        fs.take_consistency_point()
+    backend.disarm()
+    assert exc_info.value.errno == errno.ENOSPC
+
+    # Atomic failure: nothing flushed, nothing registered, no leftover files.
+    assert backlog.pending_updates() == pending_before
+    assert backlog.run_manager.run_count() == runs_before
+    registered = {run.name for partition in backlog.run_manager.partitions()
+                  for run in backlog.run_manager.runs_for(partition)}
+    assert set(backend.list_files()) == registered
+
+    # Exit 1 -- treat it as a crash: the journal still holds the open CP's
+    # events, and clone parentage is re-read from the file system's metadata.
+    recovered = recover_backlog(
+        backend, journal=fs.journal,
+        version_authority=SnapshotManagerAuthority(fs),
+        current_cp=fs.global_cp,
+        clone_parents=fs.snapshots.clone_parentage())
+    report = verify_backlog(fs, recovered)
+    assert report.ok, report.mismatches[:5]
+
+    # Exit 2 -- free space and simply take the CP again on the live instance.
+    backend.free_space(None)
+    fs.take_consistency_point()
+    assert backlog.pending_updates() == 0
+    assert_answers_match_oracle(fs, backlog)
+    report = verify_backlog(fs, backlog)
+    assert report.ok, report.mismatches[:5]
+
+
+# -------------------------------------------------- scenario C: torn writes
+
+
+def test_chaos_torn_write_fails_cp_and_database_recovers():
+    """A power-cut page tear: no retry, atomic failure, clean recovery."""
+    fs, backlog, backend = build_chaos_system(
+        FaultPlan(seed=CHAOS_SEED, torn_write_rate=1.0),
+        BacklogConfig(io_retries=4, io_retry_backoff_s=0.0))
+    rng = random.Random(CHAOS_SEED + 2)
+    drive_workload(fs, rng, cps=3, ops_per_cp=20)
+    for _ in range(10):
+        fs.write(rng.choice(sorted(fs.volume(0).inodes)), 0)
+
+    backend.arm()  # every page write from here on tears
+    with pytest.raises(TornWriteError):
+        fs.take_consistency_point()
+    backend.disarm()
+    assert backend.fault_stats.torn_writes >= 1
+
+    # The torn file was discarded with the rest of the failed batch: the
+    # on-device state is exactly the last complete CP, bit-for-bit clean.
+    report = scrub_backend(backend)
+    assert report.clean, report.summary()
+
+    # Crash now.  Journal replay restores the open CP's tail on top of the
+    # last complete CP, and the recovered instance answers correctly.
+    recovered = recover_backlog(
+        backend, journal=fs.journal,
+        version_authority=SnapshotManagerAuthority(fs),
+        current_cp=fs.global_cp,
+        clone_parents=fs.snapshots.clone_parentage())
+    report = verify_backlog(fs, recovered)
+    assert report.ok, report.mismatches[:5]
+    assert_answers_match_oracle(fs, recovered)
+
+
+# ------------------------------------------------- scenario D: bit rot at rest
+
+
+def test_chaos_bit_rot_degrades_queries_and_scrub_reclaims():
+    """Silent corruption at rest: quarantine, degraded answers, scrub repair."""
+    fs, backlog, backend = build_chaos_system(FaultPlan(seed=CHAOS_SEED))
+    rng = random.Random(CHAOS_SEED + 3)
+    drive_workload(fs, rng, cps=4, ops_per_cp=25)
+    oracle_live = {(block, inode, offset, line)
+                   for block, inode, offset, line in fs.iter_live_references()}
+
+    partition = backlog.run_manager.partitions()[0]
+    victim = backlog.run_manager.runs_for(partition, "from")[0]
+    backend.corrupt_page(victim.name, 0, bit=8 * rng.randrange(64) + 1)
+
+    # Queries must not crash: the damaged run is quarantined and the query
+    # re-answered from the survivors -- degraded (a subset of the truth),
+    # never wrong (no fabricated references), and stable across re-queries.
+    degraded = backlog.query_range(0, ALL_BLOCKS)
+    live = {(ref.block, ref.inode, ref.offset, ref.line)
+            for ref in degraded if ref.is_live}
+    assert live <= oracle_live
+    assert backlog.query_range(0, ALL_BLOCKS) == degraded
+    assert backlog.stats.query.corrupt_pages_detected >= 1
+    assert backlog.stats.query.runs_quarantined == 1
+    assert victim.name in backlog.run_manager.quarantined
+
+    # The scrub audit sees exactly what the query path tripped over, and
+    # reclaiming leaves a clean device (minus the quarantined run).
+    report = scrub_backend(backend)
+    assert victim.name in report.runs_corrupt
+    assert backend.exists(victim.name)  # quarantine keeps the file for scrub
+    repaired = scrub_backend(backend, reclaim=True)
+    assert victim.name in repaired.files_reclaimed
+    assert not backend.exists(victim.name)
+    assert scrub_backend(backend).clean

@@ -106,3 +106,52 @@ class TestRecoverBacklog:
         )
         report = verify_backlog(fs, recovered)
         assert report.ok, report.mismatches[:5]
+
+
+class TestRecoverBacklogEdgeCases:
+    """CP inference corner cases: the docstring rule, pinned down."""
+
+    def test_empty_journal_and_no_current_cp_keeps_fresh_default(self):
+        backend = MemoryBackend()
+        original = Backlog(backend=backend)
+        original.add_reference(100, 2, 0)
+        original.checkpoint()
+        # Nothing to infer from: no explicit CP, an empty journal.
+        for journal in (None, Journal()):
+            recovered = recover_backlog(backend, journal=journal)
+            assert recovered.current_cp == 1
+            assert recovered.pending_updates() == 0
+            assert {ref.block for ref in recovered.query_range(100, 1)} == {100}
+
+    def test_explicit_current_cp_wins_over_journal_inference(self):
+        backend = MemoryBackend()
+        original = Backlog(backend=backend)
+        original.add_reference(100, 2, 0, cp=1)
+        original.checkpoint()
+        journal = Journal()
+        # A (stale or disagreeing) journal claiming CP 2; the caller knows
+        # the file system's counter says 7.
+        journal.log_add(200, 3, 0, 0, 2)
+        recovered = recover_backlog(backend, journal=journal, current_cp=7)
+        assert recovered.current_cp == 7
+        # The journal is still replayed -- inference, not replay, is what
+        # the explicit value overrides.
+        assert recovered.pending_updates() == 1
+
+    def test_backend_with_only_invalid_runs_recovers_empty(self):
+        backend = MemoryBackend()
+        # Three crash leftovers: an empty file, a truncated garbage run and
+        # a foreign non-run file that must simply be ignored.
+        backend.create("p000000/from/L0_0000000001")
+        backend.create("p000000/to/L0_0000000002").append_page(b"garbage")
+        backend.create("unrelated.txt").append_page(b"not a run")
+        recovered = recover_backlog(backend)
+        assert recovered.run_manager.run_count() == 0
+        assert recovered.query_range(0, 1024) == []
+        # remove_invalid reclaimed the leftovers but left the foreign file.
+        assert not backend.exists("p000000/from/L0_0000000001")
+        assert not backend.exists("p000000/to/L0_0000000002")
+        assert backend.exists("unrelated.txt")
+        # The leftover sequence numbers still advanced the counter, so new
+        # runs cannot collide with the deleted names.
+        assert recovered.run_manager.next_sequence() == 3
