@@ -36,6 +36,8 @@ from repro.core import (
     BacklogStats,
     BackReference,
     BloomFilter,
+    Catalogue,
+    CatalogueSnapshot,
     CloneGraph,
     CombinedRecord,
     CorruptPageError,
@@ -59,6 +61,7 @@ from repro.core import (
     scrub_backend,
     verify_backlog,
 )
+from repro.server import QueryService
 from repro.fsim import (
     DedupConfig,
     DiskBackend,
@@ -83,6 +86,8 @@ __all__ = [
     "BacklogStats",
     "BackReference",
     "BloomFilter",
+    "Catalogue",
+    "CatalogueSnapshot",
     "CloneGraph",
     "CombinedRecord",
     "CorruptPageError",
@@ -100,6 +105,7 @@ __all__ = [
     "MemoryBackend",
     "Partitioner",
     "QueryResult",
+    "QueryService",
     "QuerySpec",
     "ReferenceListener",
     "RetryPolicy",

@@ -11,6 +11,7 @@ command line tool for quick, ad-hoc runs::
     python -m repro verify --cps 10
     python -m repro scrub --cps 10
     python -m repro scrub --directory /var/backlog/runs --reclaim
+    python -m repro serve --port 8642 --churn
 
 Each subcommand builds a fresh simulated file system with Backlog attached,
 drives the requested workload, and prints a short plain-text report (the same
@@ -20,7 +21,9 @@ formatting used by the benchmark reports).
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import List, Optional, Sequence
 
 from repro import (
@@ -40,6 +43,7 @@ from repro.analysis.metrics import (
 from repro.analysis.reporting import format_series, format_table
 from repro.core.recovery import scrub_backend
 from repro.core.verify import verify_backlog
+from repro.server import QueryService
 from repro.fsim.blockdev import DiskBackend
 from repro.workloads.nfs_trace import NFSTraceConfig, NFSTracePlayer, generate_eecs03_like_trace
 from repro.workloads.synthetic import SyntheticWorkload, SyntheticWorkloadConfig
@@ -63,6 +67,8 @@ def _summary_table(fs, backlog) -> str:
         ["CPU microseconds per block op", round(stats.microseconds_per_block_op, 2)],
         ["pruned same-CP pairs", stats.pruned_pairs],
         ["database size (bytes)", backlog.database_size_bytes()],
+        ["quarantined + deferred (bytes)",
+         backlog.quarantined_bytes() + backlog.deferred_bytes()],
         ["physical data size (bytes)", fs.physical_data_bytes],
         ["space overhead", f"{100 * backlog.space_overhead(fs.physical_data_bytes):.2f}%"],
         ["read-store runs on disk", backlog.run_manager.run_count()],
@@ -254,6 +260,68 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a seeded workload, then serve concurrent query sessions over it.
+
+    The daemon binds ``--host``/``--port`` (port 0 picks an ephemeral port;
+    the bound address is printed, so a wrapper can parse it) and answers
+    ``POST /query`` with the full QuerySpec surface and resume-token
+    pagination.  With ``--churn`` a background thread keeps writing,
+    checkpointing and periodically maintaining the database while sessions
+    stream -- the live demonstration of the snapshot-isolated read path.
+    SIGTERM/SIGINT (or ``--duration`` elapsing) triggers a graceful drain:
+    in-flight pages finish, then ``drained`` is printed and the process
+    exits 0.
+    """
+    fs, backlog = _build_system()
+    workload = SyntheticWorkload(SyntheticWorkloadConfig(
+        num_cps=args.cps, ops_per_cp=args.ops_per_cp, seed=args.seed,
+    ))
+    workload.run(fs)
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+
+    churn_thread = None
+    if args.churn:
+        def churn() -> None:
+            # Standalone writes into a dedicated high block range: every
+            # round buffers updates, flushes them at a consistency point,
+            # and periodically compacts -- replacing runs (and, pre-snapshot,
+            # deleting files) right under the serving sessions.
+            base = 1 << 22
+            round_number = 0
+            while not stop.is_set():
+                offset = (round_number % 64) * 32
+                for i in range(32):
+                    backlog.add_reference(block=base + offset + i,
+                                          inode=10_000 + round_number % 97,
+                                          offset=i)
+                backlog.checkpoint()
+                if round_number % 4 == 3:
+                    backlog.maintain()
+                round_number += 1
+                stop.wait(0.005)
+        churn_thread = threading.Thread(target=churn, name="serve-churn")
+
+    service = QueryService(backlog, host=args.host, port=args.port)
+    service.start()
+    print(f"serving on {service.url}", flush=True)
+    if churn_thread is not None:
+        churn_thread.start()
+    try:
+        stop.wait(args.duration)
+    finally:
+        stop.set()
+        if churn_thread is not None:
+            churn_thread.join()
+        service.stop()
+    print(f"drained ({service.requests_served} request(s) served, "
+          f"{service.requests_rejected} rejected)", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -332,6 +400,21 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("--reclaim", action="store_true",
                        help="delete corrupt runs and invalid leftover files")
     scrub.set_defaults(func=_cmd_scrub)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve concurrent query sessions over HTTP")
+    common(serve, cps_default=10, ops_default=500)
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="interface to bind")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--churn", action="store_true",
+                       help="keep writing + checkpointing + maintaining in "
+                            "the background while serving")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain (default: until "
+                            "SIGTERM/SIGINT)")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

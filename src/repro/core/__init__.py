@@ -2,6 +2,7 @@
 
 from repro.core.backlog import Backlog
 from repro.core.bloom import BloomFilter
+from repro.core.catalogue import Catalogue, CatalogueSnapshot
 from repro.core.compaction import Compactor, PartitionCompactionResult
 from repro.core.config import BacklogConfig
 from repro.core.cursor import (
@@ -57,6 +58,8 @@ __all__ = [
     "BacklogStats",
     "BackReference",
     "BloomFilter",
+    "Catalogue",
+    "CatalogueSnapshot",
     "CheckpointStats",
     "CloneGraph",
     "CombinedRecord",

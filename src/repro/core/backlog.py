@@ -49,6 +49,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.catalogue import Catalogue
 from repro.core.compaction import Compactor
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QueryResult, QuerySpec
@@ -107,6 +108,12 @@ class Backlog(ReferenceListener):
             executor=self._maintenance_executor,
             executor_stats=self.stats.maintenance_pool,
         )
+        # The versioned snapshot source every reader pins its view from
+        # (see core/catalogue.py): run catalogue + frozen write stores +
+        # frozen deletion vector.  Flush publishes consistency points
+        # through it so snapshots are atomic.
+        self.catalogue = Catalogue(self.run_manager, self.ws_from,
+                                   self.ws_to, self.deletion_vector)
         self._query_engine = QueryEngine(
             self.backend, self.run_manager, self.partitioner,
             self.ws_from, self.ws_to, self.clone_graph,
@@ -117,6 +124,7 @@ class Backlog(ReferenceListener):
             # pipeline is never resumed over a changed in-memory state.
             mutation_stamp=lambda: (self.stats.references_added,
                                     self.stats.references_removed),
+            catalogue=self.catalogue,
         )
 
     def _retry_policy(self, pool_stats) -> Optional[RetryPolicy]:
@@ -245,14 +253,22 @@ class Backlog(ReferenceListener):
                         raise
                 else:
                     raise
-            for (partition, table, _, _), reader in zip(plan, readers):
-                if reader is not None:
-                    self.run_manager.add_run(partition, table, reader)
+        else:
+            readers = []
         # Reached only on a fully successful flush: a failed CP re-raises
         # above with the write stores intact, so the buffered updates are
         # either durably in the new runs or still queryable in memory.
-        self.ws_from.clear()
-        self.ws_to.clear()
+        # Registration and the write-store clears form one critical section
+        # under the catalogue's publish lock, so a concurrently pinned
+        # snapshot observes the consistency point atomically -- the flushed
+        # records are visible either only in the new Level-0 runs or only in
+        # the (frozen) write stores, never in both and never in neither.
+        with self.catalogue.publishing():
+            for (partition, table, _, _), reader in zip(plan, readers):
+                if reader is not None:
+                    self.run_manager.add_run(partition, table, reader)
+            self.ws_from.clear()
+            self.ws_to.clear()
 
         elapsed = (time.perf_counter() - start) if self.config.track_timing else 0.0
         self.stats.flush_seconds += elapsed
@@ -428,8 +444,26 @@ class Backlog(ReferenceListener):
     # ------------------------------------------------------------ accounting
 
     def database_size_bytes(self) -> int:
-        """On-disk size of the back-reference database (all runs)."""
+        """On-disk size of the live back-reference database.
+
+        Counts exactly the catalogued runs -- the bytes a fresh query can
+        read.  Quarantined files (damaged, kept for post-mortem until
+        ``scrub --reclaim``) and deferred-delete files (retired behind a
+        pinned reader, reclaimed at its release) sit on the backend too but
+        are *not* database size; they are surfaced separately by
+        :meth:`quarantined_bytes` and :meth:`deferred_bytes` so space
+        accounting (Figures 6/8) is not inflated by maintenance transients
+        or damage.
+        """
         return self.run_manager.total_size_bytes()
+
+    def quarantined_bytes(self) -> int:
+        """Bytes held by quarantined run files still on the backend."""
+        return self.run_manager.quarantined_bytes()
+
+    def deferred_bytes(self) -> int:
+        """Bytes held by retired files awaiting epoch reclamation."""
+        return self.run_manager.deferred_bytes()
 
     def memory_footprint_bytes(self) -> int:
         """Approximate memory held by write stores, Bloom filters and caches."""
@@ -442,7 +476,12 @@ class Backlog(ReferenceListener):
         )
 
     def space_overhead(self, physical_data_bytes: int) -> float:
-        """Database size as a fraction of the physical data size (Figures 6/8)."""
+        """Database size as a fraction of the physical data size (Figures 6/8).
+
+        Uses :meth:`database_size_bytes`, so quarantined and deferred-delete
+        files are excluded -- overhead measures the database, not backend
+        residue awaiting scrub or reclamation.
+        """
         if physical_data_bytes <= 0:
             return 0.0
         return self.database_size_bytes() / physical_data_bytes

@@ -1,0 +1,156 @@
+"""Snapshot-isolated views of the back-reference database.
+
+The LSM catalogue's runs are immutable once written -- the same insight
+LevelDB-style stores exploit for their version sets -- so a reader does not
+need to exclude writers; it needs an *immutable view* of which runs (and
+which in-memory records) existed when it started.  Before this module, a
+query pipeline read the live catalogue and the live write stores, and a
+concurrent ``checkpoint()``/``maintain()`` could delete a run file out from
+under an open cursor mid-stream.
+
+:class:`Catalogue` composes the pieces of that view:
+
+* :meth:`Catalogue.select` pins the current catalogue version in the
+  :class:`~repro.core.lsm.RunManager` (a refcount per version) and freezes
+  the two write stores and the deletion vector, returning a
+  :class:`CatalogueSnapshot`;
+* while the snapshot is pinned, no run file it references is ever deleted --
+  ``replace_partition``/``quarantine_run`` publish a new catalogue version
+  and *defer* file deletion (with a durable ``.retired`` tombstone) until
+  the last pin that can still see the file drops (epoch reclamation);
+* :meth:`Catalogue.publishing` is the flush path's atomicity guard: run
+  registration and the write-store clear happen under it, and ``select``
+  takes the same lock, so a snapshot observes a consistency point either
+  entirely (new runs, empty stores) or not at all (no runs, full stores) --
+  never a state where flushed records are both on disk and in memory.
+
+A snapshot is cheap: one lock acquisition, a shallow copy of the partition
+-> runs mapping, and three O(1) freezes (the write stores share their sorted
+snapshot lists, which the live stores replace rather than mutate).  Releasing
+is mandatory -- the query engine releases in the same ``finally`` blocks
+that finalise query statistics -- and idempotent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.deletion_vector import DeletionVector
+from repro.core.lsm import RunManager
+from repro.core.read_store import ReadStoreReader
+from repro.core.write_store import FrozenWriteStore, WriteStore
+
+__all__ = ["Catalogue", "CatalogueSnapshot"]
+
+
+class CatalogueSnapshot:
+    """A pinned, immutable view of runs + write stores + deletion vector.
+
+    Everything the query read path consults, fixed at pin time:
+
+    * :meth:`runs_for` / :meth:`runs_for_block_range` answer from the copied
+      run lists -- concurrent flushes and compactions are invisible;
+    * :attr:`ws_from` / :attr:`ws_to` are :class:`~repro.core.write_store.
+      FrozenWriteStore` views of the in-memory records;
+    * :attr:`deletion_vector` keeps the suppressions the snapshot's runs
+      still contain even if a compaction clears the live vector mid-scan.
+
+    The snapshot is a context manager; :meth:`release` (idempotent, thread
+    safe) drops the pin, which may reclaim deferred-delete files.
+    """
+
+    __slots__ = ("version", "ws_from", "ws_to", "deletion_vector",
+                 "_runs", "_manager", "_release_lock")
+
+    def __init__(self, version: int, runs: Dict[int, List[ReadStoreReader]],
+                 ws_from: FrozenWriteStore, ws_to: FrozenWriteStore,
+                 deletion_vector: DeletionVector, manager: RunManager) -> None:
+        self.version = version
+        self.ws_from = ws_from
+        self.ws_to = ws_to
+        self.deletion_vector = deletion_vector
+        self._runs = runs
+        self._manager: Optional[RunManager] = manager
+        self._release_lock = threading.Lock()
+
+    # ------------------------------------------------------------- reading
+
+    def partitions(self) -> List[int]:
+        return sorted(self._runs)
+
+    def runs_for(self, partition: int) -> List[ReadStoreReader]:
+        return self._runs.get(partition, [])
+
+    def runs_for_block_range(self, partitions: Sequence[int], first_block: int,
+                             num_blocks: int) -> List[ReadStoreReader]:
+        """Runs whose Bloom filter (and block bounds) admit the given range."""
+        candidates: List[ReadStoreReader] = []
+        for partition in partitions:
+            for run in self._runs.get(partition, ()):
+                if run.might_contain_range(first_block, num_blocks):
+                    candidates.append(run)
+        return candidates
+
+    def run_names(self) -> List[str]:
+        """Every run file this snapshot holds pinned (diagnostics, tests)."""
+        return [run.name for runs in self._runs.values() for run in runs]
+
+    # ------------------------------------------------------------ lifetime
+
+    @property
+    def released(self) -> bool:
+        return self._manager is None
+
+    def release(self) -> None:
+        """Drop the pin (idempotent); may reclaim deferred-delete files."""
+        with self._release_lock:
+            manager, self._manager = self._manager, None
+        if manager is not None:
+            manager.release_version(self.version)
+
+    def __enter__(self) -> "CatalogueSnapshot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+class Catalogue:
+    """The versioned composition the query engine pins snapshots from."""
+
+    def __init__(self, run_manager: RunManager, ws_from: WriteStore,
+                 ws_to: WriteStore, deletion_vector: DeletionVector) -> None:
+        self.run_manager = run_manager
+        self.ws_from = ws_from
+        self.ws_to = ws_to
+        self.deletion_vector = deletion_vector
+        # Serialises select() against the flush path's registration+clear
+        # critical section (see ``publishing``).  Never held while doing
+        # I/O; snapshot construction under it is a few dict/list copies.
+        self._publish_lock = threading.Lock()
+
+    def select(self) -> CatalogueSnapshot:
+        """Pin the current database view and return its snapshot."""
+        with self._publish_lock:
+            version, runs = self.run_manager.pin_catalogue()
+            return CatalogueSnapshot(
+                version, runs,
+                self.ws_from.freeze(), self.ws_to.freeze(),
+                self.deletion_vector.freeze(),
+                self.run_manager,
+            )
+
+    def publishing(self) -> "threading.Lock":
+        """The flush path's publish guard, used as a context manager.
+
+        ``Backlog.on_consistency_point`` holds this across run registration
+        and the write-store clears, making the CP's visibility switch atomic
+        with respect to :meth:`select`: a snapshot sees the flushed records
+        either only in the new Level-0 runs or only in the write stores.
+        """
+        return self._publish_lock
+
+    def pinned_snapshots(self) -> int:
+        """Outstanding pins across all versions (diagnostics and tests)."""
+        return self.run_manager.pinned_readers()

@@ -96,14 +96,24 @@ def encode_resume_token(key) -> str:
 
 
 def decode_resume_token(token: str) -> ReferenceKey:
-    """Unpack a resume token; raises :class:`ValueError` on malformed input."""
+    """Unpack a resume token; raises :class:`ValueError` on malformed input.
+
+    Validation is strict: the body must be exactly the url-safe base64 of a
+    four-field payload.  ``validate=True`` matters -- the default decoder
+    silently *discards* characters outside the alphabet, which would let a
+    corrupted or hand-mangled token decode to a garbage-but-plausible key
+    and silently resume the scan at the wrong owner instead of failing.
+    """
     if not isinstance(token, str) or not token.startswith(_TOKEN_PREFIX):
         raise ValueError(f"malformed resume token: {token!r}")
     body = token[len(_TOKEN_PREFIX):]
     try:
-        payload = base64.urlsafe_b64decode(body + "=" * (-len(body) % 4))
+        payload = base64.b64decode(body + "=" * (-len(body) % 4),
+                                   altchars=b"-_", validate=True)
         fields = _TOKEN_STRUCT.unpack(payload)
     except (ValueError, struct.error) as exc:
+        # binascii.Error subclasses ValueError, so strict-alphabet failures
+        # land here too.
         raise ValueError(f"malformed resume token: {token!r}") from exc
     return ReferenceKey(*fields)
 

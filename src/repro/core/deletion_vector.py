@@ -15,7 +15,7 @@ clears it.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Set, Tuple
+from typing import Iterable, Iterator, Optional, Set, Tuple
 
 from repro.core.records import CombinedRecord, FromRecord, ReferenceKey, ToRecord
 
@@ -35,6 +35,10 @@ class DeletionVector:
     def __init__(self) -> None:
         self._keys: Set[ReferenceKey] = set()
         self._blocks: Set[int] = set()
+        # Cached freeze() view.  Valid until clear() rebinds the containers:
+        # suppress() need not invalidate it, because views *share* the sets
+        # (new suppressions are visible to existing views by design).
+        self._frozen_view: Optional["DeletionVector"] = None
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -75,10 +79,35 @@ class DeletionVector:
         """The suppressed identities (compaction folds these into rewrites)."""
         return set(self._keys)
 
+    def freeze(self) -> "DeletionVector":
+        """A view of the current suppressions for a pinned catalogue snapshot.
+
+        The view *shares* the live sets rather than copying them, which is
+        what a snapshot needs: :meth:`clear` after a compaction replaces the
+        live containers, so a reader pinned over the *pre*-compaction runs
+        keeps filtering with the suppressions those runs still contain --
+        clearing must never resurrect suppressed tuples mid-scan.  New
+        suppressions added between a ``clear`` and the next pin are visible
+        to the view immediately (monotone hiding, same as the live path).
+        """
+        view = self._frozen_view
+        if view is None:
+            view = DeletionVector()
+            view._keys = self._keys
+            view._blocks = self._blocks
+            self._frozen_view = view
+        return view
+
     def clear(self) -> None:
-        """Forget all suppressions (after compaction has rewritten the runs)."""
-        self._keys.clear()
-        self._blocks.clear()
+        """Forget all suppressions (after compaction has rewritten the runs).
+
+        Binds fresh containers instead of emptying the old ones: any frozen
+        view pinned before the clear keeps the suppressions that its (old,
+        not-yet-rewritten) runs rely on.
+        """
+        self._keys = set()
+        self._blocks = set()
+        self._frozen_view = None
 
     def memory_estimate_bytes(self) -> int:
         """Rough footprint; the vector is expected to stay small."""

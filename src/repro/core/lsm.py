@@ -18,16 +18,39 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.read_store import ReadStoreReader, ReadStoreWriter
 from repro.core.records import CombinedRecord, FromRecord, ToRecord
 from repro.fsim.blockdev import StorageBackend
 from repro.fsim.cache import PageCache
 
-__all__ = ["RunManager", "run_name", "parse_run_name", "merge_sorted_runs"]
+__all__ = ["RunManager", "run_name", "parse_run_name", "merge_sorted_runs",
+           "tombstone_name", "parse_tombstone_name", "TOMBSTONE_SUFFIX"]
 
 TABLES = ("from", "to", "combined")
+
+#: Suffix of the durable marker written next to a run file whose deletion is
+#: deferred behind pinned readers (epoch reclamation).  The marker is what
+#: lets recovery and ``repro scrub`` distinguish a deferred-delete file --
+#: retired from the catalogue but still streamed by a pinned snapshot at the
+#: time of a crash -- from a genuine leak or crash leftover.  A tombstone's
+#: leaf never parses as a run name (the sequence digits gain a non-digit
+#: suffix), so every existing backend scan skips it naturally.
+TOMBSTONE_SUFFIX = ".retired"
+
+
+def tombstone_name(name: str) -> str:
+    """The durable deferred-delete marker for run file ``name``."""
+    return name + TOMBSTONE_SUFFIX
+
+
+def parse_tombstone_name(name: str) -> Optional[str]:
+    """The run name a tombstone marks, or ``None`` for any other file."""
+    if not name.endswith(TOMBSTONE_SUFFIX):
+        return None
+    run = name[: -len(TOMBSTONE_SUFFIX)]
+    return run if parse_run_name(run) is not None else None
 
 
 def run_name(partition: int, table: str, level: str, sequence: int) -> str:
@@ -83,11 +106,25 @@ class RunManager:
     Catalogue mutation is thread-safe: the flush and maintenance executors
     allocate sequence numbers and swap partitions from several workers, and
     both :meth:`next_sequence` (a read-modify-write on the counter) and the
-    catalogue dict mutations take the manager's lock.  The read side
-    (``runs_for``, the aggregate accessors, ``iter_table``) stays lock-free:
-    queries never run concurrently with flush or maintenance, and a
-    maintenance worker only ever reads the runs of the partition it owns,
-    which no other worker touches.
+    catalogue dict mutations take the manager's lock.  The read accessors
+    take the same lock (they copy out small lists), so queries, accounting
+    and the CLI can run concurrently with flush and maintenance; only
+    :meth:`iter_table` stays lock-free, because a maintenance worker only
+    ever iterates the runs of the partition it owns.
+
+    **Versioning and epoch reclamation.**  The catalogue is versioned: every
+    retirement of run files (:meth:`replace_partition`,
+    :meth:`quarantine_run`) publishes a new version.  A reader pins the
+    current version via :meth:`pin_catalogue` (normally through
+    :class:`repro.core.catalogue.Catalogue`) and receives an immutable copy
+    of the run lists; while any pin with version ``V`` is outstanding, a
+    file retired at version ``R > V`` is *deferred* -- a durable
+    ``.retired`` tombstone is written next to it and the file stays readable
+    -- instead of deleted.  The last release whose departure makes
+    ``min(pinned) >= R`` (or leaves no pins at all) deletes the file and its
+    tombstone.  With no pins outstanding, retirement deletes immediately:
+    byte-for-byte the pre-snapshot behaviour, which is what keeps every
+    single-threaded caller's I/O accounting unchanged.
     """
 
     def __init__(self, backend: StorageBackend, cache: Optional[PageCache] = None,
@@ -102,6 +139,23 @@ class RunManager:
         #: on the backend (``repro scrub`` reports and reclaims them) so a
         #: post-mortem can inspect the corruption.
         self.quarantined: List[str] = []
+        #: On-disk size of each quarantined run at quarantine time, for the
+        #: ``quarantined_bytes`` accounting (entries go stale only if an
+        #: external scrub reclaims the file; the accessor re-checks).
+        self._quarantined_sizes: Dict[str, int] = {}
+        # --- epoch reclamation state (all guarded by self._lock) ---
+        # The published catalogue version; bumped by every file retirement.
+        self._version = 0
+        # version -> number of outstanding pins at that version.
+        self._pins: Dict[int, int] = {}
+        # Files awaiting deletion: (retire_version, name, size_bytes).
+        self._deferred: List[Tuple[int, str, int]] = []
+        # Cached {partition: [runs...]} copy handed to pins.  Invalidated by
+        # every catalogue mutation and rebuilt -- as a *fresh* dict of fresh
+        # lists, never mutated in place -- on the next pin, so a hot query
+        # path pays one dict lookup per pin instead of one copy of the whole
+        # catalogue (the narrow-query constant factor depends on this).
+        self._pinned_runs_cache: Optional[Dict[int, List[ReadStoreReader]]] = None
 
     # --------------------------------------------------------------- writing
 
@@ -166,16 +220,131 @@ class RunManager:
             raise ValueError(f"unknown table {table!r}")
         with self._lock:
             self._partitions.setdefault(partition, _PartitionRuns()).runs[table].append(reader)
+            self._pinned_runs_cache = None
+
+    # ----------------------------------------------- pinning / reclamation
+
+    def pin_catalogue(self) -> Tuple[int, Dict[int, List[ReadStoreReader]]]:
+        """Pin the current catalogue version and copy out its run lists.
+
+        Returns ``(version, {partition: [runs...]})``; the mapping is a
+        fresh copy, immune to subsequent catalogue mutation.  Every pin must
+        be paired with exactly one :meth:`release_version` -- callers go
+        through :class:`repro.core.catalogue.CatalogueSnapshot`, whose
+        ``release`` enforces the pairing.  While the pin is outstanding, no
+        file in the copied lists is ever deleted (retirements are deferred).
+        """
+        with self._lock:
+            version = self._version
+            self._pins[version] = self._pins.get(version, 0) + 1
+            runs = self._pinned_runs_cache
+            if runs is None:
+                runs = {p: entry.all_runs() for p, entry in self._partitions.items()}
+                self._pinned_runs_cache = runs
+            return version, runs
+
+    def release_version(self, version: int) -> None:
+        """Drop one pin at ``version`` and reclaim newly deletable files."""
+        with self._lock:
+            count = self._pins.get(version, 0) - 1
+            if count > 0:
+                self._pins[version] = count
+            else:
+                self._pins.pop(version, None)
+            reclaimable = self._take_reclaimable_locked()
+        for name in reclaimable:
+            self._delete_run_file(name)
+
+    def _take_reclaimable_locked(self) -> List[str]:
+        """Pop every deferred file no pinned snapshot can still hold."""
+        if not self._deferred:
+            return []
+        min_pinned = min(self._pins) if self._pins else None
+        # A snapshot pinned at version V holds a file retired at R iff the
+        # file was still catalogued when V was published, i.e. iff V < R.
+        if min_pinned is None:
+            reclaimable = [name for _, name, _ in self._deferred]
+            self._deferred = []
+            return reclaimable
+        keep: List[Tuple[int, str, int]] = []
+        reclaimable = []
+        for entry in self._deferred:
+            if entry[0] <= min_pinned:
+                reclaimable.append(entry[1])
+            else:
+                keep.append(entry)
+        self._deferred = keep
+        return reclaimable
+
+    def _delete_run_file(self, name: str) -> None:
+        """Delete a retired run file, its tombstone, and its cache pages."""
+        if self.backend.exists(name):
+            self.backend.delete(name)
+        marker = tombstone_name(name)
+        if self.backend.exists(marker):
+            self.backend.delete(marker)
+        if self.cache is not None:
+            self.cache.invalidate_file(name)
+
+    def _write_tombstone(self, name: str) -> None:
+        """Publish the durable deferred-delete marker for ``name``."""
+        marker = tombstone_name(name)
+        if not self.backend.exists(marker):
+            self.backend.create(marker).append_page(b"retired")
+
+    def pinned_run_names(self) -> Set[str]:
+        """Every run file some pinned snapshot may still be reading.
+
+        The union of the current catalogue (files there are never deleted
+        while catalogued) and the deferred files the oldest pin still holds.
+        Empty when nothing is pinned.  Tests and the concurrency benchmark
+        wrap ``backend.delete`` with this to assert the no-delete-under-a-
+        pinned-reader invariant.
+        """
+        with self._lock:
+            if not self._pins:
+                return set()
+            min_pinned = min(self._pins)
+            names = {run.name for entry in self._partitions.values()
+                     for run in entry.all_runs()}
+            names.update(name for retire_version, name, _ in self._deferred
+                         if retire_version > min_pinned)
+            return names
+
+    def pinned_readers(self) -> int:
+        """Number of outstanding catalogue pins (diagnostics and tests)."""
+        with self._lock:
+            return sum(self._pins.values())
+
+    def deferred_run_names(self) -> List[str]:
+        """Names of retired files still awaiting epoch reclamation."""
+        with self._lock:
+            return [name for _, name, _ in self._deferred]
+
+    def deferred_bytes(self) -> int:
+        """On-disk bytes held by deferred-delete files."""
+        with self._lock:
+            return sum(size for _, _, size in self._deferred)
+
+    def quarantined_bytes(self) -> int:
+        """On-disk bytes held by quarantined runs still on the backend."""
+        with self._lock:
+            sizes = dict(self._quarantined_sizes)
+        return sum(size for name, size in sizes.items()
+                   if self.backend.exists(name))
 
     def replace_partition(self, partition: int,
                           new_runs: Dict[str, List[ReadStoreReader]]) -> List[str]:
-        """Swap in compacted runs for ``partition`` and delete the old files.
+        """Swap in compacted runs for ``partition`` and retire the old files.
 
-        Returns the names of the deleted run files.  Safe to call for
-        distinct partitions from concurrent maintenance workers: the
-        catalogue swap happens under the manager's lock, and the file
-        deletions and cache invalidations only touch the replaced
-        partition's own runs.
+        Returns the names of the retired run files.  With no pinned readers
+        the files are deleted immediately (the pre-snapshot behaviour); with
+        pins outstanding, deletion is deferred behind the pins -- a durable
+        tombstone is written next to each file and the last release
+        reclaims both (epoch reclamation).  Safe to call for distinct
+        partitions from concurrent maintenance workers: the catalogue swap
+        happens under the manager's lock, and the file deletions and cache
+        invalidations only touch the replaced partition's own runs.
         """
         replacement = _PartitionRuns()
         for table, runs in new_runs.items():
@@ -185,14 +354,28 @@ class RunManager:
         with self._lock:
             old = self._partitions.get(partition, _PartitionRuns())
             self._partitions[partition] = replacement
-        deleted = []
-        for run in old.all_runs():
-            if self.backend.exists(run.name):
-                self.backend.delete(run.name)
-            if self.cache is not None:
-                self.cache.invalidate_file(run.name)
-            deleted.append(run.name)
-        return deleted
+            self._pinned_runs_cache = None
+            old_runs = old.all_runs()
+            retired = [run.name for run in old_runs]
+            if old_runs:
+                self._version += 1
+                retire_version = self._version
+                if self._pins:
+                    # Deferred path.  Tombstones are written while the lock
+                    # is still held so no concurrent release can reclaim the
+                    # deferred entry before its marker is durable; the write
+                    # is one page per retired run and happens only when
+                    # readers are actually pinned.
+                    for run in old_runs:
+                        self._write_tombstone(run.name)
+                        self._deferred.append(
+                            (retire_version, run.name, run.size_bytes))
+                    return retired
+        # No pinned readers (or nothing to retire): delete immediately,
+        # exactly the pre-snapshot path.
+        for name in retired:
+            self._delete_run_file(name)
+        return retired
 
     def quarantine_run(self, name: str) -> bool:
         """Drop a damaged run from the catalogue; the file stays on disk.
@@ -218,7 +401,15 @@ class RunManager:
                 if found:
                     break
             if found:
+                self._pinned_runs_cache = None
                 self.quarantined.append(name)
+                self._quarantined_sizes[name] = run.size_bytes
+                # Publish a new catalogue version: snapshots pinned from here
+                # on exclude the damaged run.  No deferral is needed -- the
+                # file is deliberately left on disk for the post-mortem, so
+                # readers pinned over the old version can still stream it
+                # (and will quarantine it themselves if they hit the damage).
+                self._version += 1
         if found and self.cache is not None:
             self.cache.invalidate_file(name)
         return found
@@ -226,15 +417,17 @@ class RunManager:
     # --------------------------------------------------------------- queries
 
     def partitions(self) -> List[int]:
-        return sorted(self._partitions)
+        with self._lock:
+            return sorted(self._partitions)
 
     def runs_for(self, partition: int, table: Optional[str] = None) -> List[ReadStoreReader]:
-        entry = self._partitions.get(partition)
-        if entry is None:
-            return []
-        if table is None:
-            return entry.all_runs()
-        return list(entry.runs[table])
+        with self._lock:
+            entry = self._partitions.get(partition)
+            if entry is None:
+                return []
+            if table is None:
+                return entry.all_runs()
+            return list(entry.runs[table])
 
     def runs_for_block_range(self, partitions: Sequence[int], first_block: int,
                              num_blocks: int) -> List[ReadStoreReader]:

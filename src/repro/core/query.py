@@ -76,12 +76,14 @@ surviving runs plus the write stores.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from bisect import bisect_left
 from collections import OrderedDict, defaultdict
 from itertools import chain
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.catalogue import Catalogue, CatalogueSnapshot
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QuerySpec
 from repro.core.deletion_vector import DeletionVector
@@ -128,6 +130,7 @@ class QueryEngine:
         config: BacklogConfig,
         stats: Optional[QueryStats] = None,
         mutation_stamp: Optional[Callable[[], Tuple]] = None,
+        catalogue: Optional[Catalogue] = None,
     ) -> None:
         self.backend = backend
         self.run_manager = run_manager
@@ -138,6 +141,13 @@ class QueryEngine:
         self.authority = authority
         self.deletion_vector = deletion_vector
         self.config = config
+        # Every query pins a CatalogueSnapshot from here for its whole
+        # lifetime -- that pin is what keeps run files alive under the
+        # reader (see core/catalogue.py).  Standalone engines (benchmarks,
+        # tests) that do not share a Backlog's catalogue get a private one
+        # over the same components.
+        self.catalogue = catalogue if catalogue is not None else Catalogue(
+            run_manager, ws_from, ws_to, deletion_vector)
         self.stats = stats if stats is not None else QueryStats()
         # The session-scoped cursor resume cache: resume-token -> suspended
         # pipeline, populated when a limit-bounded page fills and consulted
@@ -147,8 +157,14 @@ class QueryEngine:
         # is no safe way to know the write stores are unchanged, so parking
         # is disabled.
         self._mutation_stamp = mutation_stamp
-        self._parked: "OrderedDict[Tuple, Tuple[Iterator[BackReference], Tuple]]" = \
+        # Entries are (refs, stamp, snapshot): the parked pipeline, the
+        # mutation stamp taken at park time, and the pinned catalogue
+        # snapshot whose custody the pipeline carries (dropping an entry
+        # must release the pin).  Guarded by _parked_lock: concurrent
+        # service sessions park and take from the same engine.
+        self._parked: "OrderedDict[Tuple, Tuple[Iterator[BackReference], Tuple, Optional[CatalogueSnapshot]]]" = \
             OrderedDict()
+        self._parked_lock = threading.Lock()
 
     # ------------------------------------------------------------------ API
 
@@ -176,19 +192,28 @@ class QueryEngine:
         # from the catalogue (or re-raises if it cannot).
         count_dispatch = True
         while True:
-            candidate_runs = self._candidate_runs(first_block, num_blocks)
-            try:
-                if self._dispatch_narrow(candidate_runs, num_blocks,
-                                         count=count_dispatch):
-                    results = self._query_materialized(
-                        candidate_runs, first_block, num_blocks)
-                else:
-                    results = self._query_streaming(
-                        candidate_runs, first_block, num_blocks)
-                break
-            except CorruptPageError as error:
-                self._quarantine(error)
-                count_dispatch = False
+            # Pin a snapshot for the attempt: the runs it references cannot
+            # be deleted (only deferred) while it is held, so a concurrent
+            # checkpoint/compaction cannot pull pages out from under the
+            # scan.  Both strategies materialise their result list before
+            # the release below.
+            with self.catalogue.select() as snapshot:
+                candidate_runs = self._candidate_runs(snapshot, first_block,
+                                                      num_blocks)
+                try:
+                    if self._dispatch_narrow(candidate_runs, num_blocks,
+                                             count=count_dispatch):
+                        results = self._query_materialized(
+                            snapshot, candidate_runs, first_block, num_blocks)
+                    else:
+                        results = self._query_streaming(
+                            snapshot, candidate_runs, first_block, num_blocks)
+                    break
+                except CorruptPageError as error:
+                    # Re-pin after quarantine: the fresh snapshot no longer
+                    # contains the damaged run.
+                    self._quarantine(error)
+                    count_dispatch = False
 
         self.stats.queries += 1
         self.stats.back_references_returned += len(results)
@@ -276,19 +301,28 @@ class QueryEngine:
         # test only ever fires on a resumed or rebuilt pipeline.
         last_identity = resume_key
         count_dispatch = not reopened
+        # The pinned snapshot the pipeline reads from.  The generator owns
+        # it -- and releases it in the finally -- except when a full page
+        # parks the pipeline, which transfers custody (pin included) to the
+        # resume cache so the parked iterators keep their run files alive.
+        snapshot: Optional[CatalogueSnapshot] = None
         try:
             refs: Optional[Iterator[BackReference]] = None
             if resume_key is not None:
-                refs = self._take_parked(spec, resume_key)
-                if refs is not None:
+                parked = self._take_parked(spec, resume_key)
+                if parked is not None:
                     # The parked pipeline is already positioned just past the
                     # resume identity: no Bloom prefilter and no per-run
                     # re-seek (the skip test above never fires on it).
+                    refs, snapshot = parked
                     stats.resume_cache_hits += 1
             while True:
                 try:
                     if refs is None:
-                        candidate_runs = self._candidate_runs(first_block, num_blocks)
+                        if snapshot is None:
+                            snapshot = self.catalogue.select()
+                        candidate_runs = self._candidate_runs(
+                            snapshot, first_block, num_blocks)
                         if self._dispatch_narrow(candidate_runs, num_blocks,
                                                  count=count_dispatch):
                             # The materialised fast path already returns a
@@ -298,12 +332,12 @@ class QueryEngine:
                             # keeps the loop's position in ``refs`` itself so
                             # a full page can be parked.
                             refs = iter(self._query_materialized(
-                                candidate_runs, first_block, num_blocks
+                                snapshot, candidate_runs, first_block, num_blocks
                             ))
                         else:
                             refs = self._iter_group_sorted(self._cursor_records(
-                                candidate_runs, first_block, num_blocks, start_key,
-                                spec
+                                snapshot, candidate_runs, first_block, num_blocks,
+                                start_key, spec
                             ))
                     for ref in refs:
                         if last_identity is not None and ref[:4] <= last_identity:
@@ -333,8 +367,10 @@ class QueryEngine:
                             # closes the cursor the moment its page fills, and
                             # the pipeline must already be in the cache (not
                             # torn down with the generator) when the resume
-                            # token comes back.
-                            self._park_cursor(spec, ref, refs)
+                            # token comes back.  Parking takes custody of the
+                            # snapshot pin along with the iterators.
+                            if self._park_cursor(spec, ref, refs, snapshot):
+                                snapshot = None
                         yield ref
                         started = time.perf_counter()
                         if page_full:
@@ -344,10 +380,16 @@ class QueryEngine:
                     # Quarantine and re-enter just past the last owner the
                     # consumer saw.  The broken generator chain was already
                     # closed by the propagating exception; parked pipelines
-                    # were dropped by the quarantine's invalidation.
+                    # were dropped by the quarantine's invalidation.  The
+                    # pinned snapshot still holds the damaged run, so drop it
+                    # and re-pin: the fresh snapshot excludes the quarantined
+                    # run, which bounds the retry loop.
                     self._quarantine(error)
                     count_dispatch = False
                     refs = None
+                    if snapshot is not None:
+                        snapshot.release()
+                        snapshot = None
                     if last_identity is not None:
                         first_block = last_identity[0]
                         num_blocks = (spec.first_block + spec.num_blocks
@@ -355,6 +397,8 @@ class QueryEngine:
                         start_key = (last_identity[0], last_identity[1],
                                      last_identity[2], 0, 0)
         finally:
+            if snapshot is not None:
+                snapshot.release()
             if started is not None:
                 elapsed += time.perf_counter() - started
             if not reopened:
@@ -366,6 +410,7 @@ class QueryEngine:
 
     def _cursor_records(
         self,
+        snapshot: CatalogueSnapshot,
         candidate_runs: List[ReadStoreReader],
         first_block: int,
         num_blocks: int,
@@ -374,7 +419,7 @@ class QueryEngine:
     ) -> Iterator[CombinedRecord]:
         """The streaming record pipeline with the spec's pushdowns applied."""
         froms, tos, combined = self._gather(
-            candidate_runs, first_block, num_blocks, start_key
+            snapshot, candidate_runs, first_block, num_blocks, start_key
         )
         combined_view = merge_join_for_query(
             froms, tos, combined, inode_filter=spec.inodes
@@ -392,15 +437,17 @@ class QueryEngine:
     # owner stream is parked keyed by the resume token it handed out, and a
     # resume with that token continues it instead of rebuilding.
     #
-    # Correctness: a parked pipeline froze the database view its gather step
-    # opened -- candidate runs, write-store snapshot slices.  It is therefore
-    # only resumed when nothing has changed: the Backlog invalidates the
-    # cache at every data-flushing checkpoint (idle checkpoints change
-    # nothing and leave it intact), maintenance pass, relocation, clone
-    # registration and snapshot deletion, and the mutation stamp (the
-    # reference-update counters) catches write-store changes between pages.
-    # Anything else -- mismatched spec, evicted entry, stamp drift -- falls
-    # back to the re-seek path, which the differential tests hold identical.
+    # Correctness: a parked pipeline carries the pinned CatalogueSnapshot its
+    # gather step opened -- candidate runs, write-store snapshot slices --
+    # so its files stay alive in the cache.  It is still only resumed when
+    # nothing has changed (the answer must reflect the *current* database,
+    # not the parked view): the Backlog invalidates the cache at every
+    # data-flushing checkpoint (idle checkpoints change nothing and leave it
+    # intact), maintenance pass, relocation, clone registration and snapshot
+    # deletion, and the mutation stamp (the reference-update counters)
+    # catches write-store changes between pages.  Anything else -- mismatched
+    # spec, evicted entry, stamp drift -- falls back to the re-seek path,
+    # which the differential tests hold identical.
 
     @staticmethod
     def _spec_core(spec: QuerySpec) -> Tuple:
@@ -409,47 +456,69 @@ class QueryEngine:
                 spec.live_only, spec.lines, spec.inodes)
 
     def _park_cursor(self, spec: QuerySpec, last_ref: BackReference,
-                     refs: Iterator[BackReference]) -> None:
-        """Park a full page's suspended pipeline under its resume token."""
+                     refs: Iterator[BackReference],
+                     snapshot: Optional[CatalogueSnapshot]) -> bool:
+        """Park a full page's suspended pipeline under its resume token.
+
+        Returns True when the cache took custody of ``refs`` *and*
+        ``snapshot`` (the caller must stop releasing the pin), False when
+        parking is disabled and the caller keeps ownership.
+        """
         capacity = self.config.resume_cache_size
         if capacity <= 0 or self._mutation_stamp is None:
-            return
+            return False
         key = (self._spec_core(spec),
                (last_ref.block, last_ref.inode, last_ref.offset, last_ref.line))
-        stale = self._parked.pop(key, None)
-        if stale is not None:
-            self._close_parked(stale[0])
-        self._parked[key] = (refs, self._mutation_stamp())
-        while len(self._parked) > capacity:
-            _, (evicted, _) = self._parked.popitem(last=False)
-            self._close_parked(evicted)
+        dropped: List[Tuple] = []
+        with self._parked_lock:
+            stale = self._parked.pop(key, None)
+            if stale is not None:
+                dropped.append(stale)
+            self._parked[key] = (refs, self._mutation_stamp(), snapshot)
+            while len(self._parked) > capacity:
+                _, evicted = self._parked.popitem(last=False)
+                dropped.append(evicted)
+        for entry in dropped:
+            self._drop_parked(entry)
+        return True
 
-    def _take_parked(self, spec: QuerySpec,
-                     resume_key: Tuple) -> Optional[Iterator[BackReference]]:
-        """The parked pipeline for this spec + token, if still trustworthy."""
+    def _take_parked(
+        self, spec: QuerySpec, resume_key: Tuple,
+    ) -> Optional[Tuple[Iterator[BackReference], Optional[CatalogueSnapshot]]]:
+        """The parked pipeline for this spec + token, if still trustworthy.
+
+        Returns ``(refs, snapshot)`` -- the caller takes the snapshot pin
+        back along with the iterators -- or None for a cache miss.
+        """
         if not self._parked or self._mutation_stamp is None:
             return None
         key = (self._spec_core(spec), tuple(resume_key))
-        entry = self._parked.pop(key, None)
+        with self._parked_lock:
+            entry = self._parked.pop(key, None)
         if entry is None:
             return None
-        refs, stamp = entry
+        refs, stamp, snapshot = entry
         if stamp != self._mutation_stamp():
-            self._close_parked(refs)
+            self._drop_parked(entry)
             return None
-        return refs
+        return refs, snapshot
 
     def invalidate_parked_cursors(self) -> None:
         """Drop every parked pipeline (the database is about to change)."""
-        while self._parked:
-            _, (refs, _) = self._parked.popitem(last=False)
-            self._close_parked(refs)
+        with self._parked_lock:
+            dropped = list(self._parked.values())
+            self._parked.clear()
+        for entry in dropped:
+            self._drop_parked(entry)
 
     @staticmethod
-    def _close_parked(refs: Iterator[BackReference]) -> None:
+    def _drop_parked(entry: Tuple) -> None:
+        refs, _, snapshot = entry
         close = getattr(refs, "close", None)
         if close is not None:
             close()
+        if snapshot is not None:
+            snapshot.release()
 
     # ------------------------------------------------------------ internals
 
@@ -463,9 +532,14 @@ class QueryEngine:
         nothing left to degrade away from, so the caller must not loop.
         """
         self.stats.corrupt_pages_detected += 1
-        if not self.run_manager.quarantine_run(error.run_name):
+        if self.run_manager.quarantine_run(error.run_name):
+            self.stats.runs_quarantined += 1
+        elif error.run_name not in self.run_manager.quarantined:
+            # Not in the catalogue and not quarantined by anyone: nothing
+            # left to degrade away from, so the caller must not loop.  (A
+            # concurrent reader quarantining the same run first is fine --
+            # the re-pinned snapshot will exclude it either way.)
             raise error
-        self.stats.runs_quarantined += 1
         self.invalidate_parked_cursors()
 
     def _dispatch_narrow(self, candidate_runs: List[ReadStoreReader],
@@ -486,34 +560,38 @@ class QueryEngine:
             return True
         return False
 
-    def _candidate_runs(self, first_block: int, num_blocks: int) -> List[ReadStoreReader]:
+    def _candidate_runs(self, snapshot: CatalogueSnapshot, first_block: int,
+                        num_blocks: int) -> List[ReadStoreReader]:
         """The runs whose Bloom filters admit the block range (step 1)."""
         partitions = self.partitioner.partitions_for_range(first_block, num_blocks)
         if self.config.use_bloom_filters:
-            candidate_runs = self.run_manager.runs_for_block_range(
+            candidate_runs = snapshot.runs_for_block_range(
                 partitions, first_block, num_blocks
             )
-            total_runs = sum(len(self.run_manager.runs_for(p)) for p in partitions)
+            total_runs = sum(len(snapshot.runs_for(p)) for p in partitions)
             self.stats.runs_skipped_by_bloom += total_runs - len(candidate_runs)
         else:
-            candidate_runs = [run for p in partitions for run in self.run_manager.runs_for(p)]
+            candidate_runs = [run for p in partitions for run in snapshot.runs_for(p)]
         self.stats.runs_probed += len(candidate_runs)
         return candidate_runs
 
     # ------------------------------------------------------ streaming path
 
     def _query_streaming(
-        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int
+        self, snapshot: CatalogueSnapshot, candidate_runs: List[ReadStoreReader],
+        first_block: int, num_blocks: int
     ) -> List[BackReference]:
         """Steps 2-6 as one generator chain (see the module docstring)."""
-        froms, tos, combined = self._gather(candidate_runs, first_block, num_blocks)
+        froms, tos, combined = self._gather(snapshot, candidate_runs,
+                                            first_block, num_blocks)
         combined_view = merge_join_for_query(froms, tos, combined)
         expanded = expand_clones(combined_view, self.clone_graph)
         masked = iter_mask_records(expanded, self.authority)
         return self._group_sorted(masked)
 
     def _gather(
-        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int,
+        self, snapshot: CatalogueSnapshot, candidate_runs: List[ReadStoreReader],
+        first_block: int, num_blocks: int,
         start_key: Optional[Tuple[int, ...]] = None,
     ) -> Tuple[Iterator[FromRecord], Iterator[ToRecord], Iterator[CombinedRecord]]:
         """Sorted, lazily merged record streams for the block range.
@@ -553,21 +631,23 @@ class QueryEngine:
             sources[run.record_kind][-1].append(
                 run.iter_block_range(first_block, num_blocks, start_key)
             )
-        ws_from_records = self.ws_from.records_for_block_range(first_block, num_blocks)
+        ws_from_records = snapshot.ws_from.records_for_block_range(first_block, num_blocks)
         if start_key is not None and ws_from_records:
             ws_from_records = ws_from_records[bisect_left(ws_from_records, start_key):]
-        ws_to_records = self.ws_to.records_for_block_range(first_block, num_blocks)
+        ws_to_records = snapshot.ws_to.records_for_block_range(first_block, num_blocks)
         if start_key is not None and ws_to_records:
             ws_to_records = ws_to_records[bisect_left(ws_to_records, start_key):]
 
+        deletion_vector = snapshot.deletion_vector
         return (
-            self._merge_sources(sources[FROM_KIND], ws_from_records),
-            self._merge_sources(sources[TO_KIND], ws_to_records),
-            self._merge_sources(sources[COMBINED_KIND], None),
+            self._merge_sources(sources[FROM_KIND], ws_from_records, deletion_vector),
+            self._merge_sources(sources[TO_KIND], ws_to_records, deletion_vector),
+            self._merge_sources(sources[COMBINED_KIND], None, deletion_vector),
         )
 
     def _merge_sources(self, partition_buckets: List[List[Iterator]],
-                       write_store_records: Optional[List]) -> Iterator:
+                       write_store_records: Optional[List],
+                       deletion_vector: DeletionVector) -> Iterator:
         """One sorted stream per table: lazily chained per-partition merges.
 
         Each partition's run iterators merge through ``heapq.merge``; the
@@ -589,8 +669,8 @@ class QueryEngine:
             merged = chain.from_iterable(merged_partitions)
         if write_store_records:
             merged = heapq.merge(merged, iter(write_store_records))
-        if self.deletion_vector:
-            return self.deletion_vector.filter(merged)
+        if deletion_vector:
+            return deletion_vector.filter(merged)
         return merged
 
     def _group_sorted(self, records: Iterable[CombinedRecord]) -> List[BackReference]:
@@ -647,7 +727,8 @@ class QueryEngine:
     # --------------------------------------------------- materialised path
 
     def _query_materialized(
-        self, candidate_runs: List[ReadStoreReader], first_block: int, num_blocks: int
+        self, snapshot: CatalogueSnapshot, candidate_runs: List[ReadStoreReader],
+        first_block: int, num_blocks: int
     ) -> List[BackReference]:
         """The retained pre-streaming pipeline, used below the dispatch bound.
 
@@ -663,12 +744,13 @@ class QueryEngine:
         sinks: Dict[int, List] = {FROM_KIND: froms, TO_KIND: tos, COMBINED_KIND: combined}
         for run in candidate_runs:
             sinks[run.record_kind].extend(run.records_for_block_range(first_block, num_blocks))
-        froms.extend(self.ws_from.records_for_block_range(first_block, num_blocks))
-        tos.extend(self.ws_to.records_for_block_range(first_block, num_blocks))
-        if self.deletion_vector:
-            froms = list(self.deletion_vector.filter(froms))
-            tos = list(self.deletion_vector.filter(tos))
-            combined = list(self.deletion_vector.filter(combined))
+        froms.extend(snapshot.ws_from.records_for_block_range(first_block, num_blocks))
+        tos.extend(snapshot.ws_to.records_for_block_range(first_block, num_blocks))
+        deletion_vector = snapshot.deletion_vector
+        if deletion_vector:
+            froms = list(deletion_vector.filter(froms))
+            tos = list(deletion_vector.filter(tos))
+            combined = list(deletion_vector.filter(combined))
         combined_view = materialized_join(froms, tos, combined)
         expanded = materialized_expand(combined_view, self.clone_graph)
         masked = mask_records(expanded, self.authority)

@@ -32,7 +32,8 @@ from repro.core.backlog import Backlog
 from repro.core.config import BacklogConfig
 from repro.core.masking import VersionAuthority
 from repro.core.read_store import CorruptPageError, ReadStoreReader
-from repro.core.lsm import RunManager, parse_run_name
+from repro.core.lsm import (RunManager, parse_run_name, parse_tombstone_name,
+                            tombstone_name)
 from repro.fsim.blockdev import StorageBackend
 from repro.fsim.cache import PageCache
 from repro.fsim.journal import Journal
@@ -64,10 +65,20 @@ def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = No
     name.  ``verify_checksums`` is threaded into the rebuilt manager (and
     its re-opened readers) exactly as :class:`~repro.core.config.
     BacklogConfig.verify_checksums` would be.
+
+    A run file accompanied by a ``.retired`` tombstone was already retired
+    from the catalogue -- its deletion was deferred behind a reader pinned
+    at crash time (see :mod:`repro.core.lsm`).  No pin survives a restart,
+    so such a file is never re-registered; with ``remove_invalid=True`` the
+    interrupted retirement is completed (file and marker deleted).  Its
+    sequence number, like an invalid leftover's, still advances the counter.
     """
     manager = RunManager(backend, cache=cache, verify_checksums=verify_checksums)
+    files = list(backend.list_files())
+    tombstoned = {run for run in (parse_tombstone_name(name) for name in files)
+                  if run is not None}
     runs = []
-    for name in backend.list_files():
+    for name in files:
         parsed = parse_run_name(name)
         if parsed is None:
             continue
@@ -76,6 +87,13 @@ def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = No
     max_sequence = 0
     for sequence, partition, table, name in sorted(runs):
         max_sequence = max(max_sequence, sequence)
+        if name in tombstoned:
+            if remove_invalid:
+                backend.delete(name)
+                marker = tombstone_name(name)
+                if backend.exists(marker):
+                    backend.delete(marker)
+            continue
         try:
             reader = ReadStoreReader(backend, name, cache=cache,
                                      verify_checksums=verify_checksums)
@@ -86,6 +104,14 @@ def rebuild_run_manager(backend: StorageBackend, cache: Optional[PageCache] = No
                 backend.delete(name)
             continue
         manager.add_run(partition, table, reader)
+    if remove_invalid:
+        # Orphan markers -- retirement deleted the run file but crashed
+        # before removing the marker -- hold no data; finish the job.
+        present = set(files)
+        for name in files:
+            marked = parse_tombstone_name(name)
+            if marked is not None and marked not in present:
+                backend.delete(name)
     # Advance the sequence counter so future runs do not collide.
     manager.reserve_through(max_sequence)
     return manager
@@ -135,9 +161,12 @@ def recover_backlog(
     backlog.run_manager = rebuild_run_manager(
         backend, cache=backlog.cache, remove_invalid=True,
         verify_checksums=backlog.config.verify_checksums)
-    # Re-wire the components that hold a reference to the run manager.
+    # Re-wire the components that hold a reference to the run manager --
+    # including the catalogue, which is where every pinned query snapshot
+    # gets its run lists from.
     backlog._compactor.run_manager = backlog.run_manager
     backlog._query_engine.run_manager = backlog.run_manager
+    backlog.catalogue.run_manager = backlog.run_manager
 
     if clone_parents is not None:
         for line, parent_line, parent_version in clone_parents:
@@ -171,12 +200,23 @@ class ScrubReport:
     #: Run-named files that would not open at all (truncated, empty,
     #: unreadable) -- crash leftovers rather than bit rot.
     files_invalid: List[str] = field(default_factory=list)
-    #: Files deleted by ``reclaim=True`` (corrupt runs + invalid leftovers).
+    #: Deferred-delete files: runs retired from the catalogue behind a
+    #: pinned reader (their ``.retired`` tombstone is present), plus orphan
+    #: tombstones whose run file is already gone.  *Not* leaks or damage --
+    #: an interrupted epoch reclamation; ``reclaim=True`` completes it.
+    files_deferred: List[str] = field(default_factory=list)
+    #: Files deleted by ``reclaim=True`` (corrupt runs, invalid leftovers,
+    #: deferred-delete files and their tombstones).
     files_reclaimed: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """True when nothing is corrupt and no invalid leftovers remain."""
+        """True when nothing is corrupt and no invalid leftovers remain.
+
+        Deferred-delete files do not make a backend unclean: they are an
+        understood, self-describing state (retirement awaiting reclamation),
+        not damage.
+        """
         return not self.runs_corrupt and not self.files_invalid
 
     def summary(self) -> str:
@@ -188,11 +228,14 @@ class ScrubReport:
             lines.append(f"CORRUPT  {name}: {failures}")
         for name in self.files_invalid:
             lines.append(f"INVALID  {name}: cannot open")
+        for name in self.files_deferred:
+            lines.append(f"DEFERRED {name}: retired, awaiting reclamation")
         for name in self.files_reclaimed:
             lines.append(f"RECLAIMED {name}")
         lines.append(
             f"scrub: {len(self.runs_ok)} ok, {len(self.runs_legacy)} legacy (v1), "
             f"{len(self.runs_corrupt)} corrupt, {len(self.files_invalid)} invalid, "
+            f"{len(self.files_deferred)} deferred, "
             f"{len(self.files_reclaimed)} reclaimed")
         return "\n".join(lines)
 
@@ -207,10 +250,32 @@ def scrub_backend(backend: StorageBackend, reclaim: bool = False) -> ScrubReport
     reported as legacy rather than ok.  ``reclaim=True`` deletes corrupt
     runs and unopenable leftovers, reclaiming their space -- the database
     equivalent of dropping a damaged run from the catalogue, made durable.
+
+    Files carrying a ``.retired`` tombstone are *deferred deletes* -- runs
+    retired from the catalogue while a pinned reader still held them (epoch
+    reclamation, :mod:`repro.core.lsm`) -- and are reported separately from
+    leaks or damage; ``reclaim=True`` completes the interrupted retirement
+    (file and marker).  Reclaiming assumes a quiescent backend: on a live
+    system the deferred files may still be streamed by pinned snapshots.
     """
     report = ScrubReport()
-    for name in sorted(backend.list_files()):
+    files = sorted(backend.list_files())
+    present = set(files)
+    tombstoned = {run for run in (parse_tombstone_name(name) for name in files)
+                  if run is not None}
+    for name in files:
+        marked = parse_tombstone_name(name)
+        if marked is not None and marked not in present:
+            # Orphan marker: the retirement already deleted the run file but
+            # crashed before the marker.  Report (and reclaim) the marker.
+            report.files_deferred.append(name)
+            continue
         if parse_run_name(name) is None:
+            continue
+        if name in tombstoned:
+            # Retired behind a pinned reader; not part of the database, so
+            # its checksums are not the database's problem.
+            report.files_deferred.append(name)
             continue
         try:
             reader = ReadStoreReader(backend, name, verify_checksums=False)
@@ -233,7 +298,14 @@ def scrub_backend(backend: StorageBackend, reclaim: bool = False) -> ScrubReport
         else:
             report.runs_ok.append(name)
     if reclaim:
-        for name in list(report.runs_corrupt) + list(report.files_invalid):
+        targets = list(report.runs_corrupt) + list(report.files_invalid)
+        for name in report.files_deferred:
+            targets.append(name)
+            if parse_run_name(name) is not None:
+                marker = tombstone_name(name)
+                if backend.exists(marker):
+                    targets.append(marker)
+        for name in targets:
             if backend.exists(name):
                 backend.delete(name)
             report.files_reclaimed.append(name)

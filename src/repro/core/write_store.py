@@ -36,15 +36,49 @@ it cheaply and the flush can size its Bloom filter.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.records import FromRecord, ToRecord
 from repro.util.rbtree import RedBlackTree
 
-__all__ = ["WriteStore", "RBTreeWriteStore"]
+__all__ = ["WriteStore", "FrozenWriteStore", "RBTreeWriteStore"]
 
 _Record = Union[FromRecord, ToRecord]
+
+
+class FrozenWriteStore:
+    """An immutable point-in-time view of a :class:`WriteStore`.
+
+    Produced by :meth:`WriteStore.freeze` when a catalogue snapshot is
+    pinned (see :mod:`repro.core.catalogue`): the view wraps the store's
+    sorted snapshot list, which the live store *replaces* -- never mutates
+    in place -- on every re-sort and on :meth:`WriteStore.clear`, so the
+    frozen list stays valid forever without copying a single record.  It
+    exposes exactly the read surface the query gather step needs.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: List[_Record]) -> None:
+        self._records = records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def __iter__(self) -> Iterator[_Record]:
+        return iter(self._records)
+
+    def records_for_block_range(self, first_block: int, num_blocks: int) -> List[_Record]:
+        """All frozen records for blocks in ``[first_block, first_block + num_blocks)``."""
+        records = self._records
+        lo = bisect_left(records, (first_block,))
+        hi = bisect_left(records, (first_block + num_blocks,))
+        return records[lo:hi]
 
 
 class WriteStore:
@@ -76,6 +110,10 @@ class WriteStore:
         self._pending: List[_Record] = []
         self._dirty = False
         self._removed_since_sort = False
+        # Guards the containers against concurrent reader threads freezing
+        # (or range-reading) the store while the owning thread mutates it.
+        # Single-threaded use pays one uncontended acquire per operation.
+        self._lock = threading.Lock()
         self.inserts = 0
         self.removals = 0
 
@@ -84,15 +122,16 @@ class WriteStore:
     def insert(self, record: _Record) -> None:
         """Add a record.  Duplicate keys (same identity and CP) are idempotent."""
         self._check_type(record)
-        records = self._records
-        if record not in records:
-            records[record] = record
-            counts = self._block_counts
-            block = record[0]
-            counts[block] = counts.get(block, 0) + 1
-            self._pending.append(record)
-            self._dirty = True
-        self.inserts += 1
+        with self._lock:
+            records = self._records
+            if record not in records:
+                records[record] = record
+                counts = self._block_counts
+                block = record[0]
+                counts[block] = counts.get(block, 0) + 1
+                self._pending.append(record)
+                self._dirty = True
+            self.inserts += 1
 
     def remove(self, record: _Record) -> bool:
         """Remove a record if present; returns True when something was removed."""
@@ -105,31 +144,34 @@ class WriteStore:
         This is the proactive-pruning fast path: the update handler can test
         and delete in a single hash-map operation.
         """
-        record = self._records.pop((block, inode, offset, line, cp), None)
-        if record is None:
-            return False
-        self.removals += 1
-        self._dirty = True
-        self._removed_since_sort = True
-        count = self._block_counts.get(block, 0) - 1
-        if count <= 0:
-            self._block_counts.pop(block, None)
-        else:
-            self._block_counts[block] = count
-        return True
+        with self._lock:
+            record = self._records.pop((block, inode, offset, line, cp), None)
+            if record is None:
+                return False
+            self.removals += 1
+            self._dirty = True
+            self._removed_since_sort = True
+            count = self._block_counts.get(block, 0) - 1
+            if count <= 0:
+                self._block_counts.pop(block, None)
+            else:
+                self._block_counts[block] = count
+            return True
 
     def clear(self) -> None:
         """Drop every buffered record (after a successful flush).
 
-        A snapshot previously returned by :meth:`sorted_records` stays valid;
-        the store starts over with fresh containers.
+        A snapshot previously returned by :meth:`sorted_records` (or held by
+        a :class:`FrozenWriteStore`) stays valid; the store starts over with
+        fresh containers.
         """
-        self._records = {}
-        self._block_counts = {}
-        self._sorted = []
-        self._pending = []
-        self._dirty = False
-        self._removed_since_sort = False
+        with self._lock:
+            self._records = {}
+            self._block_counts = {}
+            self._sorted = []
+            self._pending = []
+            self._dirty = False
+            self._removed_since_sort = False
 
     # ------------------------------------------------------------- queries
 
@@ -147,16 +189,13 @@ class WriteStore:
         """Return the exact record if buffered, else ``None``."""
         return self._records.get((block, inode, offset, line, cp))
 
-    def sorted_records(self) -> List[_Record]:
-        """The records in ``(block, inode, offset, line, cp)`` order.
-
-        Rebuilds the snapshot only when the store changed since the last call
-        (sort-on-demand).  The returned list is the store's internal snapshot
-        -- treat it as read-only.
-        """
+    def _sorted_records_locked(self) -> List[_Record]:
+        """:meth:`sorted_records` body; caller must hold :attr:`_lock`."""
         if self._dirty:
             # Records are NamedTuples whose field order is the sort order, so
             # they compare natively -- no key function, no tuple allocation.
+            # Every rebuild binds a *new* list: a previously returned
+            # snapshot (or a FrozenWriteStore wrapping one) never changes.
             if self._removed_since_sort:
                 self._sorted = sorted(self._records.values())
             else:
@@ -171,12 +210,34 @@ class WriteStore:
             self._dirty = False
         return self._sorted
 
+    def sorted_records(self) -> List[_Record]:
+        """The records in ``(block, inode, offset, line, cp)`` order.
+
+        Rebuilds the snapshot only when the store changed since the last call
+        (sort-on-demand).  The returned list is the store's internal snapshot
+        -- treat it as read-only.
+        """
+        with self._lock:
+            return self._sorted_records_locked()
+
+    def freeze(self) -> FrozenWriteStore:
+        """An immutable view of the store's current contents.
+
+        O(1) when the sorted snapshot is current (the common case for a
+        read-mostly phase); otherwise it pays the one sort a query would have
+        paid anyway.  The frozen view shares the snapshot list -- safe
+        because the store replaces, never mutates, that list.
+        """
+        with self._lock:
+            return FrozenWriteStore(self._sorted_records_locked())
+
     def records_for_key(self, block: int, inode: int, offset: int, line: int) -> List[_Record]:
         """All buffered records with the given reference identity."""
-        snapshot = self.sorted_records()
-        lo = bisect_left(snapshot, (block, inode, offset, line))
-        hi = bisect_left(snapshot, (block, inode, offset, line + 1))
-        return snapshot[lo:hi]
+        with self._lock:
+            snapshot = self._sorted_records_locked()
+            lo = bisect_left(snapshot, (block, inode, offset, line))
+            hi = bisect_left(snapshot, (block, inode, offset, line + 1))
+            return snapshot[lo:hi]
 
     def records_for_block(self, block: int) -> List[_Record]:
         """All buffered records for one physical block."""
@@ -184,12 +245,13 @@ class WriteStore:
 
     def records_for_block_range(self, first_block: int, num_blocks: int) -> List[_Record]:
         """All buffered records for blocks in ``[first_block, first_block + num_blocks)``."""
-        if num_blocks == 1 and first_block not in self._block_counts:
-            return []  # point miss: answered from the block index, no sort
-        snapshot = self.sorted_records()
-        lo = bisect_left(snapshot, (first_block,))
-        hi = bisect_left(snapshot, (first_block + num_blocks,))
-        return snapshot[lo:hi]
+        with self._lock:
+            if num_blocks == 1 and first_block not in self._block_counts:
+                return []  # point miss: answered from the block index, no sort
+            snapshot = self._sorted_records_locked()
+            lo = bisect_left(snapshot, (first_block,))
+            hi = bisect_left(snapshot, (first_block + num_blocks,))
+            return snapshot[lo:hi]
 
     def may_contain_block(self, block: int) -> bool:
         """Cheap membership check on the distinct-block index."""
@@ -197,7 +259,8 @@ class WriteStore:
 
     def distinct_blocks(self) -> List[int]:
         """Sorted distinct physical blocks present in the store."""
-        return sorted(self._block_counts)
+        with self._lock:
+            return sorted(self._block_counts)
 
     def __iter__(self) -> Iterator[_Record]:
         """Yield records in ``(block, inode, offset, line, cp)`` order."""

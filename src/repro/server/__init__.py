@@ -1,0 +1,14 @@
+"""The Backlog query service: concurrent sessions over one database.
+
+:class:`~repro.server.service.QueryService` wraps a
+:class:`~repro.core.backlog.Backlog` in a threaded HTTP daemon exposing the
+full :class:`~repro.core.cursor.QuerySpec` surface (``POST /query``) with
+resume-token pagination, so many clients can paginate concurrently while the
+host keeps writing, checkpointing and maintaining the database -- the served
+posture the snapshot-isolated read path (:mod:`repro.core.catalogue`) makes
+safe.
+"""
+
+from repro.server.service import QueryService
+
+__all__ = ["QueryService"]

@@ -1,0 +1,289 @@
+"""A threaded HTTP query service over one :class:`~repro.core.backlog.Backlog`.
+
+The paper's interactivity claim is only interesting if queries are served
+*while the file system keeps writing*; this module is the served-system
+posture of that claim.  :class:`QueryService` runs a
+:class:`~http.server.ThreadingHTTPServer` (stdlib only -- one handler thread
+per connection) against a single shared Backlog:
+
+* ``POST /query`` takes a JSON body covering the full
+  :class:`~repro.core.cursor.QuerySpec` surface -- block range, version
+  window, line/inode filters, live-only, limit -- plus an optional
+  ``resume_token``, and answers with the page of owners and the next token.
+  Malformed specs (including stale or garbage resume tokens) are a ``400``
+  with a clear message, never a traceback.
+* ``GET /health`` and ``GET /stats`` expose liveness and the engine's
+  counters (queries, pages read, pinned snapshots, quarantined/deferred
+  bytes).
+
+Safety comes from the layer below, not from locking here: every request
+pins a :class:`~repro.core.catalogue.CatalogueSnapshot` for the duration of
+its page, so checkpoint/maintenance in the host (or a churn thread) never
+deletes a run file under an in-flight session.  The handlers add no
+serialisation of their own -- N sessions genuinely read in parallel.
+
+Shutdown is a graceful drain: :meth:`QueryService.stop` stops accepting new
+connections, then joins every in-flight handler thread
+(``block_on_close``), so a session that already sent its request always
+receives its page.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.backlog import Backlog
+from repro.core.cursor import QuerySpec
+
+__all__ = ["QueryService"]
+
+#: The JSON fields ``POST /query`` accepts; anything else is a 400 so client
+#: typos fail loudly instead of silently querying without their filter.
+_SPEC_FIELDS = frozenset({
+    "first_block", "num_blocks", "version_window", "at_version", "live_only",
+    "lines", "inodes", "limit", "resume_token",
+})
+
+
+def _build_spec(payload: Dict[str, Any]) -> QuerySpec:
+    """A validated QuerySpec from a request body; ValueError on bad input."""
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = set(payload) - _SPEC_FIELDS
+    if unknown:
+        raise ValueError(f"unknown query field(s): {', '.join(sorted(unknown))}")
+    at_version = payload.get("at_version")
+    window = payload.get("version_window")
+    if at_version is not None and window is not None:
+        raise ValueError("pass either at_version or version_window, not both")
+    if window is not None:
+        if not isinstance(window, (list, tuple)) or len(window) != 2:
+            raise ValueError("version_window must be a [lo, hi) pair")
+        window = (window[0], window[1])
+    elif at_version is not None:
+        window = (at_version, at_version + 1)
+    try:
+        spec = QuerySpec(
+            first_block=payload.get("first_block", 0),
+            num_blocks=payload.get("num_blocks", 1),
+            version_window=window,
+            live_only=bool(payload.get("live_only", False)),
+            lines=frozenset(payload["lines"]) if payload.get("lines") else None,
+            inodes=frozenset(payload["inodes"]) if payload.get("inodes") else None,
+            limit=payload.get("limit"),
+            resume_token=payload.get("resume_token"),
+        )
+    except TypeError as exc:
+        # Wrong field types (e.g. a string block number) surface as
+        # TypeError from the dataclass machinery; same client error.
+        raise ValueError(str(exc)) from exc
+    return spec
+
+
+class _QueryHTTPServer(ThreadingHTTPServer):
+    """One handler thread per connection; joined -- not abandoned -- on close.
+
+    ``daemon_threads = False`` + ``block_on_close = True`` is the graceful
+    drain: ``server_close`` blocks until every in-flight handler thread has
+    finished writing its response.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    # Accept queued connections promptly under concurrent session bursts.
+    request_queue_size = 32
+
+    def __init__(self, address: Tuple[str, int], handler, service: "QueryService"):
+        self.service = service
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "backlog-query-service/1.0"
+    # Keep-alive: a paginating session reuses one connection for all its
+    # pages (requires exact Content-Length on every response, which
+    # _send_json guarantees).
+    protocol_version = "HTTP/1.1"
+
+    # ----------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.service.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ----------------------------------------------------------- endpoints
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        service = self.server.service
+        if self.path == "/health":
+            self._send_json(200, {
+                "status": "draining" if service.draining else "ok",
+                "pinned_snapshots": service.backlog.catalogue.pinned_snapshots(),
+            })
+        elif self.path == "/stats":
+            self._send_json(200, service.stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        service = self.server.service
+        if self.path != "/query":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        with service._track_request():
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                raw = self.rfile.read(length) if length else b"{}"
+                try:
+                    payload = json.loads(raw.decode("utf-8") or "{}")
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ValueError(f"invalid JSON body: {exc}") from exc
+                spec = _build_spec(payload)
+            except ValueError as error:
+                service.requests_rejected += 1
+                self._send_json(400, {"error": str(error)})
+                return
+            # The cursor below pins its own catalogue snapshot; no service-
+            # level lock is taken, so sessions stream truly concurrently
+            # with each other and with the host's checkpoint/maintenance.
+            result = service.backlog.select(spec)
+            owners = [{
+                "block": ref.block, "inode": ref.inode, "offset": ref.offset,
+                "line": ref.line, "live": ref.is_live,
+                "ranges": [[start, stop] for start, stop in ref.ranges],
+            } for ref in result]
+            service.requests_served += 1
+            self._send_json(200, {
+                "results": owners,
+                "count": len(owners),
+                "resume_token": result.resume_token,
+                "exhausted": result.exhausted,
+            })
+
+
+class QueryService:
+    """Serve concurrent query sessions over one shared Backlog.
+
+    >>> from repro import Backlog
+    >>> backlog = Backlog()
+    >>> backlog.add_reference(block=7, inode=3, offset=0)
+    >>> _ = backlog.checkpoint()
+    >>> service = QueryService(backlog)          # port=0: ephemeral port
+    >>> with service:                            # start() .. stop() (drain)
+    ...     import http.client, json
+    ...     conn = http.client.HTTPConnection(*service.address)
+    ...     conn.request("POST", "/query", json.dumps({"first_block": 7}),
+    ...                  {"Content-Type": "application/json"})
+    ...     page = json.loads(conn.getresponse().read())
+    ...     conn.close()
+    >>> [owner["inode"] for owner in page["results"]]
+    [3]
+    """
+
+    def __init__(self, backlog: Backlog, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True) -> None:
+        self.backlog = backlog
+        self.quiet = quiet
+        self.draining = False
+        self.requests_served = 0
+        self.requests_rejected = 0
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._server = _QueryHTTPServer((host, port), _Handler, self)
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` -- with ``port=0``, the assigned port."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "QueryService":
+        """Start accepting sessions (returns self for chaining)."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="backlog-query-service",
+                                        kwargs={"poll_interval": 0.05})
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight pages, close.
+
+        Idempotent.  After this returns, every session that had sent its
+        request has received its full response and every handler thread has
+        been joined.
+        """
+        if self._thread is None:
+            return
+        self.draining = True
+        self._server.shutdown()
+        # block_on_close joins the per-connection handler threads.
+        self._server.server_close()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------- telemetry
+
+    def _track_request(self):
+        service = self
+
+        class _Tracker:
+            def __enter__(self):
+                with service._inflight_lock:
+                    service._inflight += 1
+
+            def __exit__(self, *_exc):
+                with service._inflight_lock:
+                    service._inflight -= 1
+
+        return _Tracker()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being answered (0 after a clean drain)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def stats(self) -> Dict[str, Any]:
+        """The service's and the underlying engine's counters, JSON-ready."""
+        backlog = self.backlog
+        query = backlog.stats.query
+        return {
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+            "inflight": self.inflight,
+            "draining": self.draining,
+            "queries": query.queries,
+            "cursors_opened": query.cursors_opened,
+            "resume_cache_hits": query.resume_cache_hits,
+            "pages_read": query.pages_read,
+            "pinned_snapshots": backlog.catalogue.pinned_snapshots(),
+            "database_size_bytes": backlog.database_size_bytes(),
+            "quarantined_bytes": backlog.quarantined_bytes(),
+            "deferred_bytes": backlog.deferred_bytes(),
+        }

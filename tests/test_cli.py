@@ -106,3 +106,29 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "invalid query" in captured.err
+
+    def test_query_command_rejects_corrupted_token_body(self, capsys):
+        # A well-prefixed token whose body has characters outside the
+        # url-safe base64 alphabet: the strict decoder must reject it
+        # instead of silently discarding the junk and resuming at a
+        # garbage-but-plausible position.
+        exit_code = main(["query", *self.WORKLOAD,
+                          "--resume", "bkq1.!!not-base64!!"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "invalid query" in captured.err
+        assert "malformed resume token" in captured.err
+
+    def test_query_command_rejects_stale_out_of_range_token(self, capsys):
+        # A structurally valid token pointing outside the queried block
+        # range (e.g. saved from a different query) is stale, not resumable.
+        from repro import encode_resume_token
+        from repro.core.records import ReferenceKey
+
+        token = encode_resume_token(ReferenceKey(10 ** 6, 1, 0, 0))
+        exit_code = main(["query", *self.WORKLOAD, "--first-block", "0",
+                          "--num-blocks", "16", "--resume", token])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "invalid query" in captured.err
+        assert "outside" in captured.err

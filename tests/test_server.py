@@ -1,0 +1,234 @@
+"""The HTTP query service: endpoints, concurrent sessions, graceful drain."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import Backlog, QueryService
+from repro.cli import build_parser, main
+from repro.server.service import _build_spec
+
+
+def _serve_backlog(blocks=256):
+    backlog = Backlog()
+    for i in range(blocks):
+        backlog.add_reference(block=i, inode=1 + (i % 5), offset=i, line=0)
+    backlog.checkpoint()
+    return backlog
+
+
+def _request(service, method, path, payload=None, conn=None):
+    own = conn is None
+    if own:
+        conn = http.client.HTTPConnection(*service.address, timeout=10)
+    body = json.dumps(payload) if payload is not None else None
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body, headers)
+    response = conn.getresponse()
+    data = json.loads(response.read())
+    if own:
+        conn.close()
+    return response.status, data
+
+
+# ------------------------------------------------------------- spec building
+
+
+class TestBuildSpec:
+    def test_full_surface(self):
+        spec = _build_spec({
+            "first_block": 5, "num_blocks": 10, "live_only": True,
+            "lines": [0, 1], "inodes": [3], "limit": 7,
+        })
+        assert (spec.first_block, spec.num_blocks) == (5, 10)
+        assert spec.live_only and spec.limit == 7
+        assert spec.lines == frozenset({0, 1})
+        assert spec.inodes == frozenset({3})
+
+    def test_at_version_shorthand(self):
+        assert _build_spec({"at_version": 4}).version_window == (4, 5)
+
+    def test_rejections(self):
+        for payload in (
+            [1, 2],                                     # not an object
+            {"first_blok": 0},                          # typo field
+            {"at_version": 1, "version_window": [0, 2]},  # both forms
+            {"version_window": [3]},                    # not a pair
+            {"first_block": "zero"},                    # wrong type
+            {"num_blocks": 0},                          # invalid value
+            {"resume_token": "bkq1.!!not-base64!!"},    # garbage token
+            {"resume_token": "nope"},                   # foreign token
+        ):
+            with pytest.raises(ValueError):
+                _build_spec(payload)
+
+
+# ----------------------------------------------------------------- endpoints
+
+
+class TestEndpoints:
+    def test_query_pagination_over_keep_alive(self):
+        backlog = _serve_backlog()
+        with QueryService(backlog) as service:
+            conn = http.client.HTTPConnection(*service.address, timeout=10)
+            seen, token, pages = [], None, 0
+            while True:
+                payload = {"first_block": 0, "num_blocks": 256, "limit": 100}
+                if token:
+                    payload["resume_token"] = token
+                status, page = _request(service, "POST", "/query",
+                                        payload, conn=conn)
+                assert status == 200
+                seen.extend((r["block"], r["inode"], r["offset"])
+                            for r in page["results"])
+                pages += 1
+                if page["exhausted"]:
+                    assert page["resume_token"] is None
+                    break
+                token = page["resume_token"]
+            conn.close()
+            assert pages == 3
+            assert seen == [(i, 1 + (i % 5), i) for i in range(256)]
+
+    def test_query_filters_and_result_shape(self):
+        backlog = _serve_backlog()
+        with QueryService(backlog) as service:
+            status, page = _request(service, "POST", "/query", {
+                "first_block": 0, "num_blocks": 256,
+                "inodes": [3], "live_only": True,
+            })
+            assert status == 200
+            assert page["count"] == len(page["results"]) > 0
+            for owner in page["results"]:
+                assert owner["inode"] == 3
+                assert owner["live"] is True
+                assert owner["ranges"] and isinstance(owner["ranges"][0], list)
+
+    def test_bad_requests_are_400_with_message(self):
+        backlog = _serve_backlog()
+        with QueryService(backlog) as service:
+            cases = [
+                ("POST", "/query", {"first_blok": 0}),
+                ("POST", "/query", {"resume_token": "bkq1.!!invalid!!"}),
+                ("POST", "/query", {"num_blocks": -1}),
+            ]
+            for method, path, payload in cases:
+                status, body = _request(service, method, path, payload)
+                assert status == 400
+                assert "error" in body
+            assert service.requests_rejected == len(cases)
+            assert service.requests_served == 0
+
+    def test_unknown_paths_are_404(self):
+        backlog = _serve_backlog()
+        with QueryService(backlog) as service:
+            assert _request(service, "GET", "/nope")[0] == 404
+            assert _request(service, "POST", "/nope", {})[0] == 404
+
+    def test_health_and_stats(self):
+        backlog = _serve_backlog()
+        with QueryService(backlog) as service:
+            status, health = _request(service, "GET", "/health")
+            assert status == 200
+            assert health == {"status": "ok", "pinned_snapshots": 0}
+            _request(service, "POST", "/query", {"first_block": 1})
+            status, stats = _request(service, "GET", "/stats")
+            assert status == 200
+            assert stats["requests_served"] == 1
+            assert stats["requests_rejected"] == 0
+            assert stats["queries"] >= 1
+            assert stats["database_size_bytes"] > 0
+            assert stats["quarantined_bytes"] == 0
+            assert stats["deferred_bytes"] == 0
+            assert stats["draining"] is False
+
+
+# --------------------------------------------------------------- concurrency
+
+
+class TestConcurrentSessions:
+    def test_many_sessions_paginate_while_host_churns(self):
+        backlog = _serve_backlog()
+        errors = []
+
+        def session(worker):
+            try:
+                conn = http.client.HTTPConnection(*service.address, timeout=30)
+                token, seen = None, []
+                while True:
+                    payload = {"first_block": 0, "num_blocks": 256,
+                               "limit": 40 + worker}
+                    if token:
+                        payload["resume_token"] = token
+                    status, page = _request(service, "POST", "/query",
+                                            payload, conn=conn)
+                    assert status == 200, page
+                    seen.extend((r["block"], r["inode"], r["offset"])
+                                for r in page["results"])
+                    if page["exhausted"]:
+                        break
+                    token = page["resume_token"]
+                conn.close()
+                assert seen == [(i, 1 + (i % 5), i) for i in range(256)]
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        with QueryService(backlog) as service:
+            threads = [threading.Thread(target=session, args=(worker,))
+                       for worker in range(6)]
+            for thread in threads:
+                thread.start()
+            # The host keeps writing, checkpointing and compacting while
+            # the sessions stream -- churn confined to high blocks.
+            for round_number in range(12):
+                for i in range(16):
+                    backlog.add_reference(block=(1 << 22) + i,
+                                          inode=9999, offset=round_number)
+                backlog.checkpoint()
+                if round_number % 4 == 3:
+                    backlog.maintain()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
+        assert backlog.catalogue.pinned_snapshots() == 0
+
+    def test_stop_drains_and_is_idempotent(self):
+        backlog = _serve_backlog()
+        service = QueryService(backlog).start()
+        with pytest.raises(RuntimeError):
+            service.start()                  # already running
+        status, _ = _request(service, "POST", "/query", {"first_block": 0})
+        assert status == 200
+        service.stop()
+        assert service.inflight == 0
+        assert service.draining is True
+        service.stop()                       # idempotent
+        # The socket is really closed: a new connection must fail.
+        with pytest.raises(OSError):
+            conn = http.client.HTTPConnection(*service.address, timeout=1)
+            conn.request("GET", "/health")
+            conn.getresponse()
+
+
+# ----------------------------------------------------------------- serve CLI
+
+
+class TestServeCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 8642)
+        assert args.churn is False and args.duration is None
+        assert (args.cps, args.ops_per_cp) == (10, 500)
+
+    def test_serve_runs_for_duration_and_drains(self, capsys):
+        exit_code = main(["serve", "--port", "0", "--cps", "2",
+                          "--ops-per-cp", "50", "--churn",
+                          "--duration", "0.3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serving on http://127.0.0.1:" in output
+        assert "drained (" in output
