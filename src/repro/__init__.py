@@ -65,6 +65,7 @@ from repro.server import QueryService
 from repro.fsim import (
     DedupConfig,
     DiskBackend,
+    DiskImageBackend,
     FaultPlan,
     FaultStats,
     FaultyBackend,
@@ -94,6 +95,7 @@ __all__ = [
     "DedupConfig",
     "DeletionVector",
     "DiskBackend",
+    "DiskImageBackend",
     "ExplicitVersionAuthority",
     "FaultPlan",
     "FaultStats",

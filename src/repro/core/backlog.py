@@ -101,6 +101,13 @@ class Backlog(ReferenceListener):
         self._maintenance_executor = PartitionExecutor(
             self.config.maintenance_workers, name="maintenance",
             retry=self._retry_policy(self.stats.maintenance_pool))
+        # The read-side fan-out pool.  No retry policy on purpose: a
+        # partition gather is not idempotent mid-drain (re-running one would
+        # double-read pages into the query's tally), and the serial read
+        # path never retried transient faults either -- corruption handling
+        # goes through quarantine, not retry.
+        self._query_executor = PartitionExecutor(
+            self.config.query_workers, name="query")
         self._compactor = Compactor(
             self.run_manager, self.config, self.version_authority,
             self.clone_graph, self.deletion_vector,
@@ -125,6 +132,8 @@ class Backlog(ReferenceListener):
             mutation_stamp=lambda: (self.stats.references_added,
                                     self.stats.references_removed),
             catalogue=self.catalogue,
+            executor=self._query_executor,
+            executor_stats=self.stats.query_pool,
         )
 
     def _retry_policy(self, pool_stats) -> Optional[RetryPolicy]:
@@ -398,6 +407,7 @@ class Backlog(ReferenceListener):
         self._query_engine.invalidate_parked_cursors()
         self._flush_executor.close()
         self._maintenance_executor.close()
+        self._query_executor.close()
 
     # -------------------------------------------------------- maintenance
 

@@ -109,6 +109,24 @@ class CatalogueSnapshot:
         if manager is not None:
             manager.release_version(self.version)
 
+    def acquire(self):
+        """Take an extra pin on this snapshot's version; returns its releaser.
+
+        The query fan-out calls this when it submits a partition gather to a
+        worker: the job holds its own pin (released exactly once in the job's
+        ``finally``) so the run files it reads survive even if the cursor
+        that spawned it releases the snapshot before the job completes.
+        Raises ``ValueError`` if the snapshot is already released -- there is
+        no pin left to extend.
+        """
+        with self._release_lock:
+            manager = self._manager
+            if manager is None:
+                raise ValueError("cannot acquire a released CatalogueSnapshot")
+            manager.acquire_version(self.version)
+        version = self.version
+        return lambda: manager.release_version(version)
+
     def __enter__(self) -> "CatalogueSnapshot":
         return self
 

@@ -14,9 +14,10 @@ __all__ = ["BacklogConfig"]
 def _workers_from_env(*variables: str) -> int:
     """Worker-count default: the first set environment variable, else 1.
 
-    ``REPRO_FLUSH_WORKERS`` / ``REPRO_MAINTENANCE_WORKERS`` let the whole
-    test suite (and any embedding process) run with parallel flush and
-    maintenance without touching a single ``BacklogConfig(...)`` call site --
+    ``REPRO_FLUSH_WORKERS`` / ``REPRO_MAINTENANCE_WORKERS`` /
+    ``REPRO_QUERY_WORKERS`` let the whole test suite (and any embedding
+    process) run with parallel flush, maintenance and query fan-out
+    without touching a single ``BacklogConfig(...)`` call site --
     CI's parallel matrix leg sets ``REPRO_FLUSH_WORKERS=4`` and every config
     that does not *explicitly* pin its worker counts picks it up.  The
     maintenance default falls back to the flush variable so one variable
@@ -95,6 +96,17 @@ class BacklogConfig:
         variables (maintenance falls back to the flush variable), which is
         how CI's parallel matrix leg drives the whole suite through the
         parallel paths.
+    query_workers:
+        Size of the read-side pool: when greater than 1, a streaming
+        multi-partition query drains the gathers of *later* partitions on
+        worker threads while the caller consumes earlier ones, merging
+        strictly at the partition boundary so cursor emission order, resume
+        tokens, answers and per-query page accounting are byte-identical to
+        serial (``tests/test_parallel_equivalence.py`` read-side leg).  The
+        lazy-gather guarantee is preserved: prefetch only starts once the
+        first partition's stream is exhausted, so ``.first()`` on partition
+        0 never pays for partition N.  Default 1 (serial, no pool); honours
+        ``REPRO_QUERY_WORKERS``.
     resume_cache_size:
         Capacity (in parked cursors) of the session-scoped resume cache:
         when a ``limit``-bounded cursor page fills, its suspended pipeline is
@@ -145,6 +157,8 @@ class BacklogConfig:
     maintenance_workers: int = field(
         default_factory=lambda: _workers_from_env(
             "REPRO_MAINTENANCE_WORKERS", "REPRO_FLUSH_WORKERS"))
+    query_workers: int = field(
+        default_factory=lambda: _workers_from_env("REPRO_QUERY_WORKERS"))
     resume_cache_size: int = 4
     verify_checksums: bool = True
     io_retries: int = 2
@@ -163,7 +177,8 @@ class BacklogConfig:
             raise ValueError("maintenance_interval_cps must be positive when set")
         if self.narrow_dispatch_max_runs < 0:
             raise ValueError("narrow_dispatch_max_runs must be non-negative")
-        if self.flush_workers < 1 or self.maintenance_workers < 1:
+        if (self.flush_workers < 1 or self.maintenance_workers < 1
+                or self.query_workers < 1):
             raise ValueError("worker counts must be >= 1")
         if self.resume_cache_size < 0:
             raise ValueError("resume_cache_size must be non-negative")

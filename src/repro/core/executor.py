@@ -39,13 +39,25 @@ I/O -- which is exactly what a real device overlaps across independent
 partitions.  The ``flush_parallel`` benchmark section therefore measures the
 pool over a :class:`~repro.fsim.blockdev.ThrottledBackend`, whose simulated
 per-page device time (like real file I/O) is released-GIL time.
+
+The **read side** reuses the same pool type (``BacklogConfig.query_workers``)
+with the same contract, via :meth:`PartitionExecutor.submit` rather than
+``map``: the query engine drains later partitions' gathers on workers while
+the caller consumes earlier partitions, but *merges strictly at the
+partition boundary in submission order*, so cursor emission order, resume
+tokens and answers are byte-identical to serial.  Each prefetch job tallies
+its own page reads thread-locally (``IOStats.push_read_tally``) and the
+consumer folds the count into its ``QueryStats`` when it takes the job's
+records, keeping per-query accounting exact instead of racing on shared
+counters; ``docs/ARCHITECTURE.md`` ("Concurrency model") spells out the
+full ordering/accounting/snapshot-custody contract.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -175,6 +187,23 @@ class PartitionExecutor:
         if first_error is not None:
             raise first_error
         return results
+
+    def submit(self, job: Callable[[], T],
+               stats: Optional[ExecutorStats] = None) -> "Future[T]":
+        """Dispatch one job to the pool and return its future immediately.
+
+        This is the read side's entry point: the query fan-out keeps a
+        bounded window of per-partition prefetch jobs in flight and consumes
+        their futures strictly in submission order, so it needs fire-and-
+        collect rather than ``map``'s all-or-nothing barrier.  Requires
+        ``workers > 1`` -- a serial executor has no pool, and callers decide
+        *before* submitting whether to fan out at all (the serial query path
+        must stay literally the pre-fan-out code).
+        """
+        if self.workers == 1:
+            raise ValueError("submit() requires workers > 1; "
+                             "use run_serial for the serial path")
+        return self._ensure_pool().submit(self._run_job, job, stats)
 
     def run_serial(self, jobs: Sequence[Callable[[], T]],
                    stats: Optional[ExecutorStats] = None) -> List[T]:

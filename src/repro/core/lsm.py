@@ -243,6 +243,23 @@ class RunManager:
                 self._pinned_runs_cache = runs
             return version, runs
 
+    def acquire_version(self, version: int) -> None:
+        """Add a pin to an *already pinned* catalogue version.
+
+        The read-side fan-out hands each prefetch job its own pin on the
+        snapshot it drains, so a job's run files stay reclaim-proof even if
+        the owning cursor releases (or is garbage collected) while the job
+        is still in flight.  Pinning a version nothing holds any more would
+        be a use-after-release bug, hence the ``ValueError``.
+        """
+        with self._lock:
+            count = self._pins.get(version, 0)
+            if count < 1:
+                raise ValueError(
+                    f"catalogue version {version} is not pinned; acquire_version "
+                    f"may only extend a live pin")
+            self._pins[version] = count + 1
+
     def release_version(self, version: int) -> None:
         """Drop one pin at ``version`` and reclaim newly deletable files."""
         with self._lock:

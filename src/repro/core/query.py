@@ -65,6 +65,18 @@ The same dispatch applies: a narrow resumed/filtered cursor is answered by
 filtering the materialised fast path's small list, and the differential
 suite holds cursor answers identical to the legacy list surface.
 
+With ``BacklogConfig.query_workers > 1`` the streaming pipeline additionally
+**fans the gather step out**: once the first partition's merged stream is
+exhausted, the gathers of later partitions are drained on
+:class:`~repro.core.executor.PartitionExecutor` workers (a bounded window of
+in-flight partitions) while the caller consumes earlier ones.  Streams merge
+strictly at the partition boundary in submission order, so emission order,
+resume tokens and answers are byte-identical to serial; each job tallies its
+own page reads thread-locally and the consumer folds them into
+``QueryStats`` when it takes the job's records, so ``reads_per_query`` stays
+exact.  Because nothing is submitted before partition 0 finishes, ``.first()``
+on partition 0 still pays for partition 0 only.
+
 Both surfaces degrade rather than fail on storage corruption: a
 :class:`~repro.core.read_store.CorruptPageError` raised while decoding a
 page quarantines the damaged run (dropped from the catalogue, file left on
@@ -79,7 +91,7 @@ import heapq
 import threading
 import time
 from bisect import bisect_left
-from collections import OrderedDict, defaultdict
+from collections import OrderedDict, defaultdict, deque
 from itertools import chain
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -87,6 +99,7 @@ from repro.core.catalogue import Catalogue, CatalogueSnapshot
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QuerySpec
 from repro.core.deletion_vector import DeletionVector
+from repro.core.executor import PartitionExecutor
 from repro.core.inheritance import CloneGraph, expand_clones, materialized_expand
 from repro.core.join import materialized_join, merge_join_for_query
 from repro.core.lsm import RunManager, parse_run_name
@@ -94,7 +107,7 @@ from repro.core.masking import VersionAuthority, iter_mask_records, mask_records
 from repro.core.partitioning import Partitioner
 from repro.core.read_store import RECORD_KINDS, CorruptPageError, ReadStoreReader
 from repro.core.records import BackReference, CombinedRecord, FromRecord, ToRecord
-from repro.core.stats import QueryStats
+from repro.core.stats import ExecutorStats, QueryStats
 from repro.core.write_store import WriteStore
 from repro.fsim.blockdev import StorageBackend
 from repro.util.intervals import merge_adjacent_ranges
@@ -131,6 +144,8 @@ class QueryEngine:
         stats: Optional[QueryStats] = None,
         mutation_stamp: Optional[Callable[[], Tuple]] = None,
         catalogue: Optional[Catalogue] = None,
+        executor: Optional[PartitionExecutor] = None,
+        executor_stats: Optional[ExecutorStats] = None,
     ) -> None:
         self.backend = backend
         self.run_manager = run_manager
@@ -165,6 +180,12 @@ class QueryEngine:
         self._parked: "OrderedDict[Tuple, Tuple[Iterator[BackReference], Tuple, Optional[CatalogueSnapshot]]]" = \
             OrderedDict()
         self._parked_lock = threading.Lock()
+        # The read-side fan-out pool (``BacklogConfig.query_workers``): when
+        # present with workers > 1, _merge_sources drains later partitions'
+        # gathers on workers while the caller consumes earlier ones.  None
+        # (or workers == 1) keeps the pipeline literally serial.
+        self._executor = executor
+        self._executor_stats = executor_stats
 
     # ------------------------------------------------------------------ API
 
@@ -184,40 +205,49 @@ class QueryEngine:
         if num_blocks <= 0:
             raise ValueError("num_blocks must be positive")
         start_time = time.perf_counter()
-        reads_before = self.backend.stats.pages_read
-
-        # Degraded operation: a checksum mismatch quarantines the damaged
-        # run and the query is re-answered from the surviving runs plus the
-        # write stores.  The loop is bounded -- every round removes a run
-        # from the catalogue (or re-raises if it cannot).
-        count_dispatch = True
-        while True:
-            # Pin a snapshot for the attempt: the runs it references cannot
-            # be deleted (only deferred) while it is held, so a concurrent
-            # checkpoint/compaction cannot pull pages out from under the
-            # scan.  Both strategies materialise their result list before
-            # the release below.
-            with self.catalogue.select() as snapshot:
-                candidate_runs = self._candidate_runs(snapshot, first_block,
-                                                      num_blocks)
-                try:
-                    if self._dispatch_narrow(candidate_runs, num_blocks,
-                                             count=count_dispatch):
-                        results = self._query_materialized(
-                            snapshot, candidate_runs, first_block, num_blocks)
-                    else:
-                        results = self._query_streaming(
-                            snapshot, candidate_runs, first_block, num_blocks)
-                    break
-                except CorruptPageError as error:
-                    # Re-pin after quarantine: the fresh snapshot no longer
-                    # contains the damaged run.
-                    self._quarantine(error)
-                    count_dispatch = False
+        backend_stats = self.backend.stats
+        # Exact page accounting: an open thread-local read tally collects
+        # this thread's page reads, and fan-out workers' reads are folded in
+        # when their drained records are taken (``IOStats.add_tallied_reads``)
+        # -- so concurrent sessions and pool workers never leak pages into
+        # each other's QueryStats the way the old sample-the-shared-counter
+        # scheme did.
+        backend_stats.push_read_tally()
+        try:
+            # Degraded operation: a checksum mismatch quarantines the damaged
+            # run and the query is re-answered from the surviving runs plus the
+            # write stores.  The loop is bounded -- every round removes a run
+            # from the catalogue (or re-raises if it cannot).
+            count_dispatch = True
+            while True:
+                # Pin a snapshot for the attempt: the runs it references cannot
+                # be deleted (only deferred) while it is held, so a concurrent
+                # checkpoint/compaction cannot pull pages out from under the
+                # scan.  Both strategies materialise their result list before
+                # the release below.
+                with self.catalogue.select() as snapshot:
+                    candidate_runs = self._candidate_runs(snapshot, first_block,
+                                                          num_blocks)
+                    try:
+                        if self._dispatch_narrow(candidate_runs, num_blocks,
+                                                 count=count_dispatch):
+                            results = self._query_materialized(
+                                snapshot, candidate_runs, first_block, num_blocks)
+                        else:
+                            results = self._query_streaming(
+                                snapshot, candidate_runs, first_block, num_blocks)
+                        break
+                    except CorruptPageError as error:
+                        # Re-pin after quarantine: the fresh snapshot no longer
+                        # contains the damaged run.
+                        self._quarantine(error)
+                        count_dispatch = False
+        finally:
+            pages_read = backend_stats.pop_read_tally()
 
         self.stats.queries += 1
         self.stats.back_references_returned += len(results)
-        self.stats.pages_read += self.backend.stats.pages_read - reads_before
+        self.stats.pages_read += pages_read
         self.stats.seconds += time.perf_counter() - start_time
         return results
 
@@ -277,9 +307,14 @@ class QueryEngine:
         Wall-clock accounting covers only the time spent *inside* the
         generator (the interval between a pull and its yield), so a consumer
         that thinks between pages does not inflate ``QueryStats.seconds``.
-        Page-read accounting samples the backend counter at open and at
-        finalisation; interleaving other queries while a cursor is open
-        attributes their reads to whichever finishes last.
+        Page-read accounting follows the same discipline exactly: a
+        thread-local read tally (``IOStats.push_read_tally``) is opened and
+        closed in step with the timing toggles, so only pages read while
+        the generator is running -- plus the pages of any fan-out gather
+        whose records this generator consumed -- are charged to this
+        cursor's ``QueryStats``.  Interleaved queries on the same thread
+        tally into their own (nested) frame, and other sessions' reads
+        never appear here at all.
 
         A checksum mismatch surfacing mid-stream quarantines the damaged run
         and rebuilds the pipeline just past the last owner already emitted
@@ -290,11 +325,12 @@ class QueryEngine:
         """
         stats = self.stats
         backend_stats = self.backend.stats
-        reads_before = backend_stats.pages_read
         emitted = 0
         elapsed = 0.0
+        pages_read = 0
         window = spec.version_window
         started = time.perf_counter()
+        backend_stats.push_read_tally()
         # The last identity the consumer must not see again: the spec's
         # resume token at entry, then the identity of every owner yielded.
         # Refs arrive in strictly increasing identity order, so the skip
@@ -359,8 +395,14 @@ class QueryEngine:
                         # ``None`` marks the generator as suspended at the
                         # yield: if the consumer closes (or drops) the cursor
                         # while it sits there, the finally block must not
-                        # charge the time the consumer spent holding it.
+                        # charge the time the consumer spent holding it --
+                        # and the read tally pops with it, both because the
+                        # consumer's between-page reads are not this query's
+                        # and because a suspended tally left open would be
+                        # popped from the *wrong thread's* stack if another
+                        # session drops a parked pipeline.
                         started = None
+                        pages_read += backend_stats.pop_read_tally()
                         page_full = spec.limit is not None and emitted >= spec.limit
                         if page_full:
                             # Park *before* the yield: the consumer usually
@@ -373,6 +415,7 @@ class QueryEngine:
                                 snapshot = None
                         yield ref
                         started = time.perf_counter()
+                        backend_stats.push_read_tally()
                         if page_full:
                             return
                     return
@@ -401,11 +444,12 @@ class QueryEngine:
                 snapshot.release()
             if started is not None:
                 elapsed += time.perf_counter() - started
+                pages_read += backend_stats.pop_read_tally()
             if not reopened:
                 stats.queries += 1
                 stats.cursors_opened += 1
             stats.back_references_returned += emitted
-            stats.pages_read += backend_stats.pages_read - reads_before
+            stats.pages_read += pages_read
             stats.seconds += elapsed
 
     def _cursor_records(
@@ -640,14 +684,18 @@ class QueryEngine:
 
         deletion_vector = snapshot.deletion_vector
         return (
-            self._merge_sources(sources[FROM_KIND], ws_from_records, deletion_vector),
-            self._merge_sources(sources[TO_KIND], ws_to_records, deletion_vector),
-            self._merge_sources(sources[COMBINED_KIND], None, deletion_vector),
+            self._merge_sources(sources[FROM_KIND], ws_from_records,
+                                deletion_vector, snapshot),
+            self._merge_sources(sources[TO_KIND], ws_to_records,
+                                deletion_vector, snapshot),
+            self._merge_sources(sources[COMBINED_KIND], None,
+                                deletion_vector, snapshot),
         )
 
     def _merge_sources(self, partition_buckets: List[List[Iterator]],
                        write_store_records: Optional[List],
-                       deletion_vector: DeletionVector) -> Iterator:
+                       deletion_vector: DeletionVector,
+                       snapshot: CatalogueSnapshot) -> Iterator:
         """One sorted stream per table: lazily chained per-partition merges.
 
         Each partition's run iterators merge through ``heapq.merge``; the
@@ -656,22 +704,96 @@ class QueryEngine:
         the write store's snapshot slice -- which can span partitions -- is
         folded in with one binary merge on top.  Deletion-vector
         suppressions are filtered on the combined stream.
+
+        With a fan-out pool configured and more than one partition in play,
+        the per-partition streams come from :meth:`_prefetched_streams`
+        instead: identical elements in identical order (the merge boundary
+        is the partition either way), but later partitions drain on workers
+        while the caller consumes earlier ones.
         """
-        merged_partitions = [
-            bucket[0] if len(bucket) == 1 else heapq.merge(*bucket)
-            for bucket in partition_buckets if bucket
-        ]
-        if not merged_partitions:
-            merged: Iterator = iter(())
-        elif len(merged_partitions) == 1:
-            merged = merged_partitions[0]
+        buckets = [bucket for bucket in partition_buckets if bucket]
+        executor = self._executor
+        if executor is not None and executor.workers > 1 and len(buckets) > 1:
+            merged: Iterator = chain.from_iterable(
+                self._prefetched_streams(buckets, snapshot))
         else:
-            merged = chain.from_iterable(merged_partitions)
+            merged_partitions = [
+                bucket[0] if len(bucket) == 1 else heapq.merge(*bucket)
+                for bucket in buckets
+            ]
+            if not merged_partitions:
+                merged = iter(())
+            elif len(merged_partitions) == 1:
+                merged = merged_partitions[0]
+            else:
+                merged = chain.from_iterable(merged_partitions)
         if write_store_records:
             merged = heapq.merge(merged, iter(write_store_records))
         if deletion_vector:
             return deletion_vector.filter(merged)
         return merged
+
+    def _prefetched_streams(self, buckets: List[List[Iterator]],
+                            snapshot: CatalogueSnapshot) -> Iterator[Iterable]:
+        """Per-partition streams with later partitions drained on workers.
+
+        Yields one iterable per partition bucket, in bucket order.  The
+        first bucket is yielded as the plain lazy merge -- *nothing* is
+        submitted to the pool until the consumer has exhausted it, which is
+        what preserves the lazy-gather guarantee (``.first()`` satisfied
+        from partition 0 spawns zero background work and reads exactly the
+        serial pages).  From then on a bounded window of at most
+        ``workers`` later buckets is kept in flight; each job drains its
+        bucket's merge to a list and returns it with the page count its
+        reads tallied, which the consumer folds into its own open read
+        tally (``IOStats.add_tallied_reads``) the moment it takes the list
+        -- never earlier, so per-query accounting matches serial.
+
+        Snapshot custody: every job holds its own pin
+        (:meth:`CatalogueSnapshot.acquire`), released in the job's
+        ``finally``, so in-flight gathers keep their run files alive even
+        if the consumer abandons the cursor -- abandoned futures just run
+        to completion, release their pins and have their tallied pages
+        discarded (serial would never have read them ahead either... the
+        *charge* is what must match, and unconsumed work charges nothing).
+        """
+        first = buckets[0]
+        yield first[0] if len(first) == 1 else heapq.merge(*first)
+        executor = self._executor
+        backend_stats = self.backend.stats
+        if self._executor_stats is not None:
+            self._executor_stats.count_dispatch()
+        pending: "deque" = deque()
+        index = 1
+        while index < len(buckets) or pending:
+            while index < len(buckets) and len(pending) < executor.workers:
+                pending.append(
+                    self._submit_gather(buckets[index], snapshot))
+                index += 1
+            records, pages = pending.popleft().result()
+            backend_stats.add_tallied_reads(pages)
+            yield records
+
+    def _submit_gather(self, bucket: List[Iterator],
+                       snapshot: CatalogueSnapshot):
+        """Dispatch one partition bucket's drain to the fan-out pool."""
+        release = snapshot.acquire()
+        stream = bucket[0] if len(bucket) == 1 else heapq.merge(*bucket)
+        backend_stats = self.backend.stats
+        executor_stats = self._executor_stats
+
+        def job() -> Tuple[List, int]:
+            try:
+                backend_stats.push_read_tally()
+                try:
+                    records = list(stream)
+                finally:
+                    pages = backend_stats.pop_read_tally()
+                return records, pages
+            finally:
+                release()
+
+        return self._executor.submit(job, executor_stats)
 
     def _group_sorted(self, records: Iterable[CombinedRecord]) -> List[BackReference]:
         """Fold a *sorted* Combined stream into BackReferences in one pass.

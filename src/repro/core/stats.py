@@ -110,6 +110,16 @@ class ExecutorStats:
         with self._lock:
             self.retries += 1
 
+    def count_dispatch(self) -> None:
+        """Account one fanned-out batch (thread-safe).
+
+        The flush/maintenance paths bump ``dispatches`` single-threaded, but
+        the query pool is driven from arbitrarily many concurrent sessions,
+        so the read side counts through here.
+        """
+        with self._lock:
+            self.dispatches += 1
+
     @property
     def busy_seconds(self) -> float:
         """Total worker-busy time across all workers (sum, not wall time)."""
@@ -222,6 +232,9 @@ class BacklogStats:
     #: (serial execution accounts to the calling thread).
     flush_pool: ExecutorStats = field(default_factory=ExecutorStats)
     maintenance_pool: ExecutorStats = field(default_factory=ExecutorStats)
+    #: Per-worker timing of the read-side partition fan-out (empty unless
+    #: ``BacklogConfig.query_workers > 1`` and a multi-partition query ran).
+    query_pool: ExecutorStats = field(default_factory=ExecutorStats)
 
     @property
     def block_ops(self) -> int:

@@ -19,7 +19,14 @@ only the back-reference metadata produced by the workload is written to the
 simulated storage device.
 """
 
-from repro.fsim.blockdev import IOStats, MemoryBackend, DiskBackend, PageFile, StorageBackend
+from repro.fsim.blockdev import (
+    IOStats,
+    MemoryBackend,
+    DiskBackend,
+    DiskImageBackend,
+    PageFile,
+    StorageBackend,
+)
 from repro.fsim.cache import PageCache
 from repro.fsim.faults import (
     FaultEvent,
@@ -46,6 +53,7 @@ __all__ = [
     "IOStats",
     "MemoryBackend",
     "DiskBackend",
+    "DiskImageBackend",
     "PageFile",
     "StorageBackend",
     "PageCache",

@@ -329,6 +329,10 @@ class FaultyBackend(StorageBackend):
 
     def _overwrite_page(self, name: str, page_index: int, data: bytes) -> None:
         """In-place page overwrite on the inner backend (for bit rot at rest)."""
+        overwrite = getattr(self.inner, "overwrite_page", None)
+        if overwrite is not None:  # DiskBackend / DiskImageBackend
+            overwrite(name, page_index, data)
+            return
         files = getattr(self.inner, "_files", None)
         if files is not None and name in files:  # MemoryBackend
             files[name][page_index] = data

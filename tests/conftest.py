@@ -12,6 +12,7 @@ always says which mode it exercised.
 
 from __future__ import annotations
 
+import itertools
 import os
 import random
 
@@ -20,8 +21,11 @@ import pytest
 from repro import (
     Backlog,
     BacklogConfig,
+    DiskBackend,
+    DiskImageBackend,
     FileSystem,
     FileSystemConfig,
+    MemoryBackend,
     SnapshotManagerAuthority,
 )
 from repro.fsim.dedup import DedupConfig
@@ -34,11 +38,42 @@ def pytest_report_header(config):
     return [
         (f"backlog workers: flush={defaults.flush_workers} "
          f"maintenance={defaults.maintenance_workers} "
-         f"(REPRO_FLUSH_WORKERS / REPRO_MAINTENANCE_WORKERS)"),
+         f"query={defaults.query_workers} "
+         f"(REPRO_FLUSH_WORKERS / REPRO_MAINTENANCE_WORKERS / "
+         f"REPRO_QUERY_WORKERS)"),
         # CI rotates the chaos seed per run; echo it so any failure in
         # tests/test_chaos.py can be reproduced locally with the same value.
         f"chaos seed: {chaos_seed} (REPRO_CHAOS_SEED)",
     ]
+
+
+#: Storage backends the differential tier sweeps.  Tests requesting the
+#: ``backend_factory`` fixture run once per kind: in-memory (the reference),
+#: one batched file per page file, and one block-addressed image file.
+BACKEND_KINDS = ("memory", "disk", "image")
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend_factory(request, tmp_path):
+    """A factory of fresh storage backends of one parameterized kind.
+
+    Each call returns an *independent* backend (its own directory or image
+    file), so a test can build several systems side by side -- e.g. a
+    reference instance and a candidate instance over the same workload.
+    The chosen kind is exposed as ``factory.kind``.
+    """
+    counter = itertools.count()
+
+    def make():
+        index = next(counter)
+        if request.param == "memory":
+            return MemoryBackend()
+        if request.param == "disk":
+            return DiskBackend(str(tmp_path / f"disk-{index}"))
+        return DiskImageBackend(str(tmp_path / f"image-{index}.img"))
+
+    make.kind = request.param
+    return make
 
 
 @pytest.fixture

@@ -2,14 +2,21 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.fsim.blockdev import (
     DeviceModel,
     DiskBackend,
+    DiskImageBackend,
     IOStats,
     MemoryBackend,
     PAGE_SIZE,
+    _escape_name,
+    _unescape_name,
 )
 
 
@@ -29,6 +36,52 @@ class TestIOStats:
         stats = IOStats(pages_written=5, pages_read=5)
         stats.reset()
         assert stats.pages_written == 0 and stats.pages_read == 0
+
+    def test_read_tally_stack_nests(self):
+        """Each scope counts exactly the reads made while it is innermost
+        -- nested scopes do not double-charge their parents."""
+        stats = IOStats()
+        stats.count_pages_read(7)          # no open tally: global only
+        stats.push_read_tally()
+        stats.count_pages_read(3)
+        stats.push_read_tally()            # a nested query on the same thread
+        stats.count_pages_read(2)
+        assert stats.pop_read_tally() == 2
+        stats.count_pages_read(1)
+        assert stats.pop_read_tally() == 4  # 3 + 1, not the nested 2
+        assert stats.pages_read == 13       # the global counter saw everything
+
+    def test_add_tallied_reads_folds_worker_pages(self):
+        """A fan-out worker's count folds into the consumer's open tally
+        without touching the global counter (the worker already counted)."""
+        stats = IOStats()
+        stats.push_read_tally()
+        stats.count_pages_read(1)
+        stats.add_tallied_reads(5)
+        assert stats.pop_read_tally() == 6
+        assert stats.pages_read == 1
+        stats.add_tallied_reads(5)          # no open tally: a no-op
+        assert stats.pages_read == 1
+
+    def test_read_tallies_are_thread_local(self):
+        """A tally opened on one thread never sees another thread's reads."""
+        stats = IOStats()
+        stats.push_read_tally()
+
+        worker_tally = []
+
+        def worker():
+            stats.push_read_tally()
+            stats.count_pages_read(9)
+            worker_tally.append(stats.pop_read_tally())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert worker_tally == [9]
+        stats.count_pages_read(2)
+        assert stats.pop_read_tally() == 2
+        assert stats.pages_read == 11
 
 
 class TestDeviceModel:
@@ -124,3 +177,99 @@ class TestDiskBackend(_BackendContract):
         reopened = DiskBackend(directory)
         assert reopened.exists("p000001/from/L0_0000000001")
         assert reopened.open("p000001/from/L0_0000000001").read_page(0)[:9] == b"persisted"
+
+    def test_appends_are_batched_until_needed(self, tmp_path):
+        """A created handle buffers appends; readers force the flush."""
+        import os
+
+        backend = DiskBackend(str(tmp_path / "store"))
+        page_file = backend.create("p1/from/L0_1")
+        for index in range(5):
+            page_file.append_page(bytes([index]))
+        path = backend._path("p1/from/L0_1")
+        assert os.path.getsize(path) == 0          # nothing written yet
+        assert page_file.num_pages == 5            # but fully visible
+        assert page_file.read_page(3)[0] == 3      # a read flushes the batch
+        assert os.path.getsize(path) == 5 * PAGE_SIZE
+        page_file.append_page(bytes([5]))
+        # open() on another handle observes the still-buffered tail too.
+        assert backend.open("p1/from/L0_1").read_page(5)[0] == 5
+
+    def test_close_is_idempotent_and_flushes(self, tmp_path):
+        backend = DiskBackend(str(tmp_path / "store"))
+        page_file = backend.create("a")
+        page_file.append_page(b"x")
+        page_file.close()
+        page_file.close()
+        assert backend.open("a").read_page(0)[:1] == b"x"
+
+
+class TestDiskImageBackend(_BackendContract):
+    def make_backend(self):
+        import tempfile
+
+        return DiskImageBackend(
+            tempfile.mktemp(prefix="backlog-test-", suffix=".img"))
+
+    def test_deleted_pages_are_reused(self, tmp_path):
+        """The image grows to its high-water mark, then recycles free pages."""
+        import os
+
+        backend = DiskImageBackend(str(tmp_path / "store.img"))
+        victim = backend.create("victim")
+        for index in range(4):
+            victim.append_page(bytes([index]))
+        high_water = os.path.getsize(backend.image_path)
+        backend.delete("victim")
+        survivor = backend.create("survivor")
+        for index in range(4):
+            survivor.append_page(bytes([10 + index]))
+        assert os.path.getsize(backend.image_path) == high_water
+        assert [survivor.read_page(i)[0] for i in range(4)] == [10, 11, 12, 13]
+
+    def test_create_truncates_and_recycles(self, tmp_path):
+        backend = DiskImageBackend(str(tmp_path / "store.img"))
+        f = backend.create("x")
+        f.append_page(b"1")
+        f = backend.create("x")
+        assert f.num_pages == 0
+        other = backend.create("y")
+        other.append_page(b"2")               # reuses x's recycled page
+        assert backend.total_pages() == 1
+
+
+# ------------------------------------------------------- flat-name escaping
+
+
+class TestNameEscaping:
+    """The reversible hierarchical-name escape used by DiskBackend.
+
+    The historical one-way ``name.replace("/", "__")`` corrupted names that
+    legitimately contain ``__`` or ``_u`` on the ``list_files`` round trip;
+    the property test holds the fixed scheme to exact invertibility over
+    exactly the troublesome alphabet.
+    """
+
+    @given(st.text(alphabet="abu_/", min_size=0, max_size=40))
+    def test_escape_round_trips(self, name):
+        assert _unescape_name(_escape_name(name)) == name
+
+    @given(st.text(alphabet="abu_/", min_size=1, max_size=20),
+           st.text(alphabet="abu_/", min_size=1, max_size=20))
+    def test_escape_is_injective(self, first, second):
+        if first != second:
+            assert _escape_name(first) != _escape_name(second)
+
+    def test_escaped_names_are_flat(self):
+        assert "/" not in _escape_name("p000001/from/L0_0000000001")
+
+    def test_backend_lists_original_names(self, tmp_path):
+        backend = DiskBackend(str(tmp_path / "store"))
+        nasty = ["p000001/from/L0_0000000001", "a_b", "a__b", "a_u", "u_/u"]
+        for name in nasty:
+            backend.create(name).append_page(name.encode())
+        assert backend.list_files() == sorted(nasty)
+        for name in nasty:
+            assert backend.exists(name)
+            data = backend.open(name).read_page(0)
+            assert data[:len(name)] == name.encode()

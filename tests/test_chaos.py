@@ -53,9 +53,14 @@ ALL_BLOCKS = 1 << 22
 
 
 def build_chaos_system(plan: FaultPlan, config: BacklogConfig | None = None,
-                       clock=None):
-    """A (FileSystem, Backlog, FaultyBackend) triple, backend disarmed."""
-    backend = FaultyBackend(MemoryBackend(), plan,
+                       clock=None, inner=None):
+    """A (FileSystem, Backlog, FaultyBackend) triple, backend disarmed.
+
+    ``inner`` substitutes the storage backend underneath the fault wrapper
+    (default :class:`MemoryBackend`); the backend-differential smoke uses it
+    to drive the same storms through the real disk backends.
+    """
+    backend = FaultyBackend(inner if inner is not None else MemoryBackend(), plan,
                             clock=clock if clock is not None else lambda _s: None)
     backend.disarm()
     backlog = Backlog(backend=backend,
@@ -284,3 +289,30 @@ def test_chaos_bit_rot_degrades_queries_and_scrub_reclaims():
     assert victim.name in repaired.files_reclaimed
     assert not backend.exists(victim.name)
     assert scrub_backend(backend).clean
+
+
+# ------------------------------------------- scenario E: backend differential
+
+
+def test_chaos_smoke_every_backend_absorbs_transient_faults(backend_factory):
+    """A shortened scenario-A storm over each real storage backend.
+
+    Batched DiskBackend appends and the image backend's shared descriptor
+    must absorb transient faults exactly like MemoryBackend: retried I/O
+    never duplicates or loses pages, and the answers stay exact.
+    """
+    plan = FaultPlan(seed=CHAOS_SEED, read_error_rate=0.05,
+                     write_error_rate=0.05)
+    fs, backlog, backend = build_chaos_system(
+        plan, BacklogConfig(io_retries=4, io_retry_backoff_s=0.0),
+        inner=backend_factory())
+    backend.arm()
+    drive_workload(fs, random.Random(CHAOS_SEED), cps=4, ops_per_cp=25)
+    _persist(backlog.maintain)
+
+    backend.disarm()
+    assert backend.fault_stats.total > 0
+    assert backlog.run_manager.quarantined == []
+    assert_answers_match_oracle(fs, backlog)
+    report = verify_backlog(fs, backlog)
+    assert report.ok, report.mismatches[:5]

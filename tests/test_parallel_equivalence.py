@@ -429,3 +429,111 @@ def test_resume_cache_capacity_zero_disables_parking():
     rest = list(backlog.select(QuerySpec(0, 100).after(page.resume_token)))
     assert [ref.block for ref in rest] == list(range(5, 20))
     assert backlog.stats.query.resume_cache_hits == 0
+
+
+# ------------------------------------------------- read-side fan-out
+
+
+def _query_backlog(query_workers: int, seed: int) -> Backlog:
+    authority = ExplicitVersionAuthority()
+    config = BacklogConfig(
+        partition_size_blocks=64,   # many partitions: real read-side fan-out
+        query_workers=query_workers,
+    )
+    backlog = Backlog(backend=MemoryBackend(), config=config,
+                      version_authority=authority)
+    _replay(backlog, authority, _random_ops(seed))
+    return backlog
+
+
+@pytest.mark.parametrize("seed", [1, 23, 77])
+def test_query_fanout_answers_and_page_accounting_match_serial(seed):
+    """query_workers in {1, 4}: identical answers and *exact* page counts.
+
+    The fan-out contract (core/query.py): worker counts are invisible in the
+    results, and per-query read attribution stays exact -- each worker drains
+    its partition under its own read tally and the consuming thread folds the
+    count back in, so ``QueryStats.pages_read`` (hence ``reads_per_query``)
+    must equal the serial engine's to the page.
+    """
+    serial = _query_backlog(1, seed)
+    fanned = _query_backlog(4, seed)
+    try:
+        blocks = _all_blocks(_random_ops(seed))
+        top = max(blocks) + 2
+        ranges = [(b, 1) for b in blocks] + [(0, 16), (top // 2, 40), (0, top)]
+
+        def check_everywhere():
+            serial.stats.query.reset()
+            fanned.stats.query.reset()
+            for first, width in ranges:
+                assert serial.query_range(first, width) == \
+                    fanned.query_range(first, width)
+            assert fanned.stats.query.pages_read == serial.stats.query.pages_read
+            assert fanned.stats.query.pages_read > 0
+            assert fanned.stats.query.reads_per_query == \
+                serial.stats.query.reads_per_query
+
+        check_everywhere()           # mixed run + write-store state
+        serial.maintain()
+        fanned.maintain()
+        check_everywhere()           # pure compacted state
+        # The fan-out actually ran (and only on the fanned instance).
+        assert fanned.stats.query_pool.dispatches > 0
+        assert fanned.stats.query_pool.jobs > 0
+        assert serial.stats.query_pool.dispatches == 0
+    finally:
+        serial.close()
+        fanned.close()
+
+
+@pytest.mark.parametrize("seed", [3, 57])
+def test_query_fanout_pagination_identical_to_serial(seed):
+    """Cursor pages, resume tokens and totals match the serial engine."""
+    serial = _query_backlog(1, seed)
+    fanned = _query_backlog(4, seed)
+    try:
+        top = max(_all_blocks(_random_ops(seed))) + 2
+
+        def paginate_with_tokens(backlog, page_size):
+            spec = QuerySpec(0, top, limit=page_size)
+            results, tokens, token = [], [], None
+            while True:
+                page = backlog.select(spec.after(token))
+                results.extend(page)
+                token = page.resume_token
+                tokens.append(token)
+                if token is None:
+                    return results, tokens
+
+        for page_size in (3, 7, 50):
+            serial.stats.query.reset()
+            fanned.stats.query.reset()
+            assert paginate_with_tokens(fanned, page_size) == \
+                paginate_with_tokens(serial, page_size)
+            # Paginating to exhaustion consumes every partition, so the
+            # totals stay exact even though individual pages may suspend
+            # mid-partition.
+            assert fanned.stats.query.pages_read == serial.stats.query.pages_read
+    finally:
+        serial.close()
+        fanned.close()
+
+
+def test_query_fanout_first_stays_lazy():
+    """Taking the first record must not prefetch later partitions.
+
+    The lazy-gather guarantee from the streaming rework survives fan-out:
+    partition 0 is merged inline on the calling thread, and nothing is
+    submitted to the pool until it is exhausted.
+    """
+    fanned = _query_backlog(4, seed=7)
+    try:
+        before = fanned.stats.query_pool.dispatches
+        cursor = fanned.select(QuerySpec(0, 1 << 20))
+        next(cursor)
+        assert fanned.stats.query_pool.dispatches == before
+        list(cursor)                  # draining the rest does fan out
+        assert fanned.stats.query_pool.dispatches > before
+    finally:
+        fanned.close()
