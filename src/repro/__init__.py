@@ -8,6 +8,9 @@ System"* (Macko, Seltzer, Smith -- FAST 2010).  The package contains:
   inheritance, query engine),
 * :mod:`repro.fsim` -- a write-anywhere file system simulator with snapshots,
   writable clones and deduplication,
+* :mod:`repro.cluster` -- a coordinator/worker process cluster sharding the
+  device's partitions across N worker processes behind the same Backlog
+  surface,
 * :mod:`repro.baselines` -- the comparison points used in the paper's
   evaluation (the naive conceptual table, btrfs-style native back
   references, brute-force tree traversal),
@@ -61,6 +64,7 @@ from repro.core import (
     scrub_backend,
     verify_backlog,
 )
+from repro.cluster import ShardedBacklog, ShardMap
 from repro.server import QueryService
 from repro.fsim import (
     DedupConfig,
@@ -78,7 +82,7 @@ from repro.fsim import (
     TransientIOError,
 )
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "AllVersionsAuthority",
@@ -112,6 +116,8 @@ __all__ = [
     "ReferenceListener",
     "RetryPolicy",
     "ScrubReport",
+    "ShardMap",
+    "ShardedBacklog",
     "SnapshotManagerAuthority",
     "SnapshotPolicy",
     "ToRecord",

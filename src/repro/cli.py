@@ -21,8 +21,10 @@ formatting used by the benchmark reports).
 from __future__ import annotations
 
 import argparse
+import shutil
 import signal
 import sys
+import tempfile
 import threading
 from typing import List, Optional, Sequence
 
@@ -56,6 +58,25 @@ def _build_system(maintenance_interval: Optional[int] = None):
     fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False), listeners=[backlog])
     backlog.set_version_authority(SnapshotManagerAuthority(fs))
     return fs, backlog
+
+
+def _build_cluster_system(num_shards: int, directory: str):
+    """A (FileSystem, ShardedBacklog) pair: the served-cluster posture.
+
+    The cluster is attached to the file system exactly like a single-process
+    Backlog (it implements the same listener interface), and recovers its
+    shards from ``directory`` -- which is what lets ``repro serve --shards``
+    survive a killed worker.
+    """
+    from repro.cluster import ShardedBacklog
+
+    cluster = ShardedBacklog(num_shards=num_shards,
+                             config=BacklogConfig(cluster_shards=num_shards),
+                             directory=directory)
+    fs = FileSystem(FileSystemConfig(ops_per_cp=10**9, auto_cp=False),
+                    listeners=[cluster])
+    cluster.set_version_authority(SnapshotManagerAuthority(fs))
+    return fs, cluster
 
 
 def _summary_table(fs, backlog) -> str:
@@ -217,7 +238,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"resume token: {token}")
     elif result.exhausted:
         print("scan exhausted: no further pages")
+    if args.stats:
+        print()
+        print(_engine_counters_table(backlog))
     return 0
+
+
+def _engine_counters_table(backlog) -> str:
+    """The engine's query counters and per-pool executor timings.
+
+    Works over ``service_stats()`` -- the same payload ``GET /stats``
+    serves -- so the CLI footer and the HTTP endpoint can never disagree
+    about what was measured.
+    """
+    service = backlog.service_stats()
+    query = service["query"]
+    rows = [
+        ["queries", query["queries"]],
+        ["cursors opened", query["cursors_opened"]],
+        ["pages read", query["pages_read"]],
+        ["runs probed", query["runs_probed"]],
+        ["runs skipped by bloom", query["runs_skipped_by_bloom"]],
+        ["resume cache hits", query["resume_cache_hits"]],
+    ]
+    for pool in ("flush_pool", "maintenance_pool", "query_pool"):
+        stats = service[pool]
+        rows.append([f"{pool.replace('_', ' ')} jobs/dispatches",
+                     f"{stats['jobs']}/{stats['dispatches']}"])
+        rows.append([f"{pool.replace('_', ' ')} busy seconds",
+                     stats["busy_seconds"]])
+    return format_table("Engine counters", ["metric", "value"], rows)
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -272,8 +322,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     SIGTERM/SIGINT (or ``--duration`` elapsing) triggers a graceful drain:
     in-flight pages finish, then ``drained`` is printed and the process
     exits 0.
+
+    With ``--shards N`` (N > 1) the database is a
+    :class:`repro.cluster.ShardedBacklog` over N worker processes backed by
+    a scratch directory; the worker pids are printed (``cluster workers:
+    ...``) so a harness can kill one and watch the coordinator recover it
+    transparently -- ``tools/cluster_smoke.py`` does exactly that.
     """
-    fs, backlog = _build_system()
+    shards = args.shards if args.shards is not None else BacklogConfig().cluster_shards
+    cluster_dir = None
+    if shards > 1:
+        cluster_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+        fs, backlog = _build_cluster_system(shards, cluster_dir)
+        print(f"cluster workers: "
+              f"{' '.join(str(pid) for pid in backlog.worker_pids())}",
+              flush=True)
+    else:
+        fs, backlog = _build_system()
     workload = SyntheticWorkload(SyntheticWorkloadConfig(
         num_cps=args.cps, ops_per_cp=args.ops_per_cp, seed=args.seed,
     ))
@@ -317,6 +382,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if churn_thread is not None:
             churn_thread.join()
         service.stop()
+        if cluster_dir is not None:
+            backlog.close()
+            shutil.rmtree(cluster_dir, ignore_errors=True)
     print(f"drained ({service.requests_served} request(s) served, "
           f"{service.requests_rejected} rejected)", flush=True)
     return 0
@@ -379,6 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume token from a previous page")
     query.add_argument("--count", action="store_true",
                        help="print only the number of matching owners")
+    query.add_argument("--stats", action="store_true",
+                       help="print engine counters (pages read, executor "
+                            "pool timings) after the results")
     query.add_argument("--maintain", action="store_true",
                        help="run database maintenance before querying")
     query.set_defaults(func=_cmd_query)
@@ -414,6 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for N seconds then drain (default: until "
                             "SIGTERM/SIGINT)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="serve a ShardedBacklog over N worker processes "
+                            "(default: REPRO_CLUSTER_SHARDS, i.e. 1)")
     serve.set_defaults(func=_cmd_serve)
 
     return parser

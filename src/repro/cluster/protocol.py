@@ -1,0 +1,201 @@
+"""The coordinator/worker wire protocol: framed, versioned request/response.
+
+Every message is one frame::
+
+    +-------+---------+--------+-----+----------------+---------------+
+    | magic | version | opcode | pad | payload length | pickle payload|
+    |  4 B  |   1 B   |  1 B   | 2 B |     4 B LE     |   variable    |
+    +-------+---------+--------+-----+----------------+---------------+
+
+The header is validated on every receive -- wrong magic, unknown protocol
+version, unknown opcode or a length mismatch all raise
+:class:`ProtocolError` instead of unpickling garbage.  Payloads are pickled
+(stdlib only -- the container has no msgpack, and every payload is built
+from our own dataclasses and primitives), and the frame layout is transport
+agnostic: today frames travel over a duplex
+:class:`multiprocessing.connection.Connection` pipe, but the explicit
+length prefix means the identical bytes could stream over a TCP socket for
+a true multi-node deployment.
+
+The conversation is strict request/response: the coordinator sends one
+request frame and reads exactly one reply frame (:data:`Opcode.OK` or
+:data:`Opcode.ERROR`) before the next request on that channel.
+:class:`Channel` enforces this with a per-channel lock, which is also what
+lets concurrent coordinator threads (HTTP sessions, the churn thread)
+multiplex one pipe per worker safely.
+
+An ``ERROR`` reply carries the worker-side exception's type name and
+message; :func:`raise_reply_error` re-raises it as the matching local
+exception type for the handful of types callers genuinely dispatch on
+(``OSError`` for failed flushes, ``ValueError`` for bad specs) and as
+:class:`WorkerError` otherwise.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+from enum import IntEnum
+from typing import Any, Tuple
+
+__all__ = [
+    "Channel",
+    "ChannelClosedError",
+    "Opcode",
+    "ProtocolError",
+    "WorkerError",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "decode_frame",
+    "raise_reply_error",
+]
+
+#: Frame magic: "BacKlog Cluster".
+MAGIC = b"BKLC"
+
+#: Bumped whenever the frame layout or any payload schema changes shape, so
+#: a mixed-version coordinator/worker pair fails its first exchange loudly.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("<4sBBxxI")
+
+#: Upper bound on a single frame's payload; a length beyond this is treated
+#: as a corrupt header rather than an allocation request.
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+class Opcode(IntEnum):
+    """Versioned message kinds (requests, then replies)."""
+
+    # Coordinator -> worker requests.
+    SYNC = 1              # (re)install clone graph, suppressions, CP state
+    UPDATE = 2            # batch of buffered add/remove reference ops
+    CHECKPOINT_PREPARE = 3  # phase one: flush write stores, persist meta
+    CHECKPOINT_COMMIT = 4   # phase two: global CP published, advance
+    MAINTAIN = 5          # run database maintenance on the shard
+    QUERY_OPEN = 6        # open a per-partition sub-query, return a page
+    QUERY_PAGE = 7        # continue a sub-query from a resume token
+    STATS = 8             # shard counters (query stats, pools, sizes)
+    RELOCATE = 9          # suppress stale refs of one moved block
+    CLONE = 10            # register a writable clone
+    SNAPSHOT_DELETED = 11  # propagate snapshot deletion / zombie state
+    FAULT = 12            # test harness: drive the shard's FaultyBackend
+    SHUTDOWN = 13         # drain and exit the worker loop
+
+    # Worker -> coordinator replies.
+    OK = 64
+    ERROR = 65
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or version-incompatible frame."""
+
+
+class WorkerError(RuntimeError):
+    """A worker-side failure relayed over an ERROR reply."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+class ChannelClosedError(ConnectionError):
+    """The transport under a channel broke (worker crash or shutdown).
+
+    Distinct from any *relayed* worker exception on purpose: a relayed
+    ``OSError`` means the worker is alive and reported a failure (say, an
+    ENOSPC flush), while this means the pipe itself died -- which is the
+    coordinator's cue to run the respawn/recover/replay path.
+    """
+
+
+def encode_frame(opcode: Opcode, payload: Any) -> bytes:
+    """Serialise one message into its framed wire bytes."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"payload too large: {len(body)} bytes")
+    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(opcode), len(body)) + body
+
+
+def decode_frame(data: bytes) -> Tuple[Opcode, Any]:
+    """Parse framed wire bytes; raises :class:`ProtocolError` on bad input."""
+    if len(data) < _HEADER.size:
+        raise ProtocolError(f"short frame: {len(data)} bytes")
+    magic, version, opcode, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic: {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this process speaks {PROTOCOL_VERSION}")
+    if length > MAX_PAYLOAD_BYTES or len(data) - _HEADER.size != length:
+        raise ProtocolError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(data) - _HEADER.size} payload bytes")
+    try:
+        kind = Opcode(opcode)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown opcode {opcode}") from exc
+    return kind, pickle.loads(data[_HEADER.size:])
+
+
+def raise_reply_error(payload: Any) -> None:
+    """Re-raise a worker's ERROR reply as the matching local exception.
+
+    ``OSError`` keeps its errno so the coordinator's two-phase checkpoint
+    surfaces a worker's ENOSPC exactly like a local failed flush would;
+    ``ValueError`` keeps spec/token validation errors as client errors.
+    Everything else becomes :class:`WorkerError` (the kind is preserved for
+    diagnostics) -- the coordinator must not fabricate arbitrary exception
+    types from wire data.
+    """
+    kind = payload.get("kind", "RuntimeError")
+    message = payload.get("message", "worker failure")
+    if kind == "OSError":
+        raise OSError(payload.get("errno") or 0, message)
+    if kind == "ValueError":
+        raise ValueError(message)
+    raise WorkerError(kind, message)
+
+
+class Channel:
+    """One framed request/response conduit to a worker process.
+
+    Wraps a duplex :class:`multiprocessing.connection.Connection`.  The
+    lock serialises whole request/response exchanges, so any number of
+    coordinator threads can share the channel without interleaving frames.
+    """
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self._lock = threading.Lock()
+
+    def send(self, opcode: Opcode, payload: Any = None) -> None:
+        self._connection.send_bytes(encode_frame(opcode, payload))
+
+    def recv(self) -> Tuple[Opcode, Any]:
+        return decode_frame(self._connection.recv_bytes())
+
+    def request(self, opcode: Opcode, payload: Any = None) -> Any:
+        """One locked request/response round trip.
+
+        Returns the OK reply's payload; re-raises a relayed worker error.
+        A closed or broken pipe surfaces as :class:`ChannelClosedError`
+        for the coordinator's crash-detection path -- deliberately NOT a
+        plain ``OSError``, which is reserved for relayed worker failures.
+        """
+        with self._lock:
+            try:
+                self.send(opcode, payload)
+                reply, body = self.recv()
+            except (EOFError, OSError) as exc:
+                raise ChannelClosedError(str(exc) or "pipe closed") from exc
+        if reply is Opcode.OK:
+            return body
+        if reply is Opcode.ERROR:
+            raise_reply_error(body)
+        raise ProtocolError(f"unexpected reply opcode {reply!r}")
+
+    def close(self) -> None:
+        self._connection.close()

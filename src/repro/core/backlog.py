@@ -499,3 +499,34 @@ class Backlog(ReferenceListener):
     def pending_updates(self) -> int:
         """Number of records currently buffered in the write stores."""
         return len(self.ws_from) + len(self.ws_to)
+
+    def pinned_snapshots(self) -> int:
+        """Catalogue snapshots currently pinned by in-flight readers."""
+        return self.catalogue.pinned_snapshots()
+
+    def service_stats(self) -> Dict[str, object]:
+        """JSON-ready engine counters for the served-system surface.
+
+        Everything ``GET /stats`` and ``repro query --stats`` report about
+        the engine comes through here -- including the flush, maintenance
+        and query pool timings (:class:`~repro.core.stats.ExecutorStats`),
+        which were previously collected but never surfaced over the wire.
+        :class:`repro.cluster.ShardedBacklog` duck-types this method (adding
+        a per-shard breakdown), which is what lets the HTTP service front a
+        cluster transparently.
+        """
+        query = self.stats.query
+        return {
+            "queries": query.queries,
+            "cursors_opened": query.cursors_opened,
+            "resume_cache_hits": query.resume_cache_hits,
+            "pages_read": query.pages_read,
+            "query": query.to_dict(),
+            "flush_pool": self.stats.flush_pool.to_dict(),
+            "maintenance_pool": self.stats.maintenance_pool.to_dict(),
+            "query_pool": self.stats.query_pool.to_dict(),
+            "pinned_snapshots": self.pinned_snapshots(),
+            "database_size_bytes": self.database_size_bytes(),
+            "quarantined_bytes": self.quarantined_bytes(),
+            "deferred_bytes": self.deferred_bytes(),
+        }

@@ -107,6 +107,17 @@ class BacklogConfig:
         first partition's stream is exhausted, so ``.first()`` on partition
         0 never pays for partition N.  Default 1 (serial, no pool); honours
         ``REPRO_QUERY_WORKERS``.
+    cluster_shards:
+        Default shard count for the multi-process cluster
+        (:class:`repro.cluster.ShardedBacklog`): how many worker processes
+        the coordinator spawns, each owning the partitions the
+        :class:`repro.cluster.ShardMap` stripes onto it.  A plain
+        :class:`~repro.core.backlog.Backlog` ignores this field -- it only
+        parameterises the cluster entry points (``ShardedBacklog`` with no
+        explicit ``num_shards``, ``repro serve --shards`` with no value,
+        the ``shard_factory`` test fixture).  Default 1 (a one-shard
+        cluster, behaviourally a single process behind an RPC hop); honours
+        ``REPRO_CLUSTER_SHARDS`` like the worker-count knobs honour theirs.
     resume_cache_size:
         Capacity (in parked cursors) of the session-scoped resume cache:
         when a ``limit``-bounded cursor page fills, its suspended pipeline is
@@ -159,6 +170,8 @@ class BacklogConfig:
             "REPRO_MAINTENANCE_WORKERS", "REPRO_FLUSH_WORKERS"))
     query_workers: int = field(
         default_factory=lambda: _workers_from_env("REPRO_QUERY_WORKERS"))
+    cluster_shards: int = field(
+        default_factory=lambda: _workers_from_env("REPRO_CLUSTER_SHARDS"))
     resume_cache_size: int = 4
     verify_checksums: bool = True
     io_retries: int = 2
@@ -180,6 +193,8 @@ class BacklogConfig:
         if (self.flush_workers < 1 or self.maintenance_workers < 1
                 or self.query_workers < 1):
             raise ValueError("worker counts must be >= 1")
+        if self.cluster_shards < 1:
+            raise ValueError("cluster_shards must be >= 1")
         if self.resume_cache_size < 0:
             raise ValueError("resume_cache_size must be non-negative")
         if self.io_retries < 0:

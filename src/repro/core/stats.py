@@ -140,6 +140,28 @@ class ExecutorStats:
             self.serial_fallbacks = 0
             self.workers.clear()
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot, taken under the stats lock.
+
+        This is how pool timings reach the wire (``GET /stats``, the CLI's
+        ``--stats`` footer, the cluster's per-shard STATS opcode): collected
+        per worker thread in-process, folded into plain dicts here.
+        """
+        with self._lock:
+            return {
+                "dispatches": self.dispatches,
+                "jobs": self.jobs,
+                "retries": self.retries,
+                "serial_fallbacks": self.serial_fallbacks,
+                "busy_seconds": round(self.busy_seconds, 6),
+                "max_worker_seconds": round(self.max_worker_seconds, 6),
+                "workers": {
+                    name: {"jobs": worker.jobs,
+                           "seconds": round(worker.seconds, 6)}
+                    for name, worker in self.workers.items()
+                },
+            }
+
 
 @dataclass
 class QueryStats:
@@ -192,6 +214,37 @@ class QueryStats:
         self.corrupt_pages_detected = 0
         self.runs_quarantined = 0
         self.seconds = 0.0
+
+    _COUNTER_FIELDS = (
+        "queries", "back_references_returned", "pages_read", "runs_probed",
+        "runs_skipped_by_bloom", "narrow_fast_path_queries", "cursors_opened",
+        "resume_cache_hits", "corrupt_pages_detected", "runs_quarantined",
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the counters (plus ``seconds``)."""
+        snapshot: Dict[str, object] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS}
+        snapshot["seconds"] = round(self.seconds, 6)
+        return snapshot
+
+    def snapshot_counters(self) -> Dict[str, int]:
+        """The integer counters alone (the cluster's per-page delta basis)."""
+        return {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+
+    def add_counters(self, delta: Dict[str, int]) -> None:
+        """Fold a per-shard counter delta into this instance.
+
+        The cluster coordinator folds each worker reply's page tally into
+        its own :class:`QueryStats` through here, so the exact-page-
+        accounting contract (`pages_read` et al.) holds across the process
+        boundary.  Unknown keys are ignored so a newer worker can ship a
+        counter an older coordinator does not track.
+        """
+        for name in self._COUNTER_FIELDS:
+            value = delta.get(name)
+            if value:
+                setattr(self, name, getattr(self, name) + value)
 
 
 @dataclass

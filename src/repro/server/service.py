@@ -129,7 +129,7 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/health":
             self._send_json(200, {
                 "status": "draining" if service.draining else "ok",
-                "pinned_snapshots": service.backlog.catalogue.pinned_snapshots(),
+                "pinned_snapshots": service.backlog.pinned_snapshots(),
             })
         elif self.path == "/stats":
             self._send_json(200, service.stats())
@@ -270,20 +270,20 @@ class QueryService:
             return self._inflight
 
     def stats(self) -> Dict[str, Any]:
-        """The service's and the underlying engine's counters, JSON-ready."""
-        backlog = self.backlog
-        query = backlog.stats.query
-        return {
+        """The service's and the underlying engine's counters, JSON-ready.
+
+        Engine counters come from ``backlog.service_stats()`` -- which both
+        :class:`~repro.core.backlog.Backlog` and
+        :class:`repro.cluster.ShardedBacklog` implement -- so the endpoint
+        surfaces the flush/maintenance/query pool timings
+        (:class:`~repro.core.stats.ExecutorStats`) and, when a cluster is
+        being served, a per-shard breakdown under ``"shards"``.
+        """
+        payload = {
             "requests_served": self.requests_served,
             "requests_rejected": self.requests_rejected,
             "inflight": self.inflight,
             "draining": self.draining,
-            "queries": query.queries,
-            "cursors_opened": query.cursors_opened,
-            "resume_cache_hits": query.resume_cache_hits,
-            "pages_read": query.pages_read,
-            "pinned_snapshots": backlog.catalogue.pinned_snapshots(),
-            "database_size_bytes": backlog.database_size_bytes(),
-            "quarantined_bytes": backlog.quarantined_bytes(),
-            "deferred_bytes": backlog.deferred_bytes(),
         }
+        payload.update(self.backlog.service_stats())
+        return payload

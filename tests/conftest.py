@@ -41,6 +41,9 @@ def pytest_report_header(config):
          f"query={defaults.query_workers} "
          f"(REPRO_FLUSH_WORKERS / REPRO_MAINTENANCE_WORKERS / "
          f"REPRO_QUERY_WORKERS)"),
+        # The cluster tests default their shard count from the same knob the
+        # library does, so a CI leg can sweep shard counts via the env alone.
+        f"cluster shards: {defaults.cluster_shards} (REPRO_CLUSTER_SHARDS)",
         # CI rotates the chaos seed per run; echo it so any failure in
         # tests/test_chaos.py can be reproduced locally with the same value.
         f"chaos seed: {chaos_seed} (REPRO_CHAOS_SEED)",
@@ -80,6 +83,38 @@ def backend_factory(request, tmp_path):
 def rng():
     """A deterministic random generator for tests that need randomness."""
     return random.Random(1234)
+
+
+@pytest.fixture
+def shard_factory(tmp_path):
+    """A factory of :class:`~repro.cluster.ShardedBacklog` clusters.
+
+    Mirrors ``backend_factory``: each call builds an *independent* cluster
+    (its own directory when durable), so a test can stand up a reference
+    and a candidate side by side -- e.g. shards=1 against shards=3 over the
+    same replayed workload.  Every cluster is closed (workers joined) at
+    teardown even when the test fails.  ``num_shards=None`` inherits
+    ``BacklogConfig.cluster_shards``, i.e. ``REPRO_CLUSTER_SHARDS``.
+    """
+    from repro.cluster import ShardedBacklog
+
+    counter = itertools.count()
+    created = []
+
+    def make(num_shards=None, config=None, durable=False, **kwargs):
+        index = next(counter)
+        cluster = ShardedBacklog(
+            num_shards=num_shards,
+            config=config or BacklogConfig(partition_size_blocks=64),
+            directory=str(tmp_path / f"cluster-{index}") if durable else None,
+            **kwargs,
+        )
+        created.append(cluster)
+        return cluster
+
+    yield make
+    for cluster in created:
+        cluster.close()
 
 
 def build_system(

@@ -537,3 +537,182 @@ def test_query_fanout_first_stays_lazy():
         assert fanned.stats.query_pool.dispatches > before
     finally:
         fanned.close()
+
+
+# ------------------------------------------------- sharded process cluster
+#
+# The cluster (repro/cluster) extends the worker-invisibility promise across
+# process boundaries: a ShardedBacklog at any shard count must answer
+# identically to a single in-process Backlog over the same replayed workload
+# -- answers, resume-token page boundaries, and (between shard counts) the
+# exact folded ``QueryStats.pages_read``.  Pages are comparable across shard
+# counts because the scatter decomposes queries at partition boundaries
+# before anything is routed; they are not compared against the in-process
+# engine, whose narrow-dispatch sizing legitimately differs.
+
+
+import random
+
+from repro.cluster import ClusterCheckpointError
+from repro.core.cursor import decode_resume_token
+from repro.fsim.faults import FaultPlan
+
+
+def _ops_with_relocations(seed: int) -> List:
+    """The seeded clone/snapshot workload, with relocations interleaved.
+
+    Relocation positions and victims are a pure function of the seed, so
+    the identical op list replays into every instance under test.
+    """
+    ops = _random_ops(seed)
+    rng = random.Random(seed + 12345)
+    blocks = _all_blocks(ops)
+    interleaved: List = []
+    for index, op in enumerate(ops):
+        interleaved.append(op)
+        if index % 40 == 39:
+            interleaved.append(("relocate", rng.choice(blocks)))
+    return interleaved
+
+
+def _cluster_workload(shard_factory, shards: int, ops, **kwargs):
+    authority = ExplicitVersionAuthority()
+    cluster = shard_factory(num_shards=shards, version_source=authority,
+                            **kwargs)
+    _replay(cluster, authority, ops)
+    return cluster
+
+
+def _reference_workload(ops) -> Backlog:
+    authority = ExplicitVersionAuthority()
+    backlog = Backlog(backend=MemoryBackend(),
+                      config=BacklogConfig(partition_size_blocks=64),
+                      version_authority=authority)
+    _replay(backlog, authority, ops)
+    return backlog
+
+
+@pytest.mark.parametrize("seed", [5, 31])
+def test_sharded_cluster_answers_identical_at_any_shard_count(
+        seed, shard_factory):
+    """Shards {1, 3} vs one in-process Backlog: same answers, exact pages."""
+    ops = _ops_with_relocations(seed)
+    reference = _reference_workload(ops)
+    try:
+        blocks = _all_blocks(ops)
+        top = max(blocks) + 2
+        ranges = [(b, 1) for b in blocks] + [(0, 16), (top // 2, 40), (0, top)]
+        answers: Dict[int, List] = {}
+        counters: Dict[int, Dict[str, int]] = {}
+        for shards in (1, 3):
+            cluster = _cluster_workload(shard_factory, shards, ops)
+            cluster.stats.query.reset()
+            answers[shards] = [cluster.query_range(first, width)
+                               for first, width in ranges]
+            counters[shards] = cluster.stats.query.snapshot_counters()
+        expected = [reference.query_range(first, width)
+                    for first, width in ranges]
+        assert answers[1] == expected
+        assert answers[3] == expected
+        # Exact page accounting, fold-equal between shard counts: the same
+        # per-partition sub-queries ran, only the answering process moved.
+        assert counters[1]["pages_read"] == counters[3]["pages_read"] > 0
+        assert counters[1] == counters[3]
+    finally:
+        reference.close()
+
+
+@pytest.mark.parametrize("seed", [5])
+def test_sharded_cluster_pagination_identical(seed, shard_factory):
+    """Page contents AND resume-token owner keys match across shard counts
+    and match the in-process cursor (v2 tokens differ only in the advisory
+    shard field, so the comparison is on decoded owner keys)."""
+    ops = _ops_with_relocations(seed)
+    reference = _reference_workload(ops)
+    try:
+        top = max(_all_blocks(ops)) + 2
+
+        def paginate(target, page_size):
+            pages, keys, token = [], [], None
+            while True:
+                page = target.select(QuerySpec(0, top, limit=page_size,
+                                               resume_token=token))
+                pages.append(list(page))
+                token = page.resume_token
+                keys.append(None if token is None
+                            else tuple(decode_resume_token(token)))
+                if token is None:
+                    return pages, keys
+
+        for page_size in (3, 7, 50):
+            expected = paginate(reference, page_size)
+            outcomes = {}
+            for shards in (1, 3):
+                cluster = _cluster_workload(shard_factory, shards, ops)
+                cluster.stats.query.reset()
+                outcomes[shards] = (paginate(cluster, page_size),
+                                    cluster.stats.query.pages_read)
+            assert outcomes[1][0] == expected
+            assert outcomes[3][0] == expected
+            assert outcomes[1][1] == outcomes[3][1] > 0
+    finally:
+        reference.close()
+
+
+def test_sharded_cluster_crash_during_checkpoint_recovers_to_reference(
+        shard_factory):
+    """ENOSPC then a crash in one worker mid-checkpoint: full convergence.
+
+    One shard's backend fails its prepare flush (write stores intact, no
+    global CP published), then the worker is killed outright inside the
+    checkpoint window.  The coordinator revives it from its own durable
+    meta, replays the pending updates, and the retried checkpoint plus the
+    rest of the workload must land the cluster exactly on the in-process
+    reference -- no partial CP, no lost or doubled updates.
+    """
+    ops = _random_ops(9)
+    checkpoint_indices = [i for i, op in enumerate(ops)
+                          if op[0] == "checkpoint"]
+    split = checkpoint_indices[len(checkpoint_indices) // 2] + 1
+    head, tail = ops[:split], ops[split:]
+
+    reference = _reference_workload(head)
+    authority = ExplicitVersionAuthority()
+    cluster = shard_factory(
+        num_shards=3, durable=True, version_source=authority,
+        fault_plans={2: FaultPlan(enospc_after_pages=0, seed=3)})
+    try:
+        _replay(cluster, authority, head)
+        committed = cluster.committed_cp
+        # Block 130 -> partition 2 -> shard 2 (64-block partitions): the
+        # faulted shard has dirty data to flush when the checkpoint runs.
+        cluster.add_reference(130, 1, 0, 0)
+        cluster.debug_fault(2, "arm")
+        with pytest.raises(ClusterCheckpointError):
+            cluster.checkpoint()
+        assert cluster.committed_cp == committed     # nothing published
+        cluster.debug_kill(2)                        # crash mid-window
+        # A failed attempt revives the dead worker and replays its pending
+        # updates but still reports failure; the checkpoint contract is
+        # retry-as-a-whole, so loop until one lands.
+        for _ in range(3):
+            try:
+                cluster.checkpoint()
+                break
+            except ClusterCheckpointError:
+                assert cluster.committed_cp == committed
+        assert cluster.committed_cp > committed
+        reference.add_reference(130, 1, 0, 0)
+        reference.checkpoint()
+        authority.set_current_cp(cluster.current_cp)
+        reference.version_authority.set_current_cp(reference.current_cp)
+        _replay(cluster, authority, tail)
+        _replay(reference, reference.version_authority, tail)
+
+        blocks = _all_blocks(ops)
+        top = max(blocks) + 2
+        for first, width in [(b, 1) for b in blocks] + [(0, top)]:
+            assert cluster.query_range(first, width) == \
+                reference.query_range(first, width)
+    finally:
+        reference.close()
