@@ -52,6 +52,7 @@ from repro.core import (
     Partitioner,
     QueryResult,
     QuerySpec,
+    RecordBlock,
     RetryPolicy,
     ScrubReport,
     SnapshotManagerAuthority,
@@ -82,7 +83,7 @@ from repro.fsim import (
     TransientIOError,
 )
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "AllVersionsAuthority",
@@ -113,6 +114,7 @@ __all__ = [
     "QueryResult",
     "QueryService",
     "QuerySpec",
+    "RecordBlock",
     "ReferenceListener",
     "RetryPolicy",
     "ScrubReport",

@@ -35,19 +35,29 @@ from __future__ import annotations
 
 import pickle
 import struct
+import sys
 import threading
+from array import array
 from enum import IntEnum
-from typing import Any, Tuple
+from functools import partial
+from itertools import accumulate, chain
+from typing import Any, Iterable, List, Tuple
+
+from repro.core.records import BackReference
 
 __all__ = [
     "Channel",
     "ChannelClosedError",
     "Opcode",
     "ProtocolError",
+    "QueryPage",
     "WorkerError",
     "PROTOCOL_VERSION",
+    "QUERY_PAGE_VERSION",
     "encode_frame",
     "decode_frame",
+    "pack_back_references",
+    "unpack_back_references",
     "raise_reply_error",
 ]
 
@@ -56,7 +66,16 @@ MAGIC = b"BKLC"
 
 #: Bumped whenever the frame layout or any payload schema changes shape, so
 #: a mixed-version coordinator/worker pair fails its first exchange loudly.
+#: Version 1 frames pickle their whole payload; version 2 frames (see
+#: :data:`QUERY_PAGE_VERSION`) carry a query page as packed columnar arrays.
 PROTOCOL_VERSION = 1
+
+#: Frame version of a packed :class:`QueryPage` reply.  Replies only: every
+#: request still travels as a version-1 pickle frame, and a worker that
+#: answers with version 2 is talking to a coordinator from the same build
+#: (the coordinator spawned it), so decoding accepts both versions while
+#: anything newer still fails loudly.
+QUERY_PAGE_VERSION = 2
 
 _HEADER = struct.Struct("<4sBBxxI")
 
@@ -110,22 +129,169 @@ class ChannelClosedError(ConnectionError):
     """
 
 
+class QueryPage:
+    """One shard's page of query results, shipped packed instead of pickled.
+
+    The worker builds it from the cursor's *raw* owner tuples
+    (:meth:`repro.core.cursor.QueryResult.all_rows`) -- a record that
+    travelled the columnar pipeline never becomes a BackReference on the
+    worker at all.  :func:`encode_frame` recognises the type and emits a
+    version-:data:`QUERY_PAGE_VERSION` frame whose body is the packed
+    columnar arrays plus a small pickled metadata dict;
+    :func:`decode_frame` materialises it back into exactly the
+    ``{"results": [BackReference, ...], "resume_token": ..., "exhausted":
+    ..., "stats": ...}`` reply dict the pickle wire always carried, so the
+    coordinator's scatter-gather loop is codec-agnostic.
+    """
+
+    __slots__ = ("results", "resume_token", "exhausted", "stats")
+
+    def __init__(self, results: List[Tuple], resume_token: Any,
+                 exhausted: bool, stats: Any) -> None:
+        self.results = results
+        self.resume_token = resume_token
+        self.exhausted = exhausted
+        self.stats = stats
+
+
+#: Packed page body prefix: number of owners, total number of range pairs.
+_REFS_HEADER = struct.Struct("<II")
+#: Length prefix of the pickled metadata dict in a version-2 frame body.
+_META_HEADER = struct.Struct("<I")
+
+_NATIVE_IS_BE = sys.byteorder == "big"
+
+
+def _wire_bytes(values: array) -> bytes:
+    """The array's items as little-endian wire bytes."""
+    if _NATIVE_IS_BE:
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _wire_array(typecode: str, data: bytes) -> array:
+    """Little-endian wire bytes back into a native array."""
+    values = array(typecode)
+    values.frombytes(data)
+    if _NATIVE_IS_BE:
+        values.byteswap()
+    return values
+
+
+#: ``tuple.__new__`` bound to :class:`BackReference`: what ``_make`` does
+#: per call, minus its Python stack frame -- the decode loop's constructor.
+_MAKE_REF = partial(tuple.__new__, BackReference)
+
+
+def pack_back_references(refs: List[Tuple]) -> bytes:
+    """Pack owner tuples into flat columnar arrays (the v2 page body).
+
+    ``refs`` holds ``(block, inode, offset, line, ranges)`` tuples --
+    :class:`BackReference` or the columnar pipeline's raw owners, both pack
+    identically.  Layout: the :data:`_REFS_HEADER` counts, then six flat
+    little-endian column sections -- u64 blocks, u64 inodes, u64 offsets,
+    u64 lines, u32 range counts, then 2 u64s per range pair.  One C-level
+    ``zip`` transposes the tuples into columns and every section fills in
+    one C pass; nothing is pickled.
+    """
+    if not refs:
+        return _REFS_HEADER.pack(0, 0)
+    blocks, inodes, offsets, lines, ranges_list = zip(*refs)
+    counts = array("I", list(map(len, ranges_list)))
+    pairs = array("Q", list(chain.from_iterable(chain.from_iterable(ranges_list))))
+    return b"".join((
+        _REFS_HEADER.pack(len(refs), len(pairs) // 2),
+        _wire_bytes(array("Q", blocks)), _wire_bytes(array("Q", inodes)),
+        _wire_bytes(array("Q", offsets)), _wire_bytes(array("Q", lines)),
+        _wire_bytes(counts), _wire_bytes(pairs)))
+
+
+def unpack_back_references(data: bytes, offset: int = 0) -> List[BackReference]:
+    """Materialise a packed page body into :class:`BackReference` results.
+
+    The inverse of :func:`pack_back_references` *and* the wire's
+    materialisation boundary: the one place a shipped owner becomes a
+    NamedTuple.  The whole reconstruction is chained C loops -- each column
+    decodes with one ``array`` fill, the pair columns interleave lazily
+    under ``zip``, and every owner is built by ``tuple.__new__`` directly
+    (:data:`_MAKE_REF`).  Raises :class:`ProtocolError` on truncated or
+    inconsistent bodies instead of building garbage results.
+    """
+    view = memoryview(data)[offset:]
+    if len(view) < _REFS_HEADER.size:
+        raise ProtocolError(f"short query page body: {len(view)} bytes")
+    num_refs, num_pairs = _REFS_HEADER.unpack_from(view, 0)
+    n8 = num_refs * 8
+    counts_start = _REFS_HEADER.size + 4 * n8
+    pairs_start = counts_start + num_refs * 4
+    pairs_end = pairs_start + num_pairs * 16
+    if len(view) != pairs_end:
+        raise ProtocolError(
+            f"query page length mismatch: {num_refs} owners / {num_pairs} "
+            f"pairs need {pairs_end} bytes, got {len(view)}")
+    pos = _REFS_HEADER.size
+    blocks = _wire_array("Q", view[pos:pos + n8])
+    inodes = _wire_array("Q", view[pos + n8:pos + 2 * n8])
+    offsets = _wire_array("Q", view[pos + 2 * n8:pos + 3 * n8])
+    lines = _wire_array("Q", view[pos + 3 * n8:counts_start])
+    counts = _wire_array("I", view[counts_start:pairs_start])
+    flat = _wire_array("Q", view[pairs_start:pairs_end])
+    if sum(counts) != num_pairs:
+        raise ProtocolError("query page range counts do not sum to the pair count")
+    pairs = zip(flat[0::2], flat[1::2])
+    if counts.count(1) == num_refs:
+        # The common shape (every owner one merged range): the 1-tuple
+        # range sets come straight off a lazy zip-of-zip.
+        rngs: Iterable[Tuple] = zip(pairs)
+    else:
+        # Mixed counts: cut the pair list by cumulative offsets, everything
+        # staying inside C map loops (slice objects -> list slices ->
+        # tuples) rather than one islice consumer per owner.
+        pair_list = list(pairs)
+        bounds = list(accumulate(counts))
+        rngs = list(map(tuple, map(pair_list.__getitem__,
+                                   map(slice, chain((0,), bounds), bounds))))
+    return list(map(_MAKE_REF, zip(blocks, inodes, offsets, lines, rngs)))
+
+
 def encode_frame(opcode: Opcode, payload: Any) -> bytes:
-    """Serialise one message into its framed wire bytes."""
-    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    """Serialise one message into its framed wire bytes.
+
+    A :class:`QueryPage` payload takes the packed columnar encoding (a
+    version-:data:`QUERY_PAGE_VERSION` frame); everything else pickles into
+    a version-:data:`PROTOCOL_VERSION` frame exactly as before.
+    """
+    if type(payload) is QueryPage:
+        meta = pickle.dumps(
+            {"resume_token": payload.resume_token,
+             "exhausted": payload.exhausted,
+             "stats": payload.stats},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        body = (_META_HEADER.pack(len(meta)) + meta
+                + pack_back_references(payload.results))
+        version = QUERY_PAGE_VERSION
+    else:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        version = PROTOCOL_VERSION
     if len(body) > MAX_PAYLOAD_BYTES:
         raise ProtocolError(f"payload too large: {len(body)} bytes")
-    return _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(opcode), len(body)) + body
+    return _HEADER.pack(MAGIC, version, int(opcode), len(body)) + body
 
 
 def decode_frame(data: bytes) -> Tuple[Opcode, Any]:
-    """Parse framed wire bytes; raises :class:`ProtocolError` on bad input."""
+    """Parse framed wire bytes; raises :class:`ProtocolError` on bad input.
+
+    Accepts version-1 (pickled payload) and version-2 (packed query page)
+    frames; a version-2 body decodes into the same reply dict shape the
+    pickle wire carries, so callers never see the codec.
+    """
     if len(data) < _HEADER.size:
         raise ProtocolError(f"short frame: {len(data)} bytes")
     magic, version, opcode, length = _HEADER.unpack_from(data)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic: {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in (PROTOCOL_VERSION, QUERY_PAGE_VERSION):
         raise ProtocolError(
             f"protocol version mismatch: peer speaks {version}, "
             f"this process speaks {PROTOCOL_VERSION}")
@@ -137,6 +303,17 @@ def decode_frame(data: bytes) -> Tuple[Opcode, Any]:
         kind = Opcode(opcode)
     except ValueError as exc:
         raise ProtocolError(f"unknown opcode {opcode}") from exc
+    if version == QUERY_PAGE_VERSION:
+        body = memoryview(data)[_HEADER.size:]
+        if len(body) < _META_HEADER.size:
+            raise ProtocolError(f"short query page frame: {len(body)} bytes")
+        meta_len = _META_HEADER.unpack_from(body, 0)[0]
+        meta_end = _META_HEADER.size + meta_len
+        if len(body) < meta_end:
+            raise ProtocolError("query page metadata overruns the frame")
+        reply = pickle.loads(body[_META_HEADER.size:meta_end])
+        reply["results"] = unpack_back_references(data, _HEADER.size + meta_end)
+        return kind, reply
     return kind, pickle.loads(data[_HEADER.size:])
 
 

@@ -57,7 +57,7 @@ from repro.core.recovery import recover_backlog
 from repro.fsim.blockdev import DiskBackend, MemoryBackend
 from repro.fsim.faults import FaultPlan, FaultyBackend
 
-from repro.cluster.protocol import Channel, Opcode
+from repro.cluster.protocol import Channel, Opcode, QueryPage
 
 __all__ = ["worker_main", "shard_directory", "shard_meta_path"]
 
@@ -278,21 +278,24 @@ class _ShardWorker:
             "deletion_vector": len(list(self.backlog.deletion_vector.keys())),
         }
 
-    def _handle_query(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_query(self, payload: Dict[str, Any]) -> QueryPage:
         self.authority.apply(payload.get("authority"))
         fields = dict(payload["spec"])
         spec = QuerySpec(**fields)
         query_stats = self.backlog.stats.query
         before = query_stats.snapshot_counters()
         cursor = self.backlog.select(spec)
-        results = cursor.all()
+        # Drain raw owner tuples: the packed v2 QUERY_PAGE frame ships them
+        # as flat columnar arrays, so no BackReference is ever built (or
+        # pickled) on the worker -- the coordinator's decode materialises.
+        results = cursor.all_rows()
         after = query_stats.snapshot_counters()
-        return {
-            "results": results,
-            "resume_token": cursor.resume_token,
-            "exhausted": cursor.exhausted,
-            "stats": {name: after[name] - before[name] for name in after},
-        }
+        return QueryPage(
+            results=results,
+            resume_token=cursor.resume_token,
+            exhausted=cursor.exhausted,
+            stats={name: after[name] - before[name] for name in after},
+        )
 
     def _handle_stats(self) -> Dict[str, Any]:
         return {

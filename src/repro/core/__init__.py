@@ -38,6 +38,7 @@ from repro.core.records import (
     CombinedRecord,
     FromRecord,
     INFINITY,
+    RecordBlock,
     ReferenceKey,
     ToRecord,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "QueryStats",
     "ReadStoreReader",
     "ReadStoreWriter",
+    "RecordBlock",
     "ReferenceKey",
     "RetryPolicy",
     "RunManager",

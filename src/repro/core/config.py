@@ -81,6 +81,18 @@ class BacklogConfig:
         table in memory; when False, the retained materialising compactor is
         used.  Both produce byte-identical runs (the differential tests in
         ``tests/test_streaming_equivalence.py`` enforce this).
+    columnar_pipeline:
+        When True (the default), the streaming query pipeline runs on
+        big-endian row slabs (:mod:`repro.core.columnar`): leaf pages decode
+        in one batched pass into 40/48-byte row strings, and merge, join,
+        clone expansion, masking and the owner fold all operate on those
+        rows, materialising :class:`~repro.core.records.BackReference`
+        objects only at the public API boundary.  When False, the retained
+        tuple pipeline (one NamedTuple per record per stage) runs instead.
+        Dispatch, emission order, resume tokens, answers and per-query page
+        accounting are identical in both modes
+        (``tests/test_columnar_equivalence.py`` enforces it); the flag
+        exists as the differential-testing ablation, not as tuning.
     flush_workers / maintenance_workers:
         Sizes of the partition-sharded worker pools
         (:class:`~repro.core.executor.PartitionExecutor`): ``flush_workers``
@@ -163,6 +175,7 @@ class BacklogConfig:
     use_bloom_filters: bool = True
     narrow_dispatch_max_runs: int = 2
     streaming_compaction: bool = True
+    columnar_pipeline: bool = True
     flush_workers: int = field(
         default_factory=lambda: _workers_from_env("REPRO_FLUSH_WORKERS"))
     maintenance_workers: int = field(

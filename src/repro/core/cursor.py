@@ -298,12 +298,13 @@ class QueryResult:
     def __init__(self, engine: "QueryEngine", spec: QuerySpec) -> None:
         self._engine = engine
         self.spec = spec
-        self._iterator: Optional[Iterator[BackReference]] = None
+        self._iterator: Optional[Iterator[Tuple]] = None
         self._emitted = 0
-        # The last-emitted result doubles as the resume identity: it carries
-        # the same block/inode/offset/line attributes a ReferenceKey would,
-        # without a per-result key allocation on the cursor hot loop.
-        self._last: Optional[BackReference] = None
+        # The last-emitted owner doubles as the resume identity: its first
+        # four elements are exactly the block/inode/offset/line fields a
+        # ReferenceKey packs, whichever pipeline (columnar raw tuple or
+        # materialised BackReference) produced it.
+        self._last: Optional[Tuple] = None
         self._exhausted = False
         self._page_full = False
 
@@ -312,7 +313,16 @@ class QueryResult:
     def __iter__(self) -> "QueryResult":
         return self
 
-    def __next__(self) -> BackReference:
+    def _next_raw(self) -> Tuple:
+        """Advance the cursor one owner *without* materialising it.
+
+        The engine emits raw owners -- plain ``(block, inode, offset, line,
+        ranges)`` tuples from the columnar pipeline, BackReferences from the
+        other paths -- and everything cursor-state related (resume identity,
+        limits, parking, stats finalisation) only needs their shape.
+        :meth:`__next__` materialises for the public surface; wire paths
+        (:meth:`all_rows`) skip that entirely.
+        """
         if self._exhausted or self._page_full:
             raise StopIteration
         if self._iterator is None:
@@ -323,7 +333,8 @@ class QueryResult:
             spec = self.spec
             reopened = self._last is not None
             if reopened:
-                spec = spec.after(encode_resume_token(self._last))
+                spec = spec.after(
+                    encode_resume_token(ReferenceKey(*self._last[:4])))
                 if spec.limit is not None:
                     spec = replace(spec, limit=spec.limit - self._emitted)
             self._iterator = self._engine.open_cursor(spec, reopened=reopened)
@@ -339,6 +350,15 @@ class QueryResult:
             # finalised even if the caller never pulls the StopIteration.
             self._page_full = True
             self._close_pipeline()
+        return ref
+
+    def __next__(self) -> BackReference:
+        ref = self._next_raw()
+        if type(ref) is not BackReference:
+            # The public materialisation boundary: the columnar pipeline's
+            # raw owner tuple becomes a BackReference here and nowhere
+            # earlier.
+            ref = BackReference._make(ref)
         return ref
 
     def _finish(self) -> None:
@@ -376,6 +396,28 @@ class QueryResult:
             self._exhausted = True
             return results
         return list(self)
+
+    def all_rows(self) -> List[Tuple]:
+        """Every remaining owner as *raw* tuples, skipping materialisation.
+
+        The wire path's terminal: the cluster worker drains a page with this
+        and packs the plain ``(block, inode, offset, line, ranges)`` tuples
+        straight into a v2 ``QUERY_PAGE`` frame, so a record that travelled
+        the columnar pipeline never becomes a BackReference on the worker at
+        all.  Identical drive of the underlying pipeline as :meth:`all` --
+        same dispatch (including the unfiltered list-path delegation, whose
+        BackReferences are themselves shape-compatible tuples), same stats,
+        same resume/exhausted state afterwards.
+        """
+        if self._iterator is None and self._emitted == 0 and self.spec.is_unfiltered:
+            return self.all()
+        results: List[Tuple] = []
+        append = results.append
+        while True:
+            try:
+                append(self._next_raw())
+            except StopIteration:
+                return results
 
     def first(self) -> Optional[BackReference]:
         """The next result, or ``None``; stops reading immediately after it.
@@ -436,7 +478,7 @@ class QueryResult:
             return None
         if self._last is None:
             return self.spec.resume_token
-        return encode_resume_token(self._last)
+        return encode_resume_token(ReferenceKey(*self._last[:4]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "exhausted" if self._exhausted else f"emitted={self._emitted}"

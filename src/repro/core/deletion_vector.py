@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Set, Tuple
 
-from repro.core.records import CombinedRecord, FromRecord, ReferenceKey, ToRecord
+from repro.core.records import (
+    CombinedRecord,
+    FromRecord,
+    ReferenceKey,
+    ToRecord,
+    pack_key_prefix,
+)
 
 __all__ = ["DeletionVector"]
 
@@ -35,6 +41,12 @@ class DeletionVector:
     def __init__(self) -> None:
         self._keys: Set[ReferenceKey] = set()
         self._blocks: Set[int] = set()
+        # Packed big-endian mirrors of the two sets, so the columnar query
+        # pipeline can test a row's identity with two byte-slice probes and
+        # zero per-record unpacking.  Kept in lock step by suppress()/
+        # clear(); frozen views share them like they share the tuple sets.
+        self._row_keys: Set[bytes] = set()
+        self._row_blocks: Set[bytes] = set()
         # Cached freeze() view.  Valid until clear() rebinds the containers:
         # suppress() need not invalidate it, because views *share* the sets
         # (new suppressions are visible to existing views by design).
@@ -50,6 +62,8 @@ class DeletionVector:
         """Hide one reference identity."""
         self._keys.add(ReferenceKey(block, inode, offset, line))
         self._blocks.add(block)
+        self._row_keys.add(pack_key_prefix(block, inode, offset, line))
+        self._row_blocks.add(pack_key_prefix(block))
 
     def suppress_block(self, block: int, keys: Iterable[ReferenceKey]) -> None:
         """Hide several identities of one relocated block at once."""
@@ -57,7 +71,9 @@ class DeletionVector:
             if key.block != block:
                 raise ValueError(f"key {key} does not belong to block {block}")
             self._keys.add(key)
+            self._row_keys.add(pack_key_prefix(*key))
         self._blocks.add(block)
+        self._row_blocks.add(pack_key_prefix(block))
 
     def is_suppressed(self, record) -> bool:
         """True when a From/To/Combined record should be hidden."""
@@ -70,6 +86,25 @@ class DeletionVector:
         for record in records:
             if not self.is_suppressed(record):
                 yield record
+
+    def is_row_suppressed(self, row: bytes) -> bool:
+        """True when a big-endian record row should be hidden.
+
+        The columnar counterpart of :meth:`is_suppressed`: the cheap
+        block-slice probe first, the full 32-byte identity probe only for
+        rows of an affected block.
+        """
+        if row[:8] not in self._row_blocks:
+            return False
+        return row[:32] in self._row_keys
+
+    def filter_rows(self, rows: Iterable[bytes]) -> Iterator[bytes]:
+        """Yield only big-endian rows that are not suppressed."""
+        row_blocks = self._row_blocks
+        row_keys = self._row_keys
+        for row in rows:
+            if row[:8] not in row_blocks or row[:32] not in row_keys:
+                yield row
 
     def touches_block(self, block: int) -> bool:
         """Cheap test used to skip the key lookup for unaffected blocks."""
@@ -95,6 +130,8 @@ class DeletionVector:
             view = DeletionVector()
             view._keys = self._keys
             view._blocks = self._blocks
+            view._row_keys = self._row_keys
+            view._row_blocks = self._row_blocks
             self._frozen_view = view
         return view
 
@@ -107,6 +144,8 @@ class DeletionVector:
         """
         self._keys = set()
         self._blocks = set()
+        self._row_keys = set()
+        self._row_blocks = set()
         self._frozen_view = None
 
     def memory_estimate_bytes(self) -> int:

@@ -64,9 +64,10 @@ from __future__ import annotations
 
 from typing import AbstractSet, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.core.records import CombinedRecord, INFINITY
+from repro.core.records import CombinedRecord, INFINITY, INFINITY_BE, ROW_STRUCTS
 
-__all__ = ["CloneGraph", "expand_clones", "materialized_expand"]
+__all__ = ["CloneGraph", "expand_clones", "expand_row_group",
+           "materialized_expand", "pack_children_map"]
 
 
 class CloneGraph:
@@ -191,6 +192,83 @@ def _expand_group(
     if added:
         # Records compare natively in sort-key order; the group prefix is
         # shared, so an in-group sort keeps the overall stream sorted.
+        out.sort()
+    return out
+
+
+_ROW6 = ROW_STRUCTS[6]
+_ROW1_PACK = ROW_STRUCTS[1].pack
+_ZERO8 = b"\x00" * 8
+#: The CP tail of a synthesized inherited row: ``from = 0, to = INFINITY``.
+_INHERIT_TAIL = _ZERO8 + INFINITY_BE
+
+
+def pack_children_map(
+    children_map: Dict[int, List[Tuple[int, int]]],
+) -> Dict[bytes, List[Tuple[bytes, bytes]]]:
+    """:meth:`CloneGraph.children_map` with every field packed big-endian.
+
+    One tiny conversion per query (the graph holds one entry per clone)
+    buys :func:`expand_row_group` a fixpoint that never leaves row bytes:
+    parent lines become the 8-byte slices the rows carry at ``[24:32]``,
+    and clone versions become 8-byte CPs comparable against the rows'
+    ``[32:40]``/``[40:48]`` slices (big-endian order equals integer order).
+    """
+    pack = _ROW1_PACK
+    return {pack(line): [(pack(child), pack(version))
+                         for child, version in children]
+            for line, children in children_map.items()}
+
+
+def expand_row_group(
+    group: List[bytes],
+    children_rows: Dict[bytes, List[Tuple[bytes, bytes]]],
+) -> List[bytes]:
+    """Run the §4.2.2 fixpoint over one big-endian Combined *row* group.
+
+    The columnar pipeline's entry into inheritance resolution
+    (:func:`repro.core.columnar.fold_rows_for_query`).  ``group`` must be
+    sorted and duplicate-free row bytes sharing one ``(block, inode,
+    offset)`` prefix; ``children_rows`` is the :func:`pack_children_map`
+    form of the clone graph.  Step-for-step :func:`_expand_group` -- same
+    override rule, same dedup, same in-group sort -- but entirely in byte
+    slices: the common no-clones-here case is one short-circuiting ``any``
+    of set probes, a match test is two slice compares, and a synthesized
+    inherited record is one 48-byte splice (``key24 + child_line8 +
+    _INHERIT_TAIL``) rather than a NamedTuple round trip.
+    """
+    if not any(row[24:32] in children_rows for row in group):
+        return group
+    # Overrides are taken from the *initial* rows only (from = 0); within a
+    # group the identity collapses to the packed line.
+    overrides = {row[24:32] for row in group if row[32:40] == _ZERO8}
+    seen: Set[bytes] = set(group)
+    out = list(group)
+    queue = list(group)
+    added = False
+    while queue:
+        row = queue.pop()
+        children = children_rows.get(row[24:32])
+        if not children:
+            continue
+        from8 = row[32:40]
+        to8 = row[40:48]
+        key24 = row[:24]
+        for child_line8, version8 in children:
+            if not from8 <= version8 < to8:
+                continue
+            if child_line8 in overrides:
+                continue
+            inherited = key24 + child_line8 + _INHERIT_TAIL
+            if inherited in seen:
+                continue
+            seen.add(inherited)
+            out.append(inherited)
+            queue.append(inherited)
+            added = True
+    if added:
+        # Rows compare natively in record sort-key order; the group prefix
+        # is shared, so an in-group sort keeps the overall stream sorted.
         out.sort()
     return out
 

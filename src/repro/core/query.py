@@ -96,6 +96,11 @@ from itertools import chain
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.catalogue import Catalogue, CatalogueSnapshot
+from repro.core.columnar import (
+    fold_rows_for_query,
+    join_rows_for_query,
+    scan_rows_bulk,
+)
 from repro.core.config import BacklogConfig
 from repro.core.cursor import QuerySpec
 from repro.core.deletion_vector import DeletionVector
@@ -106,7 +111,14 @@ from repro.core.lsm import RunManager, parse_run_name
 from repro.core.masking import VersionAuthority, iter_mask_records, mask_records
 from repro.core.partitioning import Partitioner
 from repro.core.read_store import RECORD_KINDS, CorruptPageError, ReadStoreReader
-from repro.core.records import BackReference, CombinedRecord, FromRecord, ToRecord
+from repro.core.records import (
+    INFINITY,
+    BackReference,
+    CombinedRecord,
+    FromRecord,
+    ToRecord,
+    records_to_rows,
+)
 from repro.core.stats import ExecutorStats, QueryStats
 from repro.core.write_store import WriteStore
 from repro.fsim.blockdev import StorageBackend
@@ -262,12 +274,18 @@ class QueryEngine:
     # -------------------------------------------------------------- cursors
 
     def open_cursor(self, spec: QuerySpec, *,
-                    reopened: bool = False) -> Iterator[BackReference]:
+                    reopened: bool = False) -> Iterator[Tuple]:
         """A lazy generator of the owners described by ``spec``.
 
         The entry point behind :meth:`repro.core.backlog.Backlog.select`:
         results stream out in ``(block, inode, offset, line)`` order with the
         spec's filters pushed into the pipeline (see the module docstring).
+        Owners are emitted *raw* -- :class:`BackReference` from the
+        materialised fast path and the tuple pipeline, shape-identical plain
+        tuples from the columnar pipeline; the cursor surface
+        (:class:`~repro.core.cursor.QueryResult`) materialises at its
+        public boundary, so wire paths can ship rows without ever building
+        the NamedTuples.
         Abandoning the generator (``close()``, or just dropping it) is the
         early exit -- nothing past the last emitted owner is read.  Query
         statistics are finalised when the generator finishes or is closed;
@@ -301,7 +319,7 @@ class QueryEngine:
         num_blocks: int,
         start_key: Optional[Tuple[int, ...]],
         reopened: bool,
-    ) -> Iterator[BackReference]:
+    ) -> Iterator[Tuple]:
         """The cursor generator: dispatch, owner filters, limit, stats.
 
         Wall-clock accounting covers only the time spent *inside* the
@@ -370,11 +388,21 @@ class QueryEngine:
                             refs = iter(self._query_materialized(
                                 snapshot, candidate_runs, first_block, num_blocks
                             ))
+                        elif self.config.columnar_pipeline:
+                            refs = self._cursor_owners_columnar(
+                                snapshot, candidate_runs, first_block, num_blocks,
+                                start_key, spec
+                            )
                         else:
                             refs = self._iter_group_sorted(self._cursor_records(
                                 snapshot, candidate_runs, first_block, num_blocks,
                                 start_key, spec
                             ))
+                    # Owner filters are index-based because ``refs`` yields
+                    # either BackReferences (materialised fast path, tuple
+                    # pipeline) or the columnar pipeline's shape-identical
+                    # plain tuples; materialisation is the cursor surface's
+                    # job, not this generator's.
                     for ref in refs:
                         if last_identity is not None and ref[:4] <= last_identity:
                             continue
@@ -382,11 +410,13 @@ class QueryEngine:
                             continue
                         if spec.lines is not None and ref[3] not in spec.lines:
                             continue
-                        if spec.live_only and not ref.is_live:
+                        if spec.live_only and not any(
+                            stop == INFINITY for _, stop in ref[4]
+                        ):
                             continue
                         if window is not None and not any(
                             start < window[1] and window[0] < stop
-                            for start, stop in ref.ranges
+                            for start, stop in ref[4]
                         ):
                             continue
                         emitted += 1
@@ -471,6 +501,34 @@ class QueryEngine:
         expanded = expand_clones(combined_view, self.clone_graph, line_filter=spec.lines)
         return iter_mask_records(expanded, self.authority)
 
+    def _cursor_owners_columnar(
+        self,
+        snapshot: CatalogueSnapshot,
+        candidate_runs: List[ReadStoreReader],
+        first_block: int,
+        num_blocks: int,
+        start_key: Optional[Tuple[int, ...]],
+        spec: QuerySpec,
+    ) -> Iterator[Tuple[int, int, int, int, Tuple[Tuple[int, int], ...]]]:
+        """The columnar owner pipeline with the spec's pushdowns applied.
+
+        Row-slab counterpart of ``_iter_group_sorted(_cursor_records(...))``:
+        gathers big-endian rows, joins them with
+        :func:`~repro.core.columnar.join_rows_for_query` and fuses clone
+        expansion, masking and the owner fold in
+        :func:`~repro.core.columnar.fold_rows_for_query`.  Yields plain owner
+        tuples, shape-identical to :class:`BackReference`; the cursor surface
+        materialises at emission.  Same owners, same order, same pages read
+        at the same pull points as the tuple chain.
+        """
+        frows, trows, crows = self._gather(
+            snapshot, candidate_runs, first_block, num_blocks, start_key,
+            rows=True,
+        )
+        joined = join_rows_for_query(frows, trows, crows, inode_filter=spec.inodes)
+        return fold_rows_for_query(joined, self.clone_graph, self.authority,
+                                   line_filter=spec.lines)
+
     # ------------------------------------------- cursor resume cache
 
     # A resumed page re-runs the Bloom prefilter over the remaining range and
@@ -499,8 +557,8 @@ class QueryEngine:
         return (spec.first_block, spec.num_blocks, spec.version_window,
                 spec.live_only, spec.lines, spec.inodes)
 
-    def _park_cursor(self, spec: QuerySpec, last_ref: BackReference,
-                     refs: Iterator[BackReference],
+    def _park_cursor(self, spec: QuerySpec, last_ref: Tuple,
+                     refs: Iterator,
                      snapshot: Optional[CatalogueSnapshot]) -> bool:
         """Park a full page's suspended pipeline under its resume token.
 
@@ -511,8 +569,7 @@ class QueryEngine:
         capacity = self.config.resume_cache_size
         if capacity <= 0 or self._mutation_stamp is None:
             return False
-        key = (self._spec_core(spec),
-               (last_ref.block, last_ref.inode, last_ref.offset, last_ref.line))
+        key = (self._spec_core(spec), tuple(last_ref[:4]))
         dropped: List[Tuple] = []
         with self._parked_lock:
             stale = self._parked.pop(key, None)
@@ -626,6 +683,14 @@ class QueryEngine:
         first_block: int, num_blocks: int
     ) -> List[BackReference]:
         """Steps 2-6 as one generator chain (see the module docstring)."""
+        if self.config.columnar_pipeline:
+            frows, trows, crows = self._gather_row_lists(
+                snapshot, candidate_runs, first_block, num_blocks)
+            owners = scan_rows_bulk(frows, trows, crows,
+                                    self.clone_graph, self.authority)
+            # The one materialisation point of the wide list surface: a bulk
+            # C-level _make over the owner tuples, not one ctor per stage.
+            return list(map(BackReference._make, owners))
         froms, tos, combined = self._gather(snapshot, candidate_runs,
                                             first_block, num_blocks)
         combined_view = merge_join_for_query(froms, tos, combined)
@@ -637,7 +702,8 @@ class QueryEngine:
         self, snapshot: CatalogueSnapshot, candidate_runs: List[ReadStoreReader],
         first_block: int, num_blocks: int,
         start_key: Optional[Tuple[int, ...]] = None,
-    ) -> Tuple[Iterator[FromRecord], Iterator[ToRecord], Iterator[CombinedRecord]]:
+        rows: bool = False,
+    ) -> Tuple[Iterator, Iterator, Iterator]:
         """Sorted, lazily merged record streams for the block range.
 
         Each run contributes a lazy per-page iterator and each write store its
@@ -657,6 +723,13 @@ class QueryEngine:
         run on the device just to prime a single whole-range heap, and what
         bounds the streaming pipeline's transient memory by one open page per
         probed run *of the active partition*.
+
+        With ``rows=True`` every source produces big-endian row bytes
+        (:meth:`~repro.core.read_store.ReadStoreReader.iter_rows_block_range`
+        per run, :func:`~repro.core.records.records_to_rows` over the write
+        stores' snapshot slices) instead of NamedTuples.  Rows compare in
+        record order, so the identical merge/filter machinery runs on both
+        representations, pulling pages at identical points.
         """
         # Dispatch on the numeric record kind: the ``table`` property does a
         # name lookup per call, which adds up over many candidate runs.
@@ -673,6 +746,8 @@ class QueryEngine:
                     buckets.append([])
                 last_partition = partition
             sources[run.record_kind][-1].append(
+                run.iter_rows_block_range(first_block, num_blocks, start_key)
+                if rows else
                 run.iter_block_range(first_block, num_blocks, start_key)
             )
         ws_from_records = snapshot.ws_from.records_for_block_range(first_block, num_blocks)
@@ -681,21 +756,129 @@ class QueryEngine:
         ws_to_records = snapshot.ws_to.records_for_block_range(first_block, num_blocks)
         if start_key is not None and ws_to_records:
             ws_to_records = ws_to_records[bisect_left(ws_to_records, start_key):]
+        if rows:
+            ws_from_records = records_to_rows(ws_from_records, 5)
+            ws_to_records = records_to_rows(ws_to_records, 5)
 
         deletion_vector = snapshot.deletion_vector
         return (
             self._merge_sources(sources[FROM_KIND], ws_from_records,
-                                deletion_vector, snapshot),
+                                deletion_vector, snapshot, rows=rows),
             self._merge_sources(sources[TO_KIND], ws_to_records,
-                                deletion_vector, snapshot),
+                                deletion_vector, snapshot, rows=rows),
             self._merge_sources(sources[COMBINED_KIND], None,
-                                deletion_vector, snapshot),
+                                deletion_vector, snapshot, rows=rows),
         )
+
+    def _gather_row_lists(
+        self, snapshot: CatalogueSnapshot, candidate_runs: List[ReadStoreReader],
+        first_block: int, num_blocks: int,
+    ) -> Tuple[List[bytes], List[bytes], List[bytes]]:
+        """:meth:`_gather` with ``rows=True``, drained to three sorted lists.
+
+        The list surface's gather: a whole-range ``query_range`` consumes
+        every gathered record anyway, so the lazy per-row heap merge only
+        adds per-element overhead there.  Sources are drained to lists and
+        merged with ``sorted`` -- timsort's run detection makes merging a
+        handful of sorted runs effectively one C-level pass -- which yields
+        exactly the heap merge's sequence (identical multiset, total order
+        on row bytes).
+
+        With a fan-out pool configured and more than one ``(table,
+        partition)`` bucket in play, the *drains themselves* run as pool
+        jobs: each job reads its bucket's pages under its own thread-local
+        read tally and snapshot pin (the same accounting and custody
+        contract as :meth:`_submit_gather`), so the throttled page I/O of
+        later partitions overlaps instead of being paid serially before
+        dispatch -- while the per-bucket drain stays the eager C-speed
+        ``rows_for_block_range`` path, never a per-row generator.  Folding
+        each job's page count into the caller's open tally keeps
+        ``pages_read`` exactly equal to serial.
+        """
+        sources: Dict[int, List[List[ReadStoreReader]]] = \
+            {FROM_KIND: [], TO_KIND: [], COMBINED_KIND: []}
+        last_partition: Optional[int] = None
+        for run in candidate_runs:
+            parsed = parse_run_name(run.name)
+            partition = parsed[0] if parsed is not None else None
+            if partition != last_partition or not sources[run.record_kind]:
+                for kind_buckets in sources.values():
+                    kind_buckets.append([])
+                last_partition = partition
+            sources[run.record_kind][-1].append(run)
+        ws_rows = {
+            FROM_KIND: records_to_rows(
+                snapshot.ws_from.records_for_block_range(first_block, num_blocks), 5),
+            TO_KIND: records_to_rows(
+                snapshot.ws_to.records_for_block_range(first_block, num_blocks), 5),
+            COMBINED_KIND: [],
+        }
+        deletion_vector = snapshot.deletion_vector
+        executor = self._executor
+
+        def drain(bucket: List[ReadStoreReader]) -> List[bytes]:
+            if len(bucket) == 1:
+                return bucket[0].rows_for_block_range(first_block, num_blocks)
+            rows: List[bytes] = []
+            for run in bucket:
+                rows.extend(run.rows_for_block_range(first_block, num_blocks))
+            return rows
+
+        buckets = [(kind, bucket) for kind, kind_buckets in sources.items()
+                   for bucket in kind_buckets if bucket]
+        if executor is not None and executor.workers > 1 and len(buckets) > 1:
+            if self._executor_stats is not None:
+                self._executor_stats.count_dispatch()
+            backend_stats = self.backend.stats
+
+            def fanned(bucket: List[ReadStoreReader]):
+                release = snapshot.acquire()
+
+                def job() -> Tuple[List[bytes], int]:
+                    try:
+                        backend_stats.push_read_tally()
+                        try:
+                            rows = drain(bucket)
+                        finally:
+                            pages = backend_stats.pop_read_tally()
+                        return rows, pages
+                    finally:
+                        release()
+
+                return job
+
+            drained: List[List[bytes]] = []
+            for rows, pages in executor.map(
+                    [fanned(bucket) for _, bucket in buckets],
+                    self._executor_stats):
+                backend_stats.add_tallied_reads(pages)
+                drained.append(rows)
+        else:
+            drained = [drain(bucket) for _, bucket in buckets]
+
+        gathered = {}
+        parts_by_kind: Dict[int, List[List[bytes]]] = \
+            {FROM_KIND: [], TO_KIND: [], COMBINED_KIND: []}
+        for (kind, _), rows in zip(buckets, drained):
+            parts_by_kind[kind].append(rows)
+        for kind, parts in parts_by_kind.items():
+            # Partitions cover disjoint ascending ranges: concatenating the
+            # per-bucket lists is sorted except across runs *within* a
+            # partition, which the sort below re-merges.
+            rows = list(chain.from_iterable(parts))
+            if ws_rows[kind]:
+                rows.extend(ws_rows[kind])
+            rows.sort()
+            if deletion_vector:
+                rows = list(deletion_vector.filter_rows(rows))
+            gathered[kind] = rows
+        return gathered[FROM_KIND], gathered[TO_KIND], gathered[COMBINED_KIND]
 
     def _merge_sources(self, partition_buckets: List[List[Iterator]],
                        write_store_records: Optional[List],
                        deletion_vector: DeletionVector,
-                       snapshot: CatalogueSnapshot) -> Iterator:
+                       snapshot: CatalogueSnapshot,
+                       rows: bool = False) -> Iterator:
         """One sorted stream per table: lazily chained per-partition merges.
 
         Each partition's run iterators merge through ``heapq.merge``; the
@@ -730,7 +913,8 @@ class QueryEngine:
         if write_store_records:
             merged = heapq.merge(merged, iter(write_store_records))
         if deletion_vector:
-            return deletion_vector.filter(merged)
+            return (deletion_vector.filter_rows(merged) if rows
+                    else deletion_vector.filter(merged))
         return merged
 
     def _prefetched_streams(self, buckets: List[List[Iterator]],

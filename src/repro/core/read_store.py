@@ -35,9 +35,12 @@ verify.
 
 from __future__ import annotations
 
+import operator
 import struct
 import threading
 from bisect import bisect_left, bisect_right
+from functools import lru_cache
+from itertools import chain, islice
 from operator import itemgetter
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 from zlib import crc32
@@ -50,9 +53,12 @@ from repro.core.records import (
     FROM_RECORD_SIZE,
     FROM_STRUCT,
     FromRecord,
+    RecordBlock,
     TO_RECORD_SIZE,
     TO_STRUCT,
     ToRecord,
+    pack_key_prefix,
+    rows_from_le_payload,
 )
 from repro.fsim.blockdev import PAGE_SIZE, PageFile, StorageBackend
 from repro.fsim.cache import PageCache
@@ -126,6 +132,17 @@ def _bloom_scratch_arena() -> List[int]:
     return arena
 
 
+@lru_cache(maxsize=None)
+def _flat_struct(fields: int, count: int) -> struct.Struct:
+    """One Struct packing ``count`` whole records of ``fields`` u64s each.
+
+    Cached: a run sees exactly two shapes (full leaves and one final
+    partial leaf), so compiling the format once per shape makes leaf
+    packing a single C call.
+    """
+    return struct.Struct(f"<{fields * count}Q")
+
+
 class ReadStoreWriter:
     """Builds one read-store run from sorted records.
 
@@ -166,27 +183,51 @@ class ReadStoreWriter:
 
         Returns ``None`` without creating a file when the iterator is empty.
 
-        A materialised (``Sequence``) input takes the bulk-Bloom path: the
-        whole record array's block keys are copied once into a per-thread
-        scratch arena and inserted with a single
-        :class:`~repro.core.bloom.BloomBulkAdder` chunk, instead of one
-        chunk (and one fresh key-list allocation) per leaf.  The flush path
-        always hands this method the already-sorted per-partition record
-        slice, so it -- not the per-leaf fallback -- is what runs on the
-        least-loaded flush worker (the ``bloom_bulk_build`` benchmark
-        section tracks the win).  The adder is chunk-invariant, so the run
-        file is byte-identical to the streaming ``begin``/``add``/``finish``
-        route.
+        A materialised (``Sequence``) input takes the bulk path: the whole
+        record array's block keys are copied once into a per-thread scratch
+        arena and inserted with a single
+        :class:`~repro.core.bloom.BloomBulkAdder` chunk (instead of one
+        chunk -- and one fresh key-list allocation -- per leaf), sortedness
+        is validated with one C sweep instead of a per-record compare, and
+        records are handed to :meth:`_flush_leaf` one whole leaf at a time,
+        where each leaf body is a single flat ``struct`` pack spliced into
+        the page buffer.  The flush path always hands this method the
+        already-sorted per-partition record slice, so it -- not the
+        per-record fallback -- is what runs on the least-loaded flush
+        worker (the ``bloom_bulk_build`` benchmark section tracks the
+        Bloom half of the win).  Both the adder and the leaf packer are
+        chunk-invariant, so the run file is byte-identical to the streaming
+        ``begin``/``add``/``finish`` route.
         """
         self.begin()
         if isinstance(records, Sequence):
-            arena = _bloom_scratch_arena()
-            arena.extend(map(itemgetter(0), records))
-            self._bloom_adder.add_chunk(arena)
-            self._bloom_prefilled = True
+            if records:
+                arena = _bloom_scratch_arena()
+                arena.extend(map(itemgetter(0), records))
+                self._bloom_adder.add_chunk(arena)
+                self._bloom_prefilled = True
+                self._add_sorted_sequence(records)
+            return self.finish()
         for record in records:
             self.add(record)
         return self.finish()
+
+    def _add_sorted_sequence(self, records: Sequence[AnyRecord]) -> None:
+        """Bulk :meth:`add`: whole leaves at a time, one sortedness sweep."""
+        if not all(map(operator.le, records, islice(records, 1, None))):
+            raise ValueError("records passed to ReadStoreWriter must be sorted")
+        if self._page_file is None:
+            self._page_file = self.backend.create(self.name)
+        per_page = self.records_per_page
+        page_file = self._page_file
+        for start in range(0, len(records), per_page):
+            chunk = records[start:start + per_page]
+            if len(chunk) == per_page:
+                self._flush_leaf(page_file, chunk, self._leaf_keys, self._bloom)
+            else:
+                self._buffer.extend(chunk)
+        self._num_records += len(records)
+        self._previous = records[-1]
 
     # ------------------------------------------------------- streaming API
 
@@ -317,16 +358,16 @@ class ReadStoreWriter:
         # build()'s single whole-array chunk set exactly the same bits.
         if not self._bloom_prefilled:
             self._bloom_adder.add_chunk([record[0] for record in records])
-        # Pack the whole leaf into one preallocated buffer instead of
-        # concatenating one 40/48-byte pack() result per record.  The buffer
-        # is a full page so the checksum covers the padding a reader sees.
+        # Pack the whole leaf as ONE flat struct pack spliced into a
+        # preallocated buffer -- a single C call instead of one pack_into per
+        # record.  The buffer is a full page so the checksum covers the
+        # padding a reader sees; the bytes are identical to a per-record
+        # pack loop, so run files don't depend on which path wrote them.
         payload = bytearray(PAGE_SIZE)
         _PAGE_HEADER.pack_into(payload, 0, len(records), 0)
-        pack_into = self.record_struct.pack_into
-        position = _PAGE_HEADER.size
-        for record in records:
-            pack_into(payload, position, *record)
-            position += self.record_size
+        body_end = _PAGE_HEADER.size + len(records) * self.record_size
+        payload[_PAGE_HEADER.size:body_end] = _flat_struct(
+            self.record_size // 8, len(records)).pack(*chain.from_iterable(records))
         if self.format_version >= 2:
             _PAGE_HEADER.pack_into(payload, 0, len(records), _page_crc(payload))
         page_index = page_file.append_page(bytes(payload))
@@ -403,6 +444,7 @@ class ReadStoreReader:
         self.bloom_crc = fields[offset + 4] if self.format_version >= 2 else 0
         self._record_class = _KIND_TO_CLASS[self.record_kind]
         self._record_struct = _KIND_TO_STRUCT[self.record_kind]
+        self._fields = self.record_size // 8
         self.records_per_page = (PAGE_SIZE - _PAGE_HEADER.size) // self.record_size
 
     # ------------------------------------------------------------ bloom
@@ -524,6 +566,90 @@ class ReadStoreReader:
             if hi < len(records):
                 return
 
+    def iter_rows_block_range(self, first_block: int, num_blocks: int,
+                              start_key: Optional[Tuple[int, ...]] = None) -> Iterator[bytes]:
+        """Row counterpart of :meth:`iter_block_range`: big-endian row bytes.
+
+        Identical traversal -- same index descent, same one-leaf-at-a-time
+        decode, same bisect bounds, same early return -- but each leaf
+        decodes into 40/48-byte big-endian row strings (one C byteswap pass
+        per page) instead of NamedTuples, and the bisects compare packed key
+        prefixes with ``memcmp``.  Rows for the same records compare in the
+        same order as the records, so for any ``(first_block, num_blocks,
+        start_key)`` this yields exactly the rows of the records
+        :meth:`iter_block_range` yields, pulling pages at identical points.
+        """
+        if num_blocks <= 0 or self.num_leaf_pages == 0:
+            return
+        if start_key is None:
+            seek = (first_block, 0, 0, 0, 0)
+            lo_key = pack_key_prefix(first_block)
+        else:
+            seek = tuple(start_key) + (0,) * (5 - len(start_key))
+            lo_key = pack_key_prefix(*start_key)
+        stop_key = pack_key_prefix(first_block + num_blocks)
+        leaf_index = self._find_leaf(seek)
+        for page_index in range(leaf_index, self.num_leaf_pages):
+            rows = self._leaf_rows(page_index)
+            lo = bisect_left(rows, lo_key) if page_index == leaf_index else 0
+            hi = bisect_left(rows, stop_key)
+            yield from rows[lo:hi]
+            if hi < len(rows):
+                return
+
+    def rows_for_block_range(self, first_block: int,
+                             num_blocks: int) -> List[bytes]:
+        """Row counterpart of :meth:`records_for_block_range`: one flat list.
+
+        Same traversal and page reads as a full drain of
+        :meth:`iter_rows_block_range`, without the per-row generator
+        machinery -- the whole-range list surface gathers with this.
+        """
+        if num_blocks <= 0 or self.num_leaf_pages == 0:
+            return []
+        lo_key = pack_key_prefix(first_block)
+        stop_key = pack_key_prefix(first_block + num_blocks)
+        leaf_index = self._find_leaf((first_block, 0, 0, 0, 0))
+        rows = self._leaf_rows(leaf_index)
+        lo = bisect_left(rows, lo_key)
+        hi = bisect_left(rows, stop_key)
+        if hi < len(rows) or leaf_index + 1 == self.num_leaf_pages:
+            return rows[lo:hi]
+        result = rows[lo:]
+        for page_index in range(leaf_index + 1, self.num_leaf_pages):
+            rows = self._leaf_rows(page_index)
+            hi = bisect_left(rows, stop_key)
+            result.extend(rows[:hi])
+            if hi < len(rows):
+                break
+        return result
+
+    def iter_record_blocks(self, first_block: int,
+                           num_blocks: int) -> Iterator[RecordBlock]:
+        """Yield one trimmed zero-copy :class:`RecordBlock` per leaf page.
+
+        The slab-granular view of :meth:`iter_block_range`: each leaf's
+        payload becomes a single :class:`~repro.core.records.RecordBlock`
+        (one slab allocation per page), sliced -- without copying -- to the
+        requested block range.  Callers that only need bulk row access
+        (whole-device scans, the allocation regression guard in
+        ``tools/check_allocs.py``) touch O(pages), not O(records), Python
+        objects.
+        """
+        if num_blocks <= 0 or self.num_leaf_pages == 0:
+            return
+        lo_key = pack_key_prefix(first_block)
+        stop_key = pack_key_prefix(first_block + num_blocks)
+        leaf_index = self._find_leaf((first_block, 0, 0, 0, 0))
+        for page_index in range(leaf_index, self.num_leaf_pages):
+            block = self._leaf_block(page_index)
+            lo = block.bisect_left(lo_key) if page_index == leaf_index else 0
+            hi = block.bisect_left(stop_key)
+            if lo < hi:
+                yield block if (lo, hi) == (0, len(block)) else block.slice(lo, hi)
+            if hi < len(block):
+                return
+
     def records_for_block(self, block: int) -> List[AnyRecord]:
         return self.records_for_block_range(block, 1)
 
@@ -577,6 +703,31 @@ class ReadStoreReader:
         make = self._record_class._make
         return [make(fields)
                 for fields in self._record_struct.iter_unpack(data[_PAGE_HEADER.size:end])]
+
+    def _leaf_rows(self, leaf_page_index: int) -> List[bytes]:
+        """Decode a whole leaf page into big-endian row strings.
+
+        Columnar counterpart of :meth:`_leaf_records`: one byteswap pass
+        plus one splitting ``iter_unpack`` per page, no per-record field
+        tuples or NamedTuples.
+        """
+        data = self._read_page(leaf_page_index)
+        count, stored_crc = _PAGE_HEADER.unpack_from(data, 0)
+        if self._verify and _page_crc(data) != stored_crc:
+            raise CorruptPageError(self.name, leaf_page_index, "leaf")
+        end = _PAGE_HEADER.size + count * self.record_size
+        return rows_from_le_payload(memoryview(data)[_PAGE_HEADER.size:end],
+                                    self._fields)
+
+    def _leaf_block(self, leaf_page_index: int) -> RecordBlock:
+        """One zero-copy :class:`RecordBlock` slab for a whole leaf page."""
+        data = self._read_page(leaf_page_index)
+        count, stored_crc = _PAGE_HEADER.unpack_from(data, 0)
+        if self._verify and _page_crc(data) != stored_crc:
+            raise CorruptPageError(self.name, leaf_page_index, "leaf")
+        end = _PAGE_HEADER.size + count * self.record_size
+        return RecordBlock.from_le_payload(memoryview(data)[_PAGE_HEADER.size:end],
+                                           self._fields)
 
     def _find_leaf(self, target: Tuple[int, int, int, int, int]) -> int:
         """Descend the index to the leaf page that may contain ``target``."""

@@ -30,6 +30,7 @@ from repro.cluster import (
 from repro.cluster.protocol import (
     MAGIC,
     PROTOCOL_VERSION,
+    QUERY_PAGE_VERSION,
     _HEADER,
     decode_frame,
     encode_frame,
@@ -62,8 +63,10 @@ def test_frame_rejects_corruption():
     frame = encode_frame(Opcode.STATS, {"x": 1})
     with pytest.raises(ProtocolError, match="magic"):
         decode_frame(b"XXXX" + frame[4:])
+    # Version 2 is the packed QUERY_PAGE reply codec, so the first *unknown*
+    # version is one past it.
     with pytest.raises(ProtocolError, match="version"):
-        decode_frame(_HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, int(Opcode.STATS),
+        decode_frame(_HEADER.pack(MAGIC, QUERY_PAGE_VERSION + 1, int(Opcode.STATS),
                                   len(frame) - _HEADER.size)
                      + frame[_HEADER.size:])
     with pytest.raises(ProtocolError, match="length"):

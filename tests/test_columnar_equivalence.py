@@ -1,0 +1,393 @@
+"""Differential tests locking the columnar row pipeline to the tuple path.
+
+The columnar rework keeps the legacy NamedTuple pipeline as first-class
+code behind ``BacklogConfig(columnar_pipeline=False)``, so every layer can
+be driven side by side with the packed-row one:
+
+* slab primitives in :mod:`repro.core.records` (``pack_row`` /
+  ``records_to_rows`` round trips, memcmp order, :class:`RecordBlock`
+  bisect and zero-copy slicing) via hypothesis properties;
+* :func:`repro.core.columnar.scan_rows_bulk` against the cursor generator
+  chain ``fold_rows_for_query(join_rows_for_query(...))`` on generated
+  tables with clones and snapshots;
+* whole Backlogs over seeded clone/snapshot/relocation workloads across
+  all three storage backends and worker counts, asserting identical
+  answers, identical pagination page contents and resume tokens, and
+  *exactly* equal ``pages_read``;
+* sharded clusters at 1 and 3 shards over the same replayed workload;
+* the version-2 ``QUERY_PAGE`` wire codec: pack/unpack identity, v2
+  frames decoding into the v1 reply dict shape, v1 pickle frames from old
+  peers still decodable, and malformed bodies rejected loudly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import pickle
+import random
+from typing import List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backlog import Backlog
+from repro.core.columnar import (
+    fold_rows_for_query,
+    join_rows_for_query,
+    scan_rows_bulk,
+)
+from repro.core.config import BacklogConfig
+from repro.core.cursor import QuerySpec
+from repro.core.inheritance import CloneGraph
+from repro.core.masking import ExplicitVersionAuthority
+from repro.core.records import (
+    BackReference,
+    CombinedRecord,
+    FromRecord,
+    RecordBlock,
+    ToRecord,
+    pack_key_prefix,
+    pack_row,
+    records_to_rows,
+    rows_from_le_payload,
+    rows_to_le_bytes,
+    rows_to_records,
+    unpack_row,
+)
+from repro.cluster.protocol import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    QUERY_PAGE_VERSION,
+    Opcode,
+    ProtocolError,
+    QueryPage,
+    _HEADER,
+    decode_frame,
+    encode_frame,
+    pack_back_references,
+    unpack_back_references,
+)
+
+from test_streaming_equivalence import _random_ops, _replay
+
+# ------------------------------------------------------------ slab layer
+
+
+_from_records = st.lists(
+    st.builds(FromRecord, st.integers(0, 30), st.integers(1, 4),
+              st.integers(0, 4), st.integers(0, 2), st.integers(1, 15)),
+    max_size=60,
+)
+_to_records = st.lists(
+    st.builds(ToRecord, st.integers(0, 30), st.integers(1, 4),
+              st.integers(0, 4), st.integers(0, 2), st.integers(1, 15)),
+    max_size=60,
+)
+_combined_records = st.lists(
+    st.builds(CombinedRecord, st.integers(0, 30), st.integers(1, 4),
+              st.integers(0, 4), st.integers(0, 2), st.integers(0, 10),
+              st.integers(11, 20)),
+    max_size=30,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_from_records, _combined_records)
+def test_pack_unpack_row_roundtrip(froms, combined):
+    """Property: pack_row / unpack_row is the identity on record tuples."""
+    for record in froms + combined:
+        row = pack_row(record)
+        assert len(row) == len(record) * 8
+        assert unpack_row(row) == tuple(record)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_from_records, _to_records, _combined_records)
+def test_row_order_is_tuple_order(froms, tos, combined):
+    """Property: memcmp order over packed rows == tuple sort order."""
+    for records, fields in ((froms, 5), (tos, 5), (combined, 6)):
+        rows = records_to_rows(records, fields)
+        assert sorted(rows) == records_to_rows(sorted(records), fields)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_from_records, _combined_records)
+def test_rows_records_and_le_payload_roundtrip(froms, combined):
+    """Property: rows <-> records <-> little-endian payload all round-trip."""
+    for records, fields, cls in ((froms, 5, FromRecord),
+                                 (combined, 6, CombinedRecord)):
+        rows = records_to_rows(records, fields)
+        assert rows_to_records(rows, cls) == records
+        payload = rows_to_le_bytes(rows)
+        assert rows_from_le_payload(payload, fields) == rows
+        block = RecordBlock.from_le_payload(payload, fields)
+        assert len(block) == len(records)
+        assert block.rows() == rows
+        assert block.records(cls) == records
+        assert block.le_bytes() == payload
+
+
+@settings(max_examples=120, deadline=None)
+@given(_from_records, st.integers(0, 31), st.integers(1, 4))
+def test_recordblock_bisect_and_slice_match_tuples(froms, block_field, inode):
+    """Property: packed-prefix bisect == tuple bisect; slices share bytes."""
+    records = sorted(froms)
+    block = RecordBlock(b"".join(records_to_rows(records, 5)), 5)
+    for prefix in ((block_field,), (block_field, inode)):
+        packed = pack_key_prefix(*prefix)
+        expected = bisect.bisect_left(records, prefix)
+        assert block.bisect_left(packed) == expected
+    if records:
+        mid = len(records) // 2
+        view = block.slice(mid, len(records))
+        assert view.rows() == records_to_rows(records[mid:], 5)
+        assert view.row(0) == pack_row(records[mid])
+        assert [r[:32] for r in block.rows()] == block.key_prefixes()
+
+
+def _authority_with_snapshots() -> ExplicitVersionAuthority:
+    authority = ExplicitVersionAuthority()
+    authority.set_current_cp(16)
+    for line in range(0, 3):
+        authority.add_snapshot(line, 4)
+        authority.add_snapshot(line, 9)
+    for line in (5, 6):
+        authority.add_line(line)
+        authority.add_snapshot(line, 12)
+    return authority
+
+
+def _clone_graph() -> CloneGraph:
+    graph = CloneGraph()
+    graph.add_clone(5, 1, 7)     # clone of a snapshotted parent line
+    graph.add_clone(6, 5, 9)     # second-generation clone
+    return graph
+
+
+@settings(max_examples=120, deadline=None)
+@given(_from_records, _to_records, _combined_records)
+def test_scan_rows_bulk_matches_generator_chain(froms, tos, combined):
+    """Property: the bulk list scan emits exactly the cursor chain's owners."""
+    frows = records_to_rows(sorted(froms), 5)
+    trows = records_to_rows(sorted(tos), 5)
+    crows = records_to_rows(sorted(combined), 6)
+    graph = _clone_graph()
+    authority = _authority_with_snapshots()
+    streamed = list(fold_rows_for_query(
+        join_rows_for_query(frows, trows, crows), graph, authority))
+    bulk = scan_rows_bulk(frows, trows, crows, graph, authority)
+    assert bulk == streamed
+    # And without clones: the expansion stage must be a clean no-op.
+    empty = CloneGraph()
+    assert scan_rows_bulk(frows, trows, crows, empty, authority) == \
+        list(fold_rows_for_query(join_rows_for_query(frows, trows, crows),
+                                 empty, authority))
+
+
+# ----------------------------------------- whole-backlog differential
+
+
+def _backlog_pair(backend_factory, columnar_and_legacy_workers=(1, 1)):
+    """A columnar and a legacy Backlog over independent fresh backends."""
+    pair = []
+    for columnar, workers in zip((True, False), columnar_and_legacy_workers):
+        config = BacklogConfig(
+            partition_size_blocks=64,
+            columnar_pipeline=columnar,
+            query_workers=workers,
+        )
+        authority = ExplicitVersionAuthority()
+        pair.append((Backlog(backend=backend_factory(), config=config,
+                             version_authority=authority), authority))
+    return pair
+
+
+def _assert_identical_query_behaviour(columnar: Backlog, legacy: Backlog,
+                                      device_blocks: int) -> None:
+    """Same answers, same page contents, same resume tokens, same I/O."""
+    for first, width in ((0, device_blocks), (device_blocks // 3, 17), (1, 3)):
+        before = (columnar.query_stats.pages_read,
+                  legacy.query_stats.pages_read)
+        a = columnar.query_range(first, width)
+        b = legacy.query_range(first, width)
+        assert a == b
+        assert all(type(ref) is BackReference for ref in a)
+        read_a = columnar.query_stats.pages_read - before[0]
+        read_b = legacy.query_stats.pages_read - before[1]
+        assert read_a == read_b, (read_a, read_b)
+
+    # Paginated cursor: page contents and resume tokens must agree at every
+    # page boundary, not just the concatenated answer.
+    token_a = token_b = None
+    for _ in range(64):
+        page_a = columnar.select(
+            QuerySpec(0, device_blocks, limit=7, resume_token=token_a))
+        page_b = legacy.select(
+            QuerySpec(0, device_blocks, limit=7, resume_token=token_b))
+        assert page_a.all() == page_b.all()
+        assert page_a.exhausted == page_b.exhausted
+        token_a, token_b = page_a.resume_token, page_b.resume_token
+        assert token_a == token_b
+        if page_a.exhausted:
+            break
+    else:  # pragma: no cover - defensive
+        raise AssertionError("pagination did not terminate")
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+def test_backlog_columnar_matches_tuple_path(backend_factory, seed):
+    """Seeded clone/snapshot/relocation workloads: both pipelines agree."""
+    ops = _random_ops(seed, num_cps=6, ops_per_cp=30)
+    (columnar, auth_a), (legacy, auth_b) = _backlog_pair(backend_factory)
+    try:
+        _replay(columnar, auth_a, ops)
+        _replay(legacy, auth_b, ops)
+        _assert_identical_query_behaviour(columnar, legacy, 512)
+    finally:
+        columnar.close()
+        legacy.close()
+
+
+def test_backlog_columnar_matches_tuple_path_with_workers(backend_factory):
+    """Worker fan-out (1 vs 4) changes nothing observable either."""
+    ops = _random_ops(37, num_cps=6, ops_per_cp=30)
+    (columnar, auth_a), (legacy, auth_b) = _backlog_pair(
+        backend_factory, columnar_and_legacy_workers=(4, 1))
+    try:
+        _replay(columnar, auth_a, ops)
+        _replay(legacy, auth_b, ops)
+        _assert_identical_query_behaviour(columnar, legacy, 512)
+    finally:
+        columnar.close()
+        legacy.close()
+
+
+# ------------------------------------------------------ cluster layer
+
+
+def _cluster_workload(cluster, rng: random.Random) -> None:
+    live: List[Tuple[int, int, int, int]] = []
+    for cp in range(4):
+        for i in range(40):
+            if live and rng.random() < 0.25:
+                cluster.remove_reference(*live.pop(rng.randrange(len(live))))
+            else:
+                entry = (rng.randrange(0, 400), 1 + i % 5, i, i % 3)
+                cluster.add_reference(*entry)
+                live.append(entry)
+        if cp == 1:
+            cluster.register_clone(7, 1, cluster.checkpoint())
+        else:
+            cluster.checkpoint()
+    cluster.relocate_block(live[0][0])
+    cluster.checkpoint()
+
+
+@pytest.mark.parametrize("num_shards", [1, 3])
+def test_cluster_columnar_matches_tuple_path(shard_factory, num_shards):
+    """Shard scatter-gather over v2 pages == the legacy tuple pipeline."""
+    clusters = {}
+    for columnar in (True, False):
+        config = BacklogConfig(partition_size_blocks=64,
+                               columnar_pipeline=columnar)
+        cluster = shard_factory(num_shards=num_shards, config=config)
+        _cluster_workload(cluster, random.Random(4242))
+        clusters[columnar] = cluster
+
+    answers = {c: cluster.query_range(0, 400)
+               for c, cluster in clusters.items()}
+    assert answers[True] == answers[False]
+    assert all(type(ref) is BackReference for ref in answers[True])
+
+    tokens = {True: None, False: None}
+    for _ in range(200):
+        pages = {c: clusters[c].select(
+            QuerySpec(0, 400, limit=9, resume_token=tokens[c]))
+            for c in (True, False)}
+        assert pages[True].all() == pages[False].all()
+        assert pages[True].exhausted == pages[False].exhausted
+        tokens = {c: pages[c].resume_token for c in (True, False)}
+        if pages[True].exhausted:
+            break
+    else:  # pragma: no cover - defensive
+        raise AssertionError("cluster pagination did not terminate")
+
+    reads = {c: clusters[c].query_stats.pages_read for c in (True, False)}
+    assert reads[True] == reads[False], reads
+
+
+# ----------------------------------------------------- v2 wire codec
+
+
+_SINGLE_RANGE_PAGE = [
+    (7, 1, 0, 0, ((3, 2 ** 64 - 1),)),
+    (7, 1, 1, 2, ((5, 9),)),
+    (900, 4, 2, 1, ((1, 2 ** 64 - 1),)),
+]
+_MIXED_PAGE = [
+    (2, 1, 0, 0, ((1, 4), (6, 9), (11, 2 ** 64 - 1))),
+    (3, 2, 5, 1, ((7, 2 ** 64 - 1),)),
+    (3, 2, 6, 1, ((0, 2), (4, 8))),
+]
+
+
+@pytest.mark.parametrize("owners", [_SINGLE_RANGE_PAGE, _MIXED_PAGE, []])
+def test_pack_back_references_roundtrip(owners):
+    decoded = unpack_back_references(pack_back_references(owners))
+    assert decoded == [BackReference._make(owner) for owner in owners]
+    assert all(type(ref) is BackReference for ref in decoded)
+    assert all(type(ref.ranges) is tuple for ref in decoded)
+
+
+def test_query_page_frame_decodes_to_reply_dict():
+    """A v2 frame round-trips into the exact v1 reply dict shape."""
+    stats = {"pages_read": 12, "queries": 1}
+    page = QueryPage(_MIXED_PAGE, "bkq2.AAAA", False, stats)
+    frame = encode_frame(Opcode.OK, page)
+    assert _HEADER.unpack_from(frame)[1] == QUERY_PAGE_VERSION
+    opcode, reply = decode_frame(frame)
+    assert opcode is Opcode.OK
+    assert reply == {
+        "results": [BackReference._make(owner) for owner in _MIXED_PAGE],
+        "resume_token": "bkq2.AAAA",
+        "exhausted": False,
+        "stats": stats,
+    }
+
+
+def test_v1_pickle_frames_from_old_peers_still_decode():
+    """A peer that pickles the reply dict (pre-v2) must stay readable."""
+    reply = {"results": [BackReference._make(o) for o in _SINGLE_RANGE_PAGE],
+             "resume_token": None, "exhausted": True, "stats": {}}
+    frame = encode_frame(Opcode.OK, reply)       # plain payload: v1 pickle
+    assert _HEADER.unpack_from(frame)[1] == PROTOCOL_VERSION
+    assert decode_frame(frame) == (Opcode.OK, reply)
+
+
+def test_unknown_frame_version_rejected():
+    body = pickle.dumps({})
+    frame = _HEADER.pack(MAGIC, QUERY_PAGE_VERSION + 1, int(Opcode.OK),
+                         len(body)) + body
+    with pytest.raises(ProtocolError):
+        decode_frame(frame)
+
+
+def test_malformed_query_page_bodies_rejected():
+    packed = pack_back_references(_MIXED_PAGE)
+    with pytest.raises(ProtocolError):                # truncated columns
+        unpack_back_references(packed[:-4])
+    with pytest.raises(ProtocolError):                # short header
+        unpack_back_references(b"\x01")
+    corrupt = bytearray(packed)
+    corrupt[0] += 1                                   # num_refs lies
+    with pytest.raises(ProtocolError):
+        unpack_back_references(bytes(corrupt))
+    frame = encode_frame(Opcode.OK, QueryPage(_MIXED_PAGE, None, True, {}))
+    with pytest.raises(ProtocolError):                # body/header length lies
+        decode_frame(frame[:-3])
+    body = b"\xff\xff\xff\x7f" + b"meta"              # meta length > body
+    lying = _HEADER.pack(MAGIC, QUERY_PAGE_VERSION, int(Opcode.OK),
+                         len(body)) + body
+    with pytest.raises(ProtocolError):                # meta overruns frame
+        decode_frame(lying)

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Allocation-regression guard for the columnar decode layer.
+
+The point of the columnar pipeline is that a whole-device scan touches
+O(pages) Python objects, not O(records): each decoded leaf page becomes a
+single :class:`~repro.core.records.RecordBlock` slab
+(``ReadStoreReader.iter_record_blocks``), while the legacy boundary
+(``iter_all``) materialises one NamedTuple plus field ints per record.  A
+future "simplification" that quietly re-materialises per-record objects in
+the slab path would not fail any equivalence test -- the answers stay
+identical -- so this guard pins the *allocation shape* instead:
+
+1. **GC object count** -- ``gc.get_objects()`` growth while holding every
+   scanned page slab must stay proportional to the page count (tracked
+   containers: the RecordBlock instances), and the tuple path's growth must
+   stay proportional to the record count.  The slab path must come in at
+   least an order of magnitude below the tuple path.
+2. **tracemalloc footprint** -- held slabs cost about the raw payload
+   bytes; held NamedTuples cost several times that.  The per-record byte
+   overhead of the slab scan must stay below the record width itself.
+
+Both scans also cross-check each other: they must see exactly the same
+record count, so the guard cannot pass by scanning nothing.
+
+Run with::
+
+    PYTHONPATH=src python tools/check_allocs.py
+
+CI runs this next to the hot-path microbenchmark gate.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import random
+import sys
+import tracemalloc
+from typing import List
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.backlog import Backlog               # noqa: E402
+from repro.core.config import BacklogConfig          # noqa: E402
+from repro.core.records import RecordBlock           # noqa: E402
+from repro.fsim.blockdev import MemoryBackend        # noqa: E402
+
+DEVICE_BLOCKS = 1 << 16
+
+#: Tracked objects the slab scan may allocate per leaf page, with headroom:
+#: the RecordBlock itself plus generator/frame machinery.  One NamedTuple
+#: per *record* already blows straight through this.
+TRACKED_OBJECTS_PER_PAGE = 8
+
+#: Held-result bytes per record the slab scan may cost beyond the raw
+#: 40-byte row payload (memoryview + RecordBlock + list slack, amortised).
+SLAB_OVERHEAD_BYTES_PER_RECORD = 24
+
+
+def build_backlog(num_cps: int = 6, refs_per_cp: int = 4_000) -> Backlog:
+    """A multi-run database big enough for stable page/record ratios."""
+    config = BacklogConfig(partition_size_blocks=1 << 12)
+    backlog = Backlog(backend=MemoryBackend(), config=config)
+    rng = random.Random(2026)
+    live: List[tuple] = []
+    for cp in range(num_cps):
+        for i in range(refs_per_cp):
+            if live and rng.random() < 0.2:
+                backlog.remove_reference(*live.pop(rng.randrange(len(live))))
+            else:
+                entry = (rng.randrange(DEVICE_BLOCKS), 1 + i % 32,
+                         cp * refs_per_cp + i, i % 4)
+                backlog.add_reference(*entry)
+                live.append(entry)
+        backlog.checkpoint()
+    return backlog
+
+
+def main() -> int:
+    backlog = build_backlog()
+    snapshot = backlog._query_engine.catalogue.select()
+    try:
+        readers = [run for partition in snapshot.partitions()
+                   for run in snapshot.runs_for(partition)]
+        num_pages = sum(reader.num_leaf_pages for reader in readers)
+        num_records = sum(reader.num_records for reader in readers)
+        print(f"database: {len(readers)} runs, {num_pages} leaf pages, "
+              f"{num_records} records")
+        if num_pages < 16 or num_records < 10 * num_pages:
+            print("FAIL: workload too small to measure anything")
+            return 1
+
+        tracemalloc.start()
+        gc.collect()
+
+        # Slab scan: hold every page's RecordBlock; count records through
+        # len() only, so no per-record object is ever created.
+        base_objects = len(gc.get_objects())
+        base_bytes, _ = tracemalloc.get_traced_memory()
+        blocks: List[RecordBlock] = []
+        slab_records = 0
+        for reader in readers:
+            for block in reader.iter_record_blocks(0, DEVICE_BLOCKS):
+                blocks.append(block)
+                slab_records += len(block)
+        slab_objects = len(gc.get_objects()) - base_objects
+        slab_bytes = tracemalloc.get_traced_memory()[0] - base_bytes
+
+        # Tuple scan: the legacy boundary, one NamedTuple per record.
+        base_objects = len(gc.get_objects())
+        base_bytes, _ = tracemalloc.get_traced_memory()
+        records = [record for reader in readers for record in reader.iter_all()]
+        tuple_objects = len(gc.get_objects()) - base_objects
+        tuple_bytes = tracemalloc.get_traced_memory()[0] - base_bytes
+        tracemalloc.stop()
+
+        payload_bytes = slab_records * 40
+        print(f"slab scan:  {len(blocks):>7} page slabs held, "
+              f"{slab_objects:>7} tracked objects, {slab_bytes:>9} bytes "
+              f"({slab_bytes / max(slab_records, 1):.1f} B/record)")
+        print(f"tuple scan: {len(records):>7} records held,   "
+              f"{tuple_objects:>7} tracked objects, {tuple_bytes:>9} bytes "
+              f"({tuple_bytes / max(len(records), 1):.1f} B/record)")
+
+        failures = []
+        if slab_records != len(records):
+            failures.append(
+                f"scan mismatch: slabs saw {slab_records} records, "
+                f"iter_all saw {len(records)}")
+        if slab_objects > TRACKED_OBJECTS_PER_PAGE * num_pages + 64:
+            failures.append(
+                f"slab scan allocated {slab_objects} tracked objects for "
+                f"{num_pages} pages -- O(records) objects have crept back in")
+        if tuple_objects < 0.9 * len(records):
+            failures.append(
+                f"tuple scan allocated only {tuple_objects} tracked objects "
+                f"for {len(records)} records -- the baseline stopped being "
+                f"O(records); recalibrate this guard")
+        if slab_objects * 10 > tuple_objects:
+            failures.append(
+                f"slab scan ({slab_objects} objects) is within 10x of the "
+                f"tuple scan ({tuple_objects}); the O(pages) edge is gone")
+        if slab_bytes > payload_bytes + SLAB_OVERHEAD_BYTES_PER_RECORD * slab_records:
+            failures.append(
+                f"slab scan holds {slab_bytes} bytes for {payload_bytes} "
+                f"payload bytes -- per-record materialisation suspected")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("OK: whole-device slab scan allocates O(pages), "
+              "tuple boundary O(records)")
+        return 0
+    finally:
+        snapshot.release()
+        backlog.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
